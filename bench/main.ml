@@ -1,0 +1,186 @@
+(* The benchmark harness: regenerates every figure of the paper's
+   evaluation (Figures 1, 2, 7-12 — the paper has no numbered tables)
+   and micro-benchmarks the simulator's core primitives with Bechamel.
+
+     dune exec bench/main.exe              # figures + ablations + micro
+     dune exec bench/main.exe -- fig7      # one figure
+     dune exec bench/main.exe -- ablations # only the ablation studies
+     dune exec bench/main.exe -- micro     # only the micro-benchmarks
+     BENCH_SCALE=0.5 dune exec bench/main.exe   # bigger workloads *)
+
+open Asman
+
+let scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some f when f > 0. -> f
+    | Some _ | None -> Config.default.Config.scale)
+  | None -> Config.default.Config.scale
+
+let config = Config.with_scale Config.default scale
+
+(* ----- figure regeneration ----- *)
+
+let run_experiment (e : Experiments.t) =
+  let t0 = Unix.gettimeofday () in
+  let outcome = e.Experiments.run config in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  print_string (Report.outcome e outcome);
+  Printf.printf "(%s regenerated in %.1f s of host time)\n\n%!"
+    e.Experiments.id elapsed
+
+let run_figures ids =
+  Printf.printf
+    "ASMan reproduction — figure regeneration (workload scale %g, seed %Ld)\n\
+     Absolute times are simulator scale; compare shapes and ratios with the\n\
+     paper columns printed next to each measured table.\n\n%!"
+    scale config.Config.seed;
+  List.iter
+    (fun id ->
+      match Experiments.find id with
+      | Some e -> run_experiment e
+      | None -> Printf.eprintf "unknown figure id %s\n" id)
+    ids
+
+(* ----- ablation studies ----- *)
+
+let run_ablation (a : Ablations.t) =
+  let t0 = Unix.gettimeofday () in
+  let outcome = a.Ablations.run config in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let as_experiment =
+    {
+      Experiments.id = a.Ablations.id;
+      title = a.Ablations.title;
+      description = a.Ablations.description;
+      run = a.Ablations.run;
+    }
+  in
+  print_string (Report.outcome as_experiment outcome);
+  Printf.printf "(%s ran in %.1f s of host time)\n\n%!" a.Ablations.id elapsed
+
+let run_ablations () =
+  print_endline "--- ablation studies (DESIGN.md design choices) ---\n";
+  List.iter run_ablation Ablations.all
+
+(* ----- Bechamel micro-benchmarks ----- *)
+
+let microbenchmarks () =
+  let open Bechamel in
+  let freq = Config.freq config in
+  (* One Test.make per core primitive of the simulator. *)
+  let test_heap =
+    Test.make ~name:"heap push+pop (256 elems)"
+      (Staged.stage (fun () ->
+           let h = Sim_engine.Heap.create () in
+           for i = 0 to 255 do
+             Sim_engine.Heap.add h ~key:((i * 7919) mod 997) ~seq:i i
+           done;
+           let rec drain () =
+             match Sim_engine.Heap.pop h with Some _ -> drain () | None -> ()
+           in
+           drain ()))
+  in
+  let test_rng =
+    Test.make ~name:"rng lognormal draw"
+      (let rng = Sim_engine.Rng.create 1L in
+       Staged.stage (fun () ->
+           ignore (Sim_engine.Rng.lognormal_cv rng ~mean:100. ~cv:0.2)))
+  in
+  let test_engine =
+    Test.make ~name:"engine schedule+fire (64 events)"
+      (Staged.stage (fun () ->
+           let e = Sim_engine.Engine.create () in
+           for i = 1 to 64 do
+             ignore (Sim_engine.Engine.schedule_at e ~time:i (fun () -> ()))
+           done;
+           Sim_engine.Engine.run e))
+  in
+  let test_estimator =
+    Test.make ~name:"estimator adjusting event"
+      (let slot = Sim_hw.Cpu_model.slot_cycles config.Config.cpu in
+       let est =
+         Sim_learn.Estimator.create
+           (Sim_learn.Estimator.default_params ~slot_cycles:slot)
+           (Sim_engine.Rng.create 2L)
+       in
+       let now = ref 0 in
+       Staged.stage (fun () ->
+           now := !now + slot;
+           ignore (Sim_learn.Estimator.on_adjusting_event est ~now:!now)))
+  in
+  let test_histogram =
+    Test.make ~name:"histogram add"
+      (let h = Sim_stats.Histogram.create () in
+       let i = ref 1 in
+       Staged.stage (fun () ->
+           i := ((!i * 1103515245) + 12345) land 0xFFFFFF;
+           Sim_stats.Histogram.add h !i))
+  in
+  let test_sim_slice =
+    Test.make ~name:"simulate 100ms of LU@40% (asman)"
+      (Staged.stage (fun () ->
+           let c = Config.with_scale config 0.02 in
+           let workload =
+             Sim_workloads.Nas.workload
+               (Sim_workloads.Nas.params Sim_workloads.Nas.LU ~freq ~scale:0.02)
+           in
+           let s =
+             Scenario.build
+               (Config.with_work_conserving c false)
+               ~sched:Config.Asman
+               ~vms:
+                 [ { Scenario.vm_name = "V"; weight = 64; vcpus = 4;
+                     workload = Some workload } ]
+           in
+           ignore (Runner.run_window s ~sec:0.1)))
+  in
+  let tests =
+    Test.make_grouped ~name:"asman" ~fmt:"%s %s"
+      [
+        test_heap; test_rng; test_engine; test_estimator; test_histogram;
+        test_sim_slice;
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  print_endline "micro-benchmarks (nanoseconds per run, OLS estimate):";
+  Hashtbl.iter
+    (fun _measure_label per_test ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "  %-45s %14.1f ns\n" name est
+          | Some [] | None -> Printf.printf "  %-45s (no estimate)\n" name)
+        per_test)
+    merged;
+  print_newline ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+    run_figures (Experiments.ids ());
+    run_ablations ();
+    microbenchmarks ()
+  | [ "micro" ] -> microbenchmarks ()
+  | [ "ablations" ] -> run_ablations ()
+  | ids ->
+    List.iter
+      (fun id ->
+        match (Experiments.find id, Ablations.find id) with
+        | Some e, _ -> run_experiment e
+        | None, Some a -> run_ablation a
+        | None, None -> Printf.eprintf "unknown id %s\n" id)
+      ids

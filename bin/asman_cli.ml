@@ -1,0 +1,324 @@
+(* Command-line driver for the ASMan reproduction.
+
+   Subcommands:
+     list                      enumerate the figure experiments
+     experiment <id> [...]     regenerate one figure (or all)
+     run [...]                 run one ad-hoc scenario and print metrics
+     trace [...]               dump a spinlock-wait trace as CSV (Fig 2/8 data)
+     learn                     demonstrate the Roth-Erev estimator on a
+                               synthetic locality trace *)
+
+open Cmdliner
+open Asman
+
+let scale_arg =
+  let doc = "Workload scale factor (fraction of the full benchmark size)." in
+  Arg.(value & opt float Config.default.Config.scale & info [ "scale" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed (simulations are deterministic per seed)." in
+  Arg.(value & opt int64 Config.default.Config.seed & info [ "seed" ] ~doc)
+
+let sched_arg =
+  let doc = "Scheduler: credit, asman or con (static coscheduling)." in
+  let parse s =
+    match Config.sched_of_name s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
+  in
+  let print fmt k = Format.pp_print_string fmt (Config.sched_name k) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.Asman
+    & info [ "sched" ] ~doc ~docv:"SCHED")
+
+let config_of ~scale ~seed =
+  Config.with_seed (Config.with_scale Config.default scale) seed
+
+(* ----- list ----- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Experiments.t) ->
+        Printf.printf "%-16s  %s\n" e.Experiments.id e.Experiments.title)
+      Experiments.all;
+    List.iter
+      (fun (a : Ablations.t) ->
+        Printf.printf "%-16s  %s\n" a.Ablations.id a.Ablations.title)
+      Ablations.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the figure experiments")
+    Term.(const run $ const ())
+
+(* ----- experiment ----- *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Figure id (e.g. fig7), or 'all'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let csv_arg =
+    let doc = "Also print the measured series as CSV." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let run id csv scale seed =
+    let config = config_of ~scale ~seed in
+    let run_one (e : Experiments.t) =
+      let outcome = e.Experiments.run config in
+      print_string (Report.outcome e outcome);
+      if csv then print_string (Report.series_csv outcome.Experiments.series);
+      print_newline ()
+    in
+    if id = "all" then List.iter run_one Experiments.all
+    else begin
+      match Experiments.find id with
+      | Some e -> run_one e
+      | None ->
+        Printf.eprintf "unknown experiment %S; try 'list'\n" id;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper")
+    Term.(const run $ id_arg $ csv_arg $ scale_arg $ seed_arg)
+
+(* ----- ablation ----- *)
+
+let ablation_cmd =
+  let id_arg =
+    let doc = "Ablation id (see 'asman_cli ablations'), or 'all'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id scale seed =
+    let config = config_of ~scale ~seed in
+    let run_one (a : Ablations.t) =
+      let outcome = a.Ablations.run config in
+      let as_experiment =
+        {
+          Experiments.id = a.Ablations.id;
+          title = a.Ablations.title;
+          description = a.Ablations.description;
+          run = a.Ablations.run;
+        }
+      in
+      print_string (Report.outcome as_experiment outcome);
+      print_newline ()
+    in
+    if id = "all" then List.iter run_one Ablations.all
+    else begin
+      match Ablations.find id with
+      | Some a -> run_one a
+      | None ->
+        Printf.eprintf "unknown ablation %S; known: %s\n" id
+          (String.concat ", " (Ablations.ids ()));
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run an ablation study of a design choice")
+    Term.(const run $ id_arg $ scale_arg $ seed_arg)
+
+(* ----- run ----- *)
+
+let workload_conv =
+  let doc =
+    "bt|cg|ep|ft|mg|sp|lu (NAS), gcc|bzip2 (SPEC rate), jbb<N> (SPECjbb, N \
+     warehouses)"
+  in
+  let parse s =
+    let s = String.lowercase_ascii s in
+    match Sim_workloads.Nas.of_name s with
+    | Some b -> Ok (`Nas b)
+    | None ->
+      if s = "gcc" then Ok (`Cpu Sim_workloads.Speccpu.Gcc)
+      else if s = "bzip2" then Ok (`Cpu Sim_workloads.Speccpu.Bzip2)
+      else if String.length s > 3 && String.sub s 0 3 = "jbb" then begin
+        match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+        | Some n when n > 0 -> Ok (`Jbb n)
+        | Some _ | None -> Error (`Msg "jbb<N> needs a positive N")
+      end
+      else Error (`Msg (Printf.sprintf "unknown workload %S (%s)" s doc))
+  in
+  let print fmt w =
+    Format.pp_print_string fmt
+      (match w with
+      | `Nas b -> Sim_workloads.Nas.name b
+      | `Cpu b -> Sim_workloads.Speccpu.name b
+      | `Jbb n -> Printf.sprintf "jbb%d" n)
+  in
+  Arg.conv (parse, print)
+
+let build_workload config w =
+  let freq = Config.freq config in
+  let scale = config.Config.scale in
+  match w with
+  | `Nas b -> Sim_workloads.Nas.workload (Sim_workloads.Nas.params b ~freq ~scale)
+  | `Cpu b ->
+    Sim_workloads.Speccpu.workload (Sim_workloads.Speccpu.params b ~freq ~scale)
+  | `Jbb n ->
+    Sim_workloads.Specjbb.workload
+      (Sim_workloads.Specjbb.default_params ~freq ~warehouses:n)
+
+let run_cmd =
+  let vms_arg =
+    let doc = "Workload per VM (repeatable): each VM gets 4 VCPUs." in
+    Arg.(
+      value
+      & opt_all workload_conv [ `Nas Sim_workloads.Nas.LU ]
+      & info [ "vm" ] ~doc ~docv:"WORKLOAD")
+  in
+  let weight_arg =
+    let doc = "Weight of every guest VM (Dom0 is fixed at 256)." in
+    Arg.(value & opt int 256 & info [ "weight" ] ~doc)
+  in
+  let capped_arg =
+    let doc = "Non-work-conserving mode (strict proportional cap)." in
+    Arg.(value & flag & info [ "capped" ] ~doc)
+  in
+  let rounds_arg =
+    let doc = "Rounds of each VM's workload to wait for." in
+    Arg.(value & opt int 1 & info [ "rounds" ] ~doc)
+  in
+  let max_sec_arg =
+    let doc = "Simulated-time budget in seconds." in
+    Arg.(value & opt float 120. & info [ "max-sec" ] ~doc)
+  in
+  let run vms weight capped rounds max_sec sched scale seed =
+    let config = config_of ~scale ~seed in
+    let config = Config.with_work_conserving config (not capped) in
+    let specs =
+      List.mapi
+        (fun i w ->
+          let workload = build_workload config w in
+          {
+            Scenario.vm_name =
+              Printf.sprintf "V%d:%s" (i + 1) workload.Sim_workloads.Workload.name;
+            weight;
+            vcpus = 4;
+            workload = Some workload;
+          })
+        vms
+    in
+    let scenario = Scenario.build config ~sched ~vms:specs in
+    let metrics = Runner.run_rounds scenario ~rounds ~max_sec in
+    Printf.printf "scheduler: %s   simulated: %.3f s   events: %d   ipis: %d\n\n"
+      (Config.sched_name sched) metrics.Runner.wall_sec
+      metrics.Runner.events_fired metrics.Runner.ipis;
+    let headers =
+      [
+        "VM"; "rounds"; "mean round (s)"; "online"; "expected"; "over-thr";
+        "vcrd flips";
+      ]
+    in
+    let rows =
+      List.map
+        (fun (vm : Runner.vm_metrics) ->
+          let mean =
+            match vm.Runner.round_sec with
+            | [] -> nan
+            | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+          in
+          [
+            vm.Runner.vm_name;
+            string_of_int vm.Runner.rounds;
+            Sim_stats.Table.fixed ~decimals:3 mean;
+            Sim_stats.Table.fixed ~decimals:3 vm.Runner.online_rate;
+            Sim_stats.Table.fixed ~decimals:3 vm.Runner.expected_online;
+            string_of_int vm.Runner.spin_over_threshold;
+            string_of_int vm.Runner.vcrd_transitions;
+          ])
+        metrics.Runner.vms
+    in
+    print_string (Sim_stats.Table.render ~headers rows)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an ad-hoc scenario")
+    Term.(
+      const run $ vms_arg $ weight_arg $ capped_arg $ rounds_arg $ max_sec_arg
+      $ sched_arg $ scale_arg $ seed_arg)
+
+(* ----- trace ----- *)
+
+let trace_cmd =
+  let weight_arg =
+    let doc = "VM weight: 256/128/64/32 give 100/66.7/40/22.2% online." in
+    Arg.(value & opt int 32 & info [ "weight" ] ~doc)
+  in
+  let bench_arg =
+    let doc = "NAS benchmark to trace." in
+    Arg.(value & opt string "lu" & info [ "bench" ] ~doc)
+  in
+  let run weight bench sched scale seed =
+    match Sim_workloads.Nas.of_name bench with
+    | None ->
+      Printf.eprintf "unknown NAS benchmark %S\n" bench;
+      exit 1
+    | Some b ->
+      let config = config_of ~scale ~seed in
+      let config = Config.with_work_conserving config false in
+      let workload =
+        Sim_workloads.Nas.workload
+          (Sim_workloads.Nas.params b ~freq:(Config.freq config) ~scale)
+      in
+      let scenario =
+        Scenario.build config ~sched
+          ~vms:
+            [ { Scenario.vm_name = "V1"; weight; vcpus = 4; workload = Some workload } ]
+      in
+      let _ = Runner.run_rounds scenario ~rounds:1 ~max_sec:600. in
+      let monitor = Runner.monitor_of scenario ~vm:"V1" in
+      print_string (Report.trace_csv (Sim_guest.Monitor.trace monitor))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Dump the spinlock waiting-time trace (Fig 2/8 raw data) as CSV")
+    Term.(const run $ weight_arg $ bench_arg $ sched_arg $ scale_arg $ seed_arg)
+
+(* ----- learn ----- *)
+
+let learn_cmd =
+  let run seed =
+    let rng = Sim_engine.Rng.create seed in
+    let freq = Sim_engine.Units.ghz_f 2.33 in
+    let slot = Sim_engine.Units.cycles_of_ms freq 10 in
+    let profile = Sim_learn.Locality.default_profile ~slot_cycles:slot in
+    let trace = Sim_learn.Locality.generate rng profile ~n:200 in
+    let estimator =
+      Sim_learn.Estimator.create
+        (Sim_learn.Estimator.default_params ~slot_cycles:slot)
+        (Sim_engine.Rng.split rng)
+    in
+    let windows =
+      List.map
+        (fun time -> (time, Sim_learn.Estimator.on_adjusting_event estimator ~now:time))
+        (Sim_learn.Locality.event_times trace)
+    in
+    let hit, excess = Sim_learn.Locality.coverage trace ~windows in
+    Printf.printf
+      "localities: %d   adjusting events: %d\n\
+       coverage of locality time by estimated windows: %.1f%%\n\
+       over-coscheduling (window time outside localities): %.1f%%\n"
+      (List.length trace.Sim_learn.Locality.localities)
+      (Sim_learn.Estimator.events_seen estimator)
+      (100. *. hit) (100. *. excess);
+    let candidates = Sim_learn.Estimator.candidates estimator in
+    let props = Sim_learn.Estimator.propensities estimator in
+    Array.iteri
+      (fun i c ->
+        Printf.printf "  x = %6.1f ms   propensity %.4f\n"
+          (Sim_engine.Units.ms_of_cycles freq c)
+          props.(i))
+      candidates
+  in
+  Cmd.v
+    (Cmd.info "learn"
+       ~doc:"Exercise the Roth-Erev estimator on a synthetic locality trace")
+    Term.(const run $ seed_arg)
+
+let main =
+  let doc = "ASMan: dynamic adaptive scheduling for virtual machines (HPDC'11)" in
+  Cmd.group (Cmd.info "asman_cli" ~doc)
+    [ list_cmd; experiment_cmd; ablation_cmd; run_cmd; trace_cmd; learn_cmd ]
+
+let () = exit (Cmd.eval main)

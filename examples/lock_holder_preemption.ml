@@ -1,0 +1,58 @@
+(* Lock-holder preemption, demonstrated on a synthetic lock storm.
+
+   Four threads hammer one guest-kernel spinlock. On real hardware the
+   critical section is microseconds, so waits stay tiny. When the VMM
+   time-shares the VCPUs (online rate < 100%), a holder's VCPU can be
+   descheduled mid-critical-section, leaving the other VCPUs spinning
+   for entire scheduling periods: waits jump from ~2^10 to ~2^25+
+   cycles — the paper's over-threshold spinlocks (Figures 1b and 2).
+
+     dune exec examples/lock_holder_preemption.exe *)
+
+open Asman
+
+let storm config sched ~weight =
+  let freq = Config.freq config in
+  let workload =
+    Sim_workloads.Synthetic.lock_storm ~threads:4 ~rounds:2000
+      ~cs_cycles:(Sim_engine.Units.cycles_of_us freq 3)
+      ~think_cycles:(Sim_engine.Units.cycles_of_us freq 60)
+      ()
+  in
+  let scenario =
+    Scenario.build
+      (Config.with_work_conserving config false)
+      ~sched
+      ~vms:
+        [ { Scenario.vm_name = "V1"; weight; vcpus = 4; workload = Some workload } ]
+  in
+  let _ = Runner.run_rounds scenario ~rounds:1 ~max_sec:120. in
+  Runner.monitor_of scenario ~vm:"V1"
+
+let describe monitor =
+  let h = Sim_guest.Monitor.spin_histogram monitor in
+  let ge k = Sim_stats.Histogram.count_ge_pow2 h k in
+  Printf.printf
+    "    %6d lock acquisitions; waits >=2^15: %3d  >=2^20: %3d  >=2^25: %3d  \
+     (max 2^%d)\n"
+    (Sim_stats.Histogram.count h)
+    (ge 15) (ge 20) (ge 25)
+    (match Sim_stats.Histogram.max_value h with
+    | Some v when v >= 1 -> Sim_engine.Units.log2_floor v
+    | Some _ | None -> 0)
+
+let () =
+  let config = Config.with_scale Config.default 1.0 in
+  List.iter
+    (fun (weight, rate) ->
+      Printf.printf "online rate %s (weight %d):\n" rate weight;
+      Printf.printf "  credit:\n";
+      describe (storm config Config.Credit ~weight);
+      Printf.printf "  asman:\n";
+      describe (storm config Config.Asman ~weight))
+    [ (256, "100%"); (64, "40%"); (32, "22.2%") ];
+  print_endline
+    "\nAt 100% no holder is ever preempted, so waits stay far below the\n\
+     2^20-cycle threshold. At reduced online rates the Credit scheduler\n\
+     preempts lock holders and waits explode; ASMan's Monitoring Module\n\
+     detects them and coscheduling suppresses the tail."

@@ -1,0 +1,74 @@
+type sched_kind =
+  | Credit
+  | Asman
+  | Cosched_static
+  | Asman_oov
+  | Custom of string * Sim_vmm.Sched_intf.maker
+
+let sched_name = function
+  | Credit -> "credit"
+  | Asman -> "asman"
+  | Cosched_static -> "con"
+  | Asman_oov -> "asman-oov"
+  | Custom (name, _) -> name
+
+let sched_of_name s =
+  match String.lowercase_ascii s with
+  | "credit" -> Some Credit
+  | "asman" -> Some Asman
+  | "con" | "cosched" | "static" -> Some Cosched_static
+  | "asman-oov" | "oov" -> Some Asman_oov
+  | _ -> None
+
+let sched_maker = function
+  | Credit -> Sim_vmm.Sched_credit.make
+  | Asman -> Sim_vmm.Sched_gang.make_asman
+  | Cosched_static -> Sim_vmm.Sched_gang.make_static
+  | Asman_oov -> Sim_vmm.Sched_gang.make_oov
+  | Custom (_, maker) -> maker
+
+type t = {
+  seed : int64;
+  cpu : Sim_hw.Cpu_model.t;
+  topology : Sim_hw.Topology.t;
+  stagger : bool;
+  work_conserving : bool;
+  credit_unit : int;
+  guest_params : Sim_guest.Kernel.params option;
+  monitor_report : bool;
+  scale : float;
+}
+
+let default =
+  {
+    seed = 42L;
+    cpu = Sim_hw.Cpu_model.default;
+    topology = Sim_hw.Topology.default;
+    stagger = true;
+    work_conserving = true;
+    credit_unit = Sim_vmm.Credit.default_credit_unit;
+    guest_params = None;
+    monitor_report = true;
+    scale = 0.25;
+  }
+
+let with_scale t scale = { t with scale }
+let with_seed t seed = { t with seed }
+let with_work_conserving t work_conserving = { t with work_conserving }
+
+let guest_params t =
+  match t.guest_params with
+  | Some p -> p
+  | None ->
+    let p = Sim_guest.Kernel.default_params t.cpu in
+    if t.monitor_report then p
+    else
+      {
+        p with
+        Sim_guest.Kernel.monitor =
+          { p.Sim_guest.Kernel.monitor with Sim_guest.Monitor.report_vcrd = false };
+      }
+
+let freq t = t.cpu.Sim_hw.Cpu_model.freq
+
+let pcpus t = Sim_hw.Topology.pcpu_count t.topology

@@ -1,0 +1,44 @@
+(** Simulation configuration: one record gathering every knob of the
+    reproduction (machine, scheduler, guest, workload scale). *)
+
+type sched_kind =
+  | Credit  (** baseline Xen Credit scheduler *)
+  | Asman  (** adaptive dynamic coscheduling (the paper) *)
+  | Cosched_static  (** static coscheduling, the CON baseline *)
+  | Asman_oov
+      (** ASMan with out-of-VM VCRD detection via pause-loop exits —
+          the paper's §7 future work; needs no guest modification *)
+  | Custom of string * Sim_vmm.Sched_intf.maker
+      (** named custom scheduler (ablation studies) *)
+
+val sched_name : sched_kind -> string
+val sched_of_name : string -> sched_kind option
+val sched_maker : sched_kind -> Sim_vmm.Sched_intf.maker
+
+type t = {
+  seed : int64;
+  cpu : Sim_hw.Cpu_model.t;
+  topology : Sim_hw.Topology.t;
+  stagger : bool;  (** per-PCPU slot phase skew (realistic: on) *)
+  work_conserving : bool;
+  credit_unit : int;
+  guest_params : Sim_guest.Kernel.params option;  (** [None] = defaults *)
+  monitor_report : bool;  (** guests issue VCRD hypercalls *)
+  scale : float;  (** global workload scale factor *)
+}
+
+val default : t
+(** The paper's testbed: 8 PCPUs at 2.33 GHz, staggered 10 ms slots,
+    30 ms accounting, reporting guests, scale 0.25 (workloads shrunk
+    4x for simulation speed; all reported metrics are ratios or
+    rates, which scale out). *)
+
+val with_scale : t -> float -> t
+val with_seed : t -> int64 -> t
+val with_work_conserving : t -> bool -> t
+
+val guest_params : t -> Sim_guest.Kernel.params
+(** The explicit guest params, or defaults derived from [cpu]. *)
+
+val freq : t -> Sim_engine.Units.freq
+val pcpus : t -> int

@@ -1,0 +1,656 @@
+open Sim_stats
+
+type outcome = {
+  series : Series.t list;
+  expected : Series.t list;
+  notes : string list;
+}
+
+type t = {
+  id : string;
+  title : string;
+  description : string;
+  run : Config.t -> outcome;
+}
+
+let online_rate_points = [ (256, 100.); (128, 66.7); (64, 40.); (32, 22.2) ]
+
+let note fmt = Printf.ksprintf (fun s -> s) fmt
+
+(* ----- shared building blocks ----- *)
+
+let single_vm_scenario config ~sched ~weight ~workload =
+  let config = Config.with_work_conserving config false in
+  Scenario.build config ~sched
+    ~vms:
+      [
+        {
+          Scenario.vm_name = "V1";
+          weight;
+          vcpus = 4;
+          workload = Some workload;
+        };
+      ]
+
+let nas_workload config bench =
+  Sim_workloads.Nas.workload
+    (Sim_workloads.Nas.params bench ~freq:(Config.freq config)
+       ~scale:config.Config.scale)
+
+(* Generous wall-clock cap: the slowest single-VM runs are ~5x the
+   ideal time at a 22.2% online rate. *)
+let max_sec_for config bench =
+  let ideal =
+    Sim_workloads.Nas.ideal_runtime_sec bench ~freq:(Config.freq config)
+      ~scale:config.Config.scale
+  in
+  Float.max 30. (ideal *. 40.)
+
+let nas_run config ~sched ~bench ~weight =
+  let s =
+    single_vm_scenario config ~sched ~weight ~workload:(nas_workload config bench)
+  in
+  let m =
+    Runner.run_rounds s ~rounds:1 ~max_sec:(max_sec_for config bench)
+  in
+  (s, m)
+
+let nas_runtime config ~sched ~bench ~weight =
+  let _, m = nas_run config ~sched ~bench ~weight in
+  Runner.first_round_sec m ~vm:"V1"
+
+let wait_bucket_counts monitor =
+  let h = Sim_guest.Monitor.spin_histogram monitor in
+  [
+    (">=2^10", Histogram.count_ge_pow2 h 10);
+    (">=2^15", Histogram.count_ge_pow2 h 15);
+    (">=2^20", Histogram.count_ge_pow2 h 20);
+    (">=2^25", Histogram.count_ge_pow2 h 25);
+  ]
+
+let rates = List.map snd online_rate_points
+
+let series_over_rates ~label ~y_name f =
+  Series.make ~label ~x_name:"online rate (%)" ~y_name
+    (List.map (fun (w, r) -> (r, f ~weight:w ~rate:r)) online_rate_points)
+
+(* ----- Fig 1a: LU run time vs online rate, Credit scheduler ----- *)
+
+let paper_fig1a_credit =
+  Series.make ~label:"paper Credit LU (s)" ~x_name:"online rate (%)"
+    ~y_name:"run time (s)"
+    [ (100., 400.); (66.7, 700.); (40., 1400.); (22.2, 2700.) ]
+
+let fig1a_run config =
+  let runtimes =
+    List.map
+      (fun (w, r) ->
+        (r, nas_runtime config ~sched:Config.Credit ~bench:Sim_workloads.Nas.LU ~weight:w))
+      online_rate_points
+  in
+  let measured =
+    Series.make ~label:"Credit LU (sim s)" ~x_name:"online rate (%)"
+      ~y_name:"run time (s)" runtimes
+  in
+  let base = List.assoc 100. runtimes in
+  let slowdown =
+    Series.map_y measured ~f:(fun y -> y /. base)
+  in
+  let paper_slowdown = Series.map_y paper_fig1a_credit ~f:(fun y -> y /. 400.) in
+  let measured_222 = List.assoc 22.2 runtimes /. base in
+  {
+    series = [ measured; { slowdown with Series.label = "Credit LU slowdown" } ];
+    expected =
+      [
+        paper_fig1a_credit;
+        { paper_slowdown with Series.label = "paper slowdown" };
+      ];
+    notes =
+      [
+        note
+          "shape: slowdown at 22.2%% online should be well above the 4.5x \
+           fair-share bound (paper ~6.8x; measured %.2fx)"
+          measured_222;
+        "absolute seconds are simulator scale (workloads shrunk by \
+         config.scale); compare slowdowns, not seconds";
+      ];
+  }
+
+(* ----- Fig 1b: spinlock waiting-time statistics vs online rate ----- *)
+
+let fig1b_run config =
+  let per_rate =
+    List.map
+      (fun (w, r) ->
+        let s, _m = nas_run config ~sched:Config.Credit ~bench:Sim_workloads.Nas.LU ~weight:w in
+        (r, wait_bucket_counts (Runner.monitor_of s ~vm:"V1")))
+      online_rate_points
+  in
+  let series_for band =
+    Series.make
+      ~label:(Printf.sprintf "waits %s cycles" band)
+      ~x_name:"online rate (%)" ~y_name:"count"
+      (List.map
+         (fun (r, counts) -> (r, float_of_int (List.assoc band counts)))
+         per_rate)
+  in
+  let ge10 = series_for ">=2^10" in
+  let ge20 = series_for ">=2^20" in
+  let ge25 = series_for ">=2^25" in
+  let frac_25 r =
+    let counts = List.assoc r per_rate in
+    let total = List.assoc ">=2^10" counts in
+    if total = 0 then 0.
+    else float_of_int (List.assoc ">=2^25" counts) /. float_of_int total
+  in
+  {
+    series = [ ge10; ge20; ge25 ];
+    expected =
+      [
+        Series.make ~label:"paper waits >=2^10" ~x_name:"online rate (%)"
+          ~y_name:"count"
+          [ (100., 3000.); (66.7, 1500.); (40., 600.); (22.2, 350.) ];
+      ];
+    notes =
+      [
+        "paper observations: (1) total spinlock count falls with the online \
+         rate; (2) most waits < 2^15; (3) the share of waits > 2^25 grows \
+         quickly as the online rate drops";
+        note "measured share of waits >= 2^25: %s"
+          (String.concat ", "
+             (List.map
+                (fun r -> Printf.sprintf "%.1f%% at %g%%" (100. *. frac_25 r) r)
+                rates));
+      ];
+  }
+
+(* ----- Fig 2 / Fig 8: detailed spinlock wait traces ----- *)
+
+let trace_summary config ~sched =
+  let per_rate =
+    List.map
+      (fun (w, r) ->
+        let s, _m = nas_run config ~sched ~bench:Sim_workloads.Nas.LU ~weight:w in
+        let monitor = Runner.monitor_of s ~vm:"V1" in
+        (r, monitor))
+      online_rate_points
+  in
+  let band lo hi =
+    Series.make
+      ~label:(Printf.sprintf "waits in [2^%d, 2^%d)" lo hi)
+      ~x_name:"online rate (%)" ~y_name:"count"
+      (List.map
+         (fun (r, m) ->
+           let h = Sim_guest.Monitor.spin_histogram m in
+           ( r,
+             float_of_int
+               (Histogram.count_ge_pow2 h lo - Histogram.count_ge_pow2 h hi) ))
+         per_rate)
+  in
+  let max_wait =
+    Series.make ~label:"max wait (log2 cycles)" ~x_name:"online rate (%)"
+      ~y_name:"log2 cycles"
+      (List.map
+         (fun (r, m) ->
+           let h = Sim_guest.Monitor.spin_histogram m in
+           match Histogram.max_value h with
+           | Some v when v >= 1 ->
+             (r, float_of_int (Sim_engine.Units.log2_floor v))
+           | Some _ | None -> (r, 0.))
+         per_rate)
+  in
+  ([ band 10 15; band 15 20; band 20 25; band 25 31; max_wait ], per_rate)
+
+let locality_note per_rate =
+  (* Property (4) of §2.2: long waits arrive in neighbouring spinlocks.
+     Measure the fraction of >=2^20 trace entries whose predecessor in
+     the trace is also >=2^20 (clustering). *)
+  let cluster m =
+    let threshold = Sim_engine.Units.pow2 20 in
+    let entries = Sim_guest.Monitor.trace m in
+    let rec scan prev_big hits total = function
+      | [] -> (hits, total)
+      | (e : Sim_guest.Monitor.trace_entry) :: rest ->
+        let big = e.Sim_guest.Monitor.wait >= threshold in
+        if big then
+          scan big (if prev_big then hits + 1 else hits) (total + 1) rest
+        else scan big hits total rest
+    in
+    let hits, total = scan false 0 0 entries in
+    if total = 0 then nan else float_of_int hits /. float_of_int total
+  in
+  note "locality: fraction of >=2^20 waits immediately preceded by another: %s"
+    (String.concat ", "
+       (List.map
+          (fun (r, m) -> Printf.sprintf "%.2f at %g%%" (cluster m) r)
+          per_rate))
+
+let fig2_run config =
+  let series, per_rate = trace_summary config ~sched:Config.Credit in
+  {
+    series;
+    expected = [];
+    notes =
+      [
+        "paper Fig 2: under Credit, waits >= 2^25 appear at reduced online \
+         rates and cluster (locality of synchronization)";
+        locality_note per_rate;
+      ];
+  }
+
+let fig8_run config =
+  let series, per_rate = trace_summary config ~sched:Config.Asman in
+  let over_222 =
+    match List.assoc_opt 22.2 per_rate with
+    | Some m -> Histogram.count_ge_pow2 (Sim_guest.Monitor.spin_histogram m) 25
+    | None -> 0
+  in
+  {
+    series;
+    expected = [];
+    notes =
+      [
+        "paper Fig 8: ASMan eliminates most over-threshold waits that Credit \
+         exhibits in Fig 2 at the same online rates";
+        note "measured waits >= 2^25 at 22.2%% online under ASMan: %d" over_222;
+      ];
+  }
+
+(* ----- Fig 7: LU run time, Credit vs ASMan ----- *)
+
+let paper_fig7_asman =
+  Series.make ~label:"paper ASMan LU (s)" ~x_name:"online rate (%)"
+    ~y_name:"run time (s)"
+    [ (100., 400.); (66.7, 620.); (40., 1050.); (22.2, 1900.) ]
+
+let fig7_run config =
+  let runtime sched (w, _r) =
+    nas_runtime config ~sched ~bench:Sim_workloads.Nas.LU ~weight:w
+  in
+  let credit =
+    series_over_rates ~label:"Credit LU (sim s)" ~y_name:"run time (s)"
+      (fun ~weight ~rate:_ -> runtime Config.Credit (weight, 0.))
+  in
+  let asman =
+    series_over_rates ~label:"ASMan LU (sim s)" ~y_name:"run time (s)"
+      (fun ~weight ~rate:_ -> runtime Config.Asman (weight, 0.))
+  in
+  let ratio_at r =
+    match (Series.y_at asman r, Series.y_at credit r) with
+    | Some a, Some c when c > 0. -> a /. c
+    | _ -> nan
+  in
+  {
+    series = [ credit; asman ];
+    expected = [ paper_fig1a_credit; paper_fig7_asman ];
+    notes =
+      [
+        note
+          "shape: ASMan should track the fair-share bound while Credit \
+           degrades superlinearly; ASMan/Credit run-time ratio at 22.2%% = \
+           %.2f (paper ~0.70), at 40%% = %.2f (paper ~0.75), at 100%% = %.2f \
+           (paper ~1.0)"
+          (ratio_at 22.2) (ratio_at 40.) (ratio_at 100.);
+      ];
+  }
+
+(* ----- Fig 9: NAS slowdowns, Credit vs ASMan ----- *)
+
+let fig9_rates = [ (128, 66.7); (64, 40.); (32, 22.2) ]
+
+let fig9_run config =
+  let benches = Sim_workloads.Nas.all in
+  let base =
+    List.map
+      (fun b ->
+        (b, nas_runtime config ~sched:Config.Credit ~bench:b ~weight:256))
+      benches
+  in
+  let slowdown sched b w =
+    nas_runtime config ~sched ~bench:b ~weight:w /. List.assq b base
+  in
+  let per_sched_rate sched (w, r) =
+    let label =
+      Printf.sprintf "%s @%g%%" (Config.sched_name sched) r
+    in
+    let values =
+      List.mapi (fun i b -> (float_of_int i, slowdown sched b w)) benches
+    in
+    Series.make ~label ~x_name:"benchmark index" ~y_name:"slowdown" values
+  in
+  let credit_series = List.map (per_sched_rate Config.Credit) fig9_rates in
+  let asman_series = List.map (per_sched_rate Config.Asman) fig9_rates in
+  let avg s =
+    let ys = Series.ys s in
+    List.fold_left ( +. ) 0. ys /. float_of_int (List.length ys)
+  in
+  let avg_series label series_list =
+    Series.make ~label ~x_name:"online rate (%)" ~y_name:"avg slowdown"
+      (List.map2 (fun (_, r) s -> (r, avg s)) fig9_rates series_list)
+  in
+  let credit_avg = avg_series "Credit avg slowdown" credit_series in
+  let asman_avg = avg_series "ASMan avg slowdown" asman_series in
+  let saving r =
+    match (Series.y_at credit_avg r, Series.y_at asman_avg r) with
+    | Some c, Some a when c > 0. -> 100. *. (c -. a) /. c
+    | _ -> nan
+  in
+  {
+    series = (credit_series @ asman_series) @ [ credit_avg; asman_avg ];
+    expected = [];
+    notes =
+      [
+        note "benchmark indices: %s"
+          (String.concat ", "
+             (List.mapi
+                (fun i b -> Printf.sprintf "%d=%s" i (Sim_workloads.Nas.name b))
+                benches));
+        note
+          "paper: ASMan saves up to 70%% of the average slowdown at 22.2%%; \
+           measured savings: %.0f%% at 66.7%%, %.0f%% at 40%%, %.0f%% at 22.2%%"
+          (saving 66.7) (saving 40.) (saving 22.2);
+        "shape: EP (index 2) should degrade least and be insensitive to the \
+         scheduler; sync-heavy CG/MG/LU should benefit most from ASMan";
+      ];
+  }
+
+(* ----- Fig 10: SPECjbb throughput and score ----- *)
+
+let fig10_warehouses = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let fig10_window_sec = 0.6
+
+let fig10_throughput config ~sched ~weight ~warehouses =
+  let params =
+    Sim_workloads.Specjbb.default_params ~freq:(Config.freq config) ~warehouses
+  in
+  let workload = Sim_workloads.Specjbb.workload ~vcpus:4 params in
+  let s = single_vm_scenario config ~sched ~weight ~workload in
+  (* Warm up half a second, then measure a fixed window. *)
+  let warm = Sim_engine.Units.cycles_of_sec_f (Config.freq config) 0.3 in
+  Sim_engine.Engine.run ~until:warm s.Scenario.engine;
+  let m = Runner.run_window s ~sec:fig10_window_sec in
+  let vm = Runner.vm_metrics m ~vm:"V1" in
+  float_of_int vm.Runner.marks /. fig10_window_sec /. 1000.
+
+let fig10_run config =
+  let per sched (w, r) =
+    let label =
+      Printf.sprintf "%s @%g%%" (Config.sched_name sched) r
+    in
+    Series.make ~label ~x_name:"warehouses" ~y_name:"throughput (k bops)"
+      (List.map
+         (fun wh ->
+           ( float_of_int wh,
+             fig10_throughput config ~sched ~weight:w ~warehouses:wh ))
+         fig10_warehouses)
+  in
+  let credit_series = List.map (per Config.Credit) fig9_rates in
+  let asman_series = List.map (per Config.Asman) fig9_rates in
+  let score s =
+    Sim_workloads.Specjbb.score ~vcpus:4
+      (List.filter_map
+         (fun (x, y) -> if x >= 4. then Some (int_of_float x, y) else None)
+         (Series.points s))
+  in
+  let score_series label series_list =
+    Series.make ~label ~x_name:"online rate (%)" ~y_name:"score (k bops)"
+      (List.map2 (fun (_, r) s -> (r, score s)) fig9_rates series_list)
+  in
+  let credit_score = score_series "Credit score" credit_series in
+  let asman_score = score_series "ASMan score" asman_series in
+  let gain r =
+    match (Series.y_at credit_score r, Series.y_at asman_score r) with
+    | Some c, Some a when c > 0. -> 100. *. (a -. c) /. c
+    | _ -> nan
+  in
+  {
+    series = (credit_series @ asman_series) @ [ credit_score; asman_score ];
+    expected = [];
+    notes =
+      [
+        note
+          "paper: ASMan improves the SPECjbb score by up to 26%% at low \
+           online rates; measured score gains: %.0f%% at 66.7%%, %.0f%% at \
+           40%%, %.0f%% at 22.2%%"
+          (gain 66.7) (gain 40.) (gain 22.2);
+      ];
+  }
+
+(* ----- Figs 11-12: multiple VMs, work-conserving ----- *)
+
+type multi_vm = { label : string; make : Config.t -> Sim_workloads.Workload.t }
+
+let mk_nas bench =
+  {
+    label = Sim_workloads.Nas.name bench;
+    make = (fun c -> nas_workload c bench);
+  }
+
+let mk_cpu bench =
+  {
+    label = Sim_workloads.Speccpu.name bench;
+    make =
+      (fun c ->
+        Sim_workloads.Speccpu.workload
+          (Sim_workloads.Speccpu.params bench ~freq:(Config.freq c)
+             ~scale:c.Config.scale));
+  }
+
+let multi_vm_rounds = 3
+
+let multi_vm_run config ~vms ~sched =
+  let specs =
+    List.mapi
+      (fun i mv ->
+        {
+          Scenario.vm_name = Printf.sprintf "V%d:%s" (i + 1) mv.label;
+          weight = 256;
+          vcpus = 4;
+          workload = Some (mv.make config);
+        })
+      vms
+  in
+  let s = Scenario.build config ~sched ~vms:specs in
+  let m = Runner.run_rounds s ~rounds:multi_vm_rounds ~max_sec:400. in
+  List.map
+    (fun spec ->
+      let name = spec.Scenario.vm_name in
+      let vmres = Runner.vm_metrics m ~vm:name in
+      let mean =
+        match vmres.Runner.round_sec with
+        | [] -> nan
+        | durations ->
+          List.fold_left ( +. ) 0. durations
+          /. float_of_int (List.length durations)
+      in
+      (name, mean))
+    specs
+
+let multi_vm_outcome config ~vms ~paper_note =
+  let scheds =
+    [
+      (Config.Credit, "Credit");
+      (Config.Asman, "ASMan");
+      (Config.Cosched_static, "CON");
+    ]
+  in
+  let results =
+    List.map
+      (fun (sched, label) -> (label, multi_vm_run config ~vms ~sched))
+      scheds
+  in
+  let series =
+    List.map
+      (fun (label, by_vm) ->
+        Series.make ~label ~x_name:"VM index" ~y_name:"mean round time (s)"
+          (List.mapi (fun i (_, sec) -> (float_of_int i, sec)) by_vm))
+      results
+  in
+  let vm_names = List.map fst (List.assoc "Credit" results) in
+  let ratio a b vm_index =
+    let get label =
+      match List.nth_opt (List.assoc label results) vm_index with
+      | Some (_, v) -> v
+      | None -> nan
+    in
+    get a /. get b
+  in
+  let per_vm_notes =
+    List.mapi
+      (fun i name ->
+        note "%s: ASMan/Credit = %.2f, CON/Credit = %.2f" name
+          (ratio "ASMan" "Credit" i)
+          (ratio "CON" "Credit" i))
+      vm_names
+  in
+  {
+    series;
+    expected = [];
+    notes = (paper_note :: per_vm_notes)
+            @ [ note "mean of the first %d rounds per VM (paper: 10 rounds)"
+                  multi_vm_rounds ];
+  }
+
+let fig11a_run config =
+  multi_vm_outcome config
+    ~vms:
+      [
+        mk_cpu Sim_workloads.Speccpu.Bzip2;
+        mk_cpu Sim_workloads.Speccpu.Gcc;
+        mk_nas Sim_workloads.Nas.SP;
+        mk_nas Sim_workloads.Nas.LU;
+      ]
+    ~paper_note:
+      "paper Fig 11a: coscheduling cuts SP and (especially) LU run times; \
+       dynamic ASMan costs the throughput VMs (bzip2, gcc) less than static \
+       CON"
+
+let fig11b_run config =
+  multi_vm_outcome config
+    ~vms:
+      [
+        mk_nas Sim_workloads.Nas.LU;
+        mk_nas Sim_workloads.Nas.LU;
+        mk_nas Sim_workloads.Nas.SP;
+        mk_nas Sim_workloads.Nas.SP;
+      ]
+    ~paper_note:
+      "paper Fig 11b: with four concurrent VMs, both coscheduling variants \
+       dramatically outperform Credit for LU and SP"
+
+let fig12a_run config =
+  multi_vm_outcome config
+    ~vms:
+      [
+        mk_cpu Sim_workloads.Speccpu.Bzip2;
+        mk_cpu Sim_workloads.Speccpu.Bzip2;
+        mk_cpu Sim_workloads.Speccpu.Gcc;
+        mk_cpu Sim_workloads.Speccpu.Gcc;
+        mk_nas Sim_workloads.Nas.SP;
+        mk_nas Sim_workloads.Nas.LU;
+      ]
+    ~paper_note:
+      "paper Fig 12a: coscheduling saves up to ~45% of SP's and ~70% of LU's \
+       run time; throughput degradation <=8% under ASMan vs <=18% under CON"
+
+let fig12b_run config =
+  multi_vm_outcome config
+    ~vms:
+      [
+        mk_cpu Sim_workloads.Speccpu.Bzip2;
+        mk_cpu Sim_workloads.Speccpu.Gcc;
+        mk_nas Sim_workloads.Nas.SP;
+        mk_nas Sim_workloads.Nas.SP;
+        mk_nas Sim_workloads.Nas.LU;
+        mk_nas Sim_workloads.Nas.LU;
+      ]
+    ~paper_note:
+      "paper Fig 12b: coscheduling saves ~30% of SP's and ~60% of LU's run \
+       time"
+
+(* ----- registry ----- *)
+
+let all =
+  [
+    {
+      id = "fig1a";
+      title = "LU run time vs VCPU online rate (Credit)";
+      description =
+        "Parallel benchmark LU on a 4-VCPU VM under the Credit scheduler, \
+         non-work-conserving, online rate swept via the VM weight";
+      run = fig1a_run;
+    };
+    {
+      id = "fig1b";
+      title = "Spinlock waiting-time statistics vs online rate (Credit)";
+      description =
+        "Counts of monitored waits above 2^10 / 2^20 / 2^25 cycles during \
+         the LU runs of Fig 1a";
+      run = fig1b_run;
+    };
+    {
+      id = "fig2";
+      title = "Detailed spinlock waits under Credit (trace summary)";
+      description =
+        "Distribution of per-acquisition waiting times at each online rate; \
+         long waits appear and cluster as the rate drops";
+      run = fig2_run;
+    };
+    {
+      id = "fig7";
+      title = "LU run time: Credit vs ASMan";
+      description = "The headline result: adaptive coscheduling vs baseline";
+      run = fig7_run;
+    };
+    {
+      id = "fig8";
+      title = "Detailed spinlock waits under ASMan (trace summary)";
+      description = "Fig 2 repeated under ASMan: over-threshold waits vanish";
+      run = fig8_run;
+    };
+    {
+      id = "fig9";
+      title = "NAS benchmark slowdowns: Credit vs ASMan";
+      description =
+        "All seven NAS benchmarks at 66.7/40/22.2% online rates; slowdown \
+         relative to the 100% Credit run; plus average slowdown";
+      run = fig9_run;
+    };
+    {
+      id = "fig10";
+      title = "SPECjbb2005 throughput and score: Credit vs ASMan";
+      description =
+        "Throughput vs warehouses (1-8) at three online rates; score = mean \
+         over warehouses >= 4";
+      run = fig10_run;
+    };
+    {
+      id = "fig11a";
+      title = "Four VMs: bzip2, gcc, SP, LU (work-conserving)";
+      description = "Mixed workloads under Credit / ASMan / static CON";
+      run = fig11a_run;
+    };
+    {
+      id = "fig11b";
+      title = "Four VMs: LU, LU, SP, SP (work-conserving)";
+      description = "All-concurrent workloads under the three schedulers";
+      run = fig11b_run;
+    };
+    {
+      id = "fig12a";
+      title = "Six VMs: bzip2 x2, gcc x2, SP, LU";
+      description = "Four throughput + two concurrent VMs";
+      run = fig12a_run;
+    };
+    {
+      id = "fig12b";
+      title = "Six VMs: bzip2, gcc, SP x2, LU x2";
+      description = "Two throughput + four concurrent VMs";
+      run = fig12b_run;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,46 @@
+open Sim_stats
+
+let outcome (e : Experiments.t) (o : Experiments.outcome) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "=== %s: %s ===\n%s\n\n" e.Experiments.id
+       e.Experiments.title e.Experiments.description);
+  if o.Experiments.series <> [] then begin
+    Buffer.add_string buf "measured:\n";
+    Buffer.add_string buf (Table.render_series o.Experiments.series);
+    Buffer.add_char buf '\n'
+  end;
+  if o.Experiments.expected <> [] then begin
+    Buffer.add_string buf "paper (digitized from the published figure):\n";
+    Buffer.add_string buf (Table.render_series o.Experiments.expected);
+    Buffer.add_char buf '\n'
+  end;
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n))
+    o.Experiments.notes;
+  Buffer.contents buf
+
+let summary_line (e : Experiments.t) (o : Experiments.outcome) =
+  Printf.sprintf "%-7s %-55s %d series, %d notes" e.Experiments.id
+    e.Experiments.title
+    (List.length o.Experiments.series)
+    (List.length o.Experiments.notes)
+
+let series_csv series = Csv.to_string (Csv.of_series series)
+
+let trace_csv entries =
+  let header = [ "time_cycles"; "wait_cycles"; "log2_wait"; "lock_id" ] in
+  let rows =
+    List.map
+      (fun (e : Sim_guest.Monitor.trace_entry) ->
+        [
+          string_of_int e.Sim_guest.Monitor.time;
+          string_of_int e.Sim_guest.Monitor.wait;
+          (if e.Sim_guest.Monitor.wait >= 1 then
+             string_of_int (Sim_engine.Units.log2_floor e.Sim_guest.Monitor.wait)
+           else "0");
+          string_of_int e.Sim_guest.Monitor.lock_id;
+        ])
+      entries
+  in
+  Csv.to_string (header :: rows)

@@ -1,0 +1,13 @@
+(** Render experiment outcomes as plain-text reports. *)
+
+val outcome : Experiments.t -> Experiments.outcome -> string
+(** Title, measured-series table, paper-series table (if any), notes. *)
+
+val summary_line : Experiments.t -> Experiments.outcome -> string
+(** One line: id, title, series count. *)
+
+val series_csv : Sim_stats.Series.t list -> string
+
+val trace_csv : Sim_guest.Monitor.trace_entry list -> string
+(** Columns: time (cycles), wait (cycles), log2 wait, lock id — the
+    raw data behind the Fig 2/8 scatter plots. *)

@@ -1,0 +1,189 @@
+open Sim_engine
+
+type vm_metrics = {
+  vm_name : string;
+  rounds : int;
+  round_sec : float list;
+  marks : int;
+  online_rate : float;
+  expected_online : float;
+  spin_over_threshold : int;
+  adjusting_events : int;
+  vcrd_transitions : int;
+  total_spin_sec : float;
+}
+
+type metrics = {
+  vms : vm_metrics list;
+  wall_sec : float;
+  events_fired : int;
+  ipis : int;
+  ctx_switches : int;
+}
+
+let freq (s : Scenario.t) = Config.freq s.Scenario.config
+
+let collect (s : Scenario.t) ~round_times ~started ~marks_base ~events_base
+    ~ipis_base ~ctx_base =
+  let f = freq s in
+  let now = Engine.now s.Scenario.engine in
+  let vms =
+    List.map
+      (fun (inst : Scenario.vm_instance) ->
+        let name = inst.Scenario.spec.Scenario.vm_name in
+        let times =
+          match List.assoc_opt name round_times with
+          | Some l -> List.rev !l
+          | None -> []
+        in
+        let round_sec =
+          let rec durations prev = function
+            | [] -> []
+            | t :: rest ->
+              Units.sec_of_cycles f (t - prev) :: durations t rest
+          in
+          durations started times
+        in
+        let marks, over, adj, spin_cycles =
+          match inst.Scenario.kernel with
+          | None -> (0, 0, 0, 0)
+          | Some k ->
+            let m = Sim_guest.Kernel.monitor k in
+            ( Sim_guest.Kernel.total_marks k
+              - (try List.assoc name marks_base with Not_found -> 0),
+              Sim_guest.Monitor.over_threshold_count m,
+              Sim_guest.Monitor.adjusting_events m,
+              Sim_guest.Kernel.total_spin_cycles k )
+        in
+        {
+          vm_name = name;
+          rounds = List.length times;
+          round_sec;
+          marks;
+          online_rate = Sim_vmm.Vmm.online_rate s.Scenario.vmm inst.Scenario.domain;
+          expected_online = Scenario.expected_online_rate s inst;
+          spin_over_threshold = over;
+          adjusting_events = adj;
+          vcrd_transitions = inst.Scenario.domain.Sim_vmm.Domain.vcrd_transitions;
+          total_spin_sec = Units.sec_of_cycles f spin_cycles;
+        })
+      s.Scenario.vms
+  in
+  {
+    vms;
+    wall_sec = Units.sec_of_cycles f (now - started);
+    events_fired = Engine.events_fired s.Scenario.engine - events_base;
+    ipis = Sim_hw.Machine.ipis_sent s.Scenario.machine - ipis_base;
+    ctx_switches = Sim_vmm.Vmm.ctx_switches s.Scenario.vmm - ctx_base;
+  }
+
+(* Track VM-round completion times via the kernels' round hooks: VM
+   round k completes when the slowest thread finishes its k-th pass. *)
+let install_round_tracking (s : Scenario.t) ~on_all_done ~target =
+  let round_times =
+    List.map
+      (fun (inst : Scenario.vm_instance) ->
+        (inst.Scenario.spec.Scenario.vm_name, ref []))
+      s.Scenario.vms
+  in
+  let workload_vms =
+    List.filter (fun (i : Scenario.vm_instance) -> i.Scenario.kernel <> None) s.Scenario.vms
+  in
+  let done_vms = Hashtbl.create 8 in
+  List.iter
+    (fun (inst : Scenario.vm_instance) ->
+      match inst.Scenario.kernel with
+      | None -> ()
+      | Some k ->
+        let name = inst.Scenario.spec.Scenario.vm_name in
+        let times = List.assoc name round_times in
+        Sim_guest.Kernel.set_round_hook k (fun _ ~round:_ ~duration:_ ->
+            let completed = Sim_guest.Kernel.min_rounds k in
+            let recorded = List.length !times in
+            if completed > recorded then begin
+              let now = Engine.now s.Scenario.engine in
+              for _ = recorded + 1 to completed do
+                times := now :: !times
+              done;
+              if completed >= target && not (Hashtbl.mem done_vms name) then begin
+                Hashtbl.replace done_vms name ();
+                if Hashtbl.length done_vms = List.length workload_vms then
+                  on_all_done ()
+              end
+            end))
+    s.Scenario.vms;
+  round_times
+
+let marks_baseline (s : Scenario.t) =
+  List.filter_map
+    (fun (inst : Scenario.vm_instance) ->
+      match inst.Scenario.kernel with
+      | None -> None
+      | Some k ->
+        Some
+          (inst.Scenario.spec.Scenario.vm_name, Sim_guest.Kernel.total_marks k))
+    s.Scenario.vms
+
+let counter_baselines (s : Scenario.t) =
+  ( Engine.events_fired s.Scenario.engine,
+    Sim_hw.Machine.ipis_sent s.Scenario.machine,
+    Sim_vmm.Vmm.ctx_switches s.Scenario.vmm )
+
+let run_rounds (s : Scenario.t) ~rounds ~max_sec =
+  if rounds <= 0 then invalid_arg "Runner.run_rounds: rounds must be positive";
+  let started = Engine.now s.Scenario.engine in
+  let events_base, ipis_base, ctx_base = counter_baselines s in
+  let marks_base = marks_baseline s in
+  let round_times =
+    install_round_tracking s ~target:rounds ~on_all_done:(fun () ->
+        Engine.halt s.Scenario.engine)
+  in
+  let limit = started + Units.cycles_of_sec_f (freq s) max_sec in
+  Engine.run ~until:limit s.Scenario.engine;
+  collect s ~round_times ~started ~marks_base ~events_base ~ipis_base ~ctx_base
+
+let reset_measurements (s : Scenario.t) =
+  Sim_vmm.Vmm.reset_accounting s.Scenario.vmm;
+  List.iter
+    (fun (inst : Scenario.vm_instance) ->
+      match inst.Scenario.kernel with
+      | None -> ()
+      | Some k ->
+        Sim_guest.Kernel.reset_marks k;
+        Sim_guest.Monitor.reset_window (Sim_guest.Kernel.monitor k))
+    s.Scenario.vms
+
+let run_window (s : Scenario.t) ~sec =
+  if sec <= 0. then invalid_arg "Runner.run_window: sec must be positive";
+  reset_measurements s;
+  let started = Engine.now s.Scenario.engine in
+  let events_base, ipis_base, ctx_base = counter_baselines s in
+  let marks_base = marks_baseline s in
+  let round_times =
+    install_round_tracking s ~target:max_int ~on_all_done:(fun () -> ())
+  in
+  let limit = started + Units.cycles_of_sec_f (freq s) sec in
+  Engine.run ~until:limit s.Scenario.engine;
+  collect s ~round_times ~started ~marks_base ~events_base ~ipis_base ~ctx_base
+
+let vm_metrics m ~vm =
+  match List.find_opt (fun v -> v.vm_name = vm) m.vms with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Runner.vm_metrics: no VM %s" vm)
+
+let first_round_sec m ~vm =
+  match (vm_metrics m ~vm).round_sec with
+  | first :: _ -> first
+  | [] -> failwith (Printf.sprintf "Runner: VM %s completed no round" vm)
+
+let mean_round_sec m ~vm =
+  match (vm_metrics m ~vm).round_sec with
+  | [] -> failwith (Printf.sprintf "Runner: VM %s completed no round" vm)
+  | durations ->
+    List.fold_left ( +. ) 0. durations /. float_of_int (List.length durations)
+
+let monitor_of (s : Scenario.t) ~vm =
+  let inst = Scenario.find_vm s vm in
+  match inst.Scenario.kernel with
+  | Some k -> Sim_guest.Kernel.monitor k
+  | None -> invalid_arg (Printf.sprintf "Runner.monitor_of: VM %s is idle" vm)

@@ -1,0 +1,50 @@
+(** Execute scenarios and collect the paper's metrics.
+
+    Two measurement protocols, mirroring §5:
+    - {!run_rounds}: advance until every workload VM has completed a
+      number of full rounds of its program (run-time experiments;
+      "VM round k" completes when the slowest thread finishes pass k).
+    - {!run_window}: advance for a fixed simulated wall window
+      (throughput and spinlock-trace experiments — the paper's
+      30-second observation). *)
+
+type vm_metrics = {
+  vm_name : string;
+  rounds : int;  (** completed VM rounds *)
+  round_sec : float list;  (** duration of each completed VM round *)
+  marks : int;  (** [Mark]s executed during the measurement *)
+  online_rate : float;  (** measured over the run *)
+  expected_online : float;  (** Equation (2) *)
+  spin_over_threshold : int;
+  adjusting_events : int;
+  vcrd_transitions : int;
+  total_spin_sec : float;
+}
+
+type metrics = {
+  vms : vm_metrics list;
+  wall_sec : float;  (** simulated time elapsed during the measurement *)
+  events_fired : int;  (** engine events during the measurement *)
+  ipis : int;  (** IPIs sent during the measurement *)
+  ctx_switches : int;  (** context switches during the measurement *)
+}
+
+val run_rounds : Scenario.t -> rounds:int -> max_sec:float -> metrics
+(** Run until every workload VM completes [rounds] rounds, or the
+    simulated clock advances [max_sec] past the start. *)
+
+val run_window : Scenario.t -> sec:float -> metrics
+(** Reset measurement state (monitor windows, marks, online
+    accounting), run exactly [sec] simulated seconds, then collect. *)
+
+val first_round_sec : metrics -> vm:string -> float
+(** Duration of the VM's first round. Raises [Failure] if it never
+    completed one (increase [max_sec]). *)
+
+val mean_round_sec : metrics -> vm:string -> float
+
+val vm_metrics : metrics -> vm:string -> vm_metrics
+
+val monitor_of : Scenario.t -> vm:string -> Sim_guest.Monitor.t
+(** The VM's Monitoring Module (histograms and traces survive the
+    run). Raises [Invalid_argument] for an idle VM. *)

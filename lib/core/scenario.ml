@@ -1,0 +1,89 @@
+type vm_spec = {
+  vm_name : string;
+  weight : int;
+  vcpus : int;
+  workload : Sim_workloads.Workload.t option;
+}
+
+let vm ?(weight = 256) ?(vcpus = 4) ~name workload =
+  { vm_name = name; weight; vcpus; workload = Some workload }
+
+type vm_instance = {
+  spec : vm_spec;
+  domain : Sim_vmm.Domain.t;
+  kernel : Sim_guest.Kernel.t option;
+  threads : Sim_guest.Thread.t list;
+}
+
+type t = {
+  config : Config.t;
+  engine : Sim_engine.Engine.t;
+  machine : Sim_hw.Machine.t;
+  vmm : Sim_vmm.Vmm.t;
+  dom0 : Sim_vmm.Domain.t;
+  vms : vm_instance list;
+}
+
+let build config ~sched ~vms =
+  if vms = [] then invalid_arg "Scenario.build: no VMs";
+  List.iter
+    (fun spec ->
+      if spec.weight <= 0 then invalid_arg "Scenario.build: non-positive weight";
+      if spec.vcpus <= 0 then invalid_arg "Scenario.build: non-positive vcpus")
+    vms;
+  let engine = Sim_engine.Engine.create ~seed:config.Config.seed () in
+  let machine =
+    Sim_hw.Machine.create ~stagger:config.Config.stagger engine
+      config.Config.cpu config.Config.topology
+  in
+  let vmm =
+    Sim_vmm.Vmm.create ~work_conserving:config.Config.work_conserving
+      ~credit_unit:config.Config.credit_unit machine
+      ~sched:(Config.sched_maker sched)
+  in
+  (* Dom0 first, as in Xen: one VCPU per PCPU, weight 256, idle. *)
+  let dom0 =
+    Sim_vmm.Vmm.create_domain vmm ~name:"Domain-0" ~weight:256
+      ~vcpus:(Config.pcpus config) ()
+  in
+  let guest_params = Config.guest_params config in
+  let instances =
+    List.map
+      (fun spec ->
+        let concurrent_type =
+          match spec.workload with
+          | Some w -> w.Sim_workloads.Workload.kind = Sim_workloads.Workload.Concurrent
+          | None -> false
+        in
+        let domain =
+          Sim_vmm.Vmm.create_domain vmm ~concurrent_type ~name:spec.vm_name
+            ~weight:spec.weight ~vcpus:spec.vcpus ()
+        in
+        match spec.workload with
+        | None -> { spec; domain; kernel = None; threads = [] }
+        | Some workload ->
+          let kernel =
+            Sim_guest.Kernel.create ~params:guest_params vmm domain ()
+          in
+          let threads = Sim_workloads.Workload.install workload kernel in
+          { spec; domain; kernel = Some kernel; threads })
+      vms
+  in
+  Sim_vmm.Vmm.start vmm;
+  List.iter
+    (fun inst ->
+      match inst.kernel with
+      | Some k -> Sim_guest.Kernel.launch k
+      | None -> ())
+    instances;
+  { config; engine; machine; vmm; dom0; vms = instances }
+
+let expected_online_rate t inst =
+  Sim_vmm.Domain.expected_online_rate inst.domain
+    ~all:(Sim_vmm.Vmm.domains t.vmm)
+    ~pcpus:(Config.pcpus t.config)
+
+let find_vm t name =
+  match List.find_opt (fun i -> i.spec.vm_name = name) t.vms with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Scenario.find_vm: no VM %s" name)

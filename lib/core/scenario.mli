@@ -1,0 +1,50 @@
+(** Scenario builder: instantiate the full stack for one experiment.
+
+    A scenario is the administrator VM (Dom0: one VCPU per PCPU,
+    weight 256, no workload — as in §5.2) plus a list of guest VMs,
+    each with a weight, a VCPU count and an optional workload. The
+    builder wires engine, machine, VMM, scheduler, guest kernels and
+    workloads, starts the VMM and launches the guests; the caller then
+    advances the engine (see {!Runner}). *)
+
+type vm_spec = {
+  vm_name : string;
+  weight : int;
+  vcpus : int;
+  workload : Sim_workloads.Workload.t option;
+}
+
+val vm :
+  ?weight:int ->
+  ?vcpus:int ->
+  name:string ->
+  Sim_workloads.Workload.t ->
+  vm_spec
+(** Convenience constructor: weight 256, 4 VCPUs. *)
+
+type vm_instance = {
+  spec : vm_spec;
+  domain : Sim_vmm.Domain.t;
+  kernel : Sim_guest.Kernel.t option;  (** [None] for idle VMs *)
+  threads : Sim_guest.Thread.t list;
+}
+
+type t = {
+  config : Config.t;
+  engine : Sim_engine.Engine.t;
+  machine : Sim_hw.Machine.t;
+  vmm : Sim_vmm.Vmm.t;
+  dom0 : Sim_vmm.Domain.t;
+  vms : vm_instance list;  (** in [vm_spec] order; excludes Dom0 *)
+}
+
+val build : Config.t -> sched:Config.sched_kind -> vms:vm_spec list -> t
+(** Raises [Invalid_argument] on an empty or ill-formed VM list.
+    VMs whose workload is {!Sim_workloads.Workload.Concurrent} are
+    marked [concurrent_type] (the static CON classification an
+    administrator would apply). *)
+
+val expected_online_rate : t -> vm_instance -> float
+(** Equation (2) for the instance's domain. *)
+
+val find_vm : t -> string -> vm_instance

@@ -1,0 +1,102 @@
+type handle = {
+  time : int;
+  mutable cancelled : bool;
+  mutable fired : bool;
+  action : unit -> unit;
+}
+
+type t = {
+  mutable clock : int;
+  mutable seq : int;
+  queue : handle Heap.t;
+  mutable live : int;
+  mutable stop : bool;
+  mutable fired_count : int;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 1L) () =
+  {
+    clock = 0;
+    seq = 0;
+    queue = Heap.create ();
+    live = 0;
+    stop = false;
+    fired_count = 0;
+    root_rng = Rng.create seed;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t ~time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is before now %d" time
+         t.clock);
+  let h = { time; cancelled = false; fired = false; action } in
+  Heap.add t.queue ~key:time ~seq:t.seq h;
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  h
+
+let schedule_after t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t ~time:(t.clock + delay) action
+
+let cancel h =
+  if (not h.fired) && not h.cancelled then h.cancelled <- true
+
+let is_pending h = (not h.fired) && not h.cancelled
+
+let fire_time h = h.time
+
+let rec drop_cancelled t =
+  match Heap.peek t.queue with
+  | Some (_, _, h) when h.cancelled ->
+    ignore (Heap.pop t.queue);
+    drop_cancelled t
+  | _ -> ()
+
+let pending_count t =
+  drop_cancelled t;
+  Heap.fold t.queue ~init:0 ~f:(fun acc h ->
+      if h.cancelled then acc else acc + 1)
+
+let step t =
+  drop_cancelled t;
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _, h) ->
+    t.clock <- time;
+    h.fired <- true;
+    t.live <- t.live - 1;
+    t.fired_count <- t.fired_count + 1;
+    h.action ();
+    true
+
+let halt t = t.stop <- true
+
+let halted t = t.stop
+
+let run ?until t =
+  t.stop <- false;
+  let continue = ref true in
+  while !continue && not t.stop do
+    drop_cancelled t;
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some (time, _, _) -> begin
+      match until with
+      | Some limit when time > limit ->
+        t.clock <- max t.clock limit;
+        continue := false
+      | _ -> ignore (step t)
+    end
+  done;
+  match until with
+  | Some limit when (not t.stop) && t.clock < limit -> t.clock <- limit
+  | _ -> ()
+
+let events_fired t = t.fired_count

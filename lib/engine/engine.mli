@@ -1,0 +1,59 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock (integer CPU cycles) and an event
+    queue. Events are thunks scheduled for a future instant; they fire
+    in [(time, insertion-order)] order, so simulations are fully
+    deterministic. Events may be cancelled (lazy deletion). *)
+
+type t
+
+type handle
+(** A scheduled event. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ?seed ()] is an engine at time 0 with an empty queue and a
+    root RNG seeded from [seed] (default [1L]). *)
+
+val now : t -> int
+(** Current virtual time in cycles. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG. Subsystems should {!Rng.split} it. *)
+
+val schedule_at : t -> time:int -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] fires [f] when the clock reaches [time].
+    Raises [Invalid_argument] if [time] is in the past. *)
+
+val schedule_after : t -> delay:int -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] is
+    [schedule_at t ~time:(now t + delay)]. A zero delay fires later in
+    the current instant, after already-queued same-time events. *)
+
+val cancel : handle -> unit
+(** Cancelling a fired or already-cancelled event is a no-op. *)
+
+val is_pending : handle -> bool
+(** [is_pending h] is [true] iff the event has neither fired nor been
+    cancelled. *)
+
+val fire_time : handle -> int
+(** The virtual time the event was scheduled for. *)
+
+val pending_count : t -> int
+(** Number of live (non-cancelled) events in the queue. *)
+
+val step : t -> bool
+(** [step t] fires the next event. [false] if the queue was empty. *)
+
+val run : ?until:int -> t -> unit
+(** [run ?until t] fires events until the queue is empty, the engine
+    is {!halt}ed, or the next event is strictly after [until] (the
+    clock is then advanced to [until]). *)
+
+val halt : t -> unit
+(** Stop the current {!run} after the in-flight event returns. *)
+
+val halted : t -> bool
+
+val events_fired : t -> int
+(** Total events executed since creation (simulation-cost metric). *)

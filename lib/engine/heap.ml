@@ -1,0 +1,87 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let initial_capacity = 64
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h =
+  match h.size with
+  | 0 ->
+    (* Array creation is deferred until first insertion because we have
+       no dummy ['a] value to pre-fill with. *)
+    ()
+  | n when n = Array.length h.data ->
+    let bigger = Array.make (2 * n) h.data.(0) in
+    Array.blit h.data 0 bigger 0 n;
+    h.data <- bigger
+  | _ -> ()
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < h.size && less h.data.(left) h.data.(!smallest) then
+    smallest := left;
+  if right < h.size && less h.data.(right) h.data.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let add h ~key ~seq value =
+  let entry = { key; seq; value } in
+  if Array.length h.data = 0 then h.data <- Array.make initial_capacity entry
+  else grow h;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = h.data.(0) in
+    Some (e.key, e.seq, e.value)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (top.key, top.seq, top.value)
+  end
+
+let clear h = h.size <- 0
+
+let fold h ~init ~f =
+  let acc = ref init in
+  for i = 0 to h.size - 1 do
+    acc := f !acc h.data.(i).value
+  done;
+  !acc

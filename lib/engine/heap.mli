@@ -1,0 +1,30 @@
+(** Array-based binary min-heap keyed by [(int * int)] pairs.
+
+    The key is compared lexicographically: primary key first (event
+    time), secondary key second (a sequence number that makes ordering
+    of same-time events deterministic and FIFO). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** [length h] is the number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [add h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+
+val peek : 'a t -> (int * int * 'a) option
+(** [peek h] is the minimum element without removing it. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** [pop h] removes and returns the minimum element. *)
+
+val clear : 'a t -> unit
+(** [clear h] removes every element. *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+(** [fold h ~init ~f] folds over elements in unspecified order. *)

@@ -1,0 +1,42 @@
+(** Time units.
+
+    The simulator's clock counts integer CPU cycles. This module
+    converts between cycles and wall-clock units for a given CPU
+    frequency expressed in kHz (kept integral so conversions stay in
+    exact integer arithmetic; 2.33 GHz = 2_330_000 kHz). *)
+
+type freq = private int
+(** CPU frequency in kHz. *)
+
+val khz : int -> freq
+(** [khz k] is a frequency of [k] kHz. Raises [Invalid_argument] on
+    non-positive values. *)
+
+val mhz : int -> freq
+
+val ghz_f : float -> freq
+(** [ghz_f g] is [g] GHz rounded to the nearest kHz. *)
+
+val freq_to_khz : freq -> int
+
+val cycles_of_ns : freq -> int -> int
+val cycles_of_us : freq -> int -> int
+val cycles_of_ms : freq -> int -> int
+val cycles_of_sec : freq -> int -> int
+
+val cycles_of_sec_f : freq -> float -> int
+(** Fractional seconds, rounded to the nearest cycle. *)
+
+val sec_of_cycles : freq -> int -> float
+val ms_of_cycles : freq -> int -> float
+val us_of_cycles : freq -> int -> float
+
+val pow2 : int -> int
+(** [pow2 k] is [2{^k}]. Raises [Invalid_argument] outside [0, 61]. *)
+
+val log2_floor : int -> int
+(** [log2_floor n] for [n >= 1] is the position of the highest set
+    bit: the greatest [k] with [2{^k} <= n]. *)
+
+val pp_cycles : freq -> Format.formatter -> int -> unit
+(** Pretty-print a cycle count as a human-friendly duration. *)

@@ -1,0 +1,39 @@
+(** Sense-reversing busy-wait barrier (OpenMP-style).
+
+    Arrival is protected by an internal guest-kernel spinlock (so the
+    arrival path is monitored like any kernel lock — this is where NAS
+    benchmarks contend); non-last threads then spin on the generation
+    word until the last arrival bumps it. The spin is a busy wait: a
+    waiting thread occupies its VCPU, so de-synchronized sibling VCPUs
+    make barriers dramatically more expensive — the second mechanism
+    (besides lock-holder preemption) behind Figure 1's degradation. *)
+
+type t
+
+val create : id:int -> parties:int -> t
+(** Raises [Invalid_argument] unless [parties >= 1]. *)
+
+val id : t -> int
+
+val parties : t -> int
+
+val lock : t -> Spinlock.t
+(** The internal arrival lock. *)
+
+val generation : t -> int
+
+val arrive : t -> now:int -> [ `Last | `Wait of int ]
+(** Record one arrival (caller must hold {!lock}). [`Last] means this
+    arrival completes the barrier: the generation has been bumped and
+    the caller should release waiters. [`Wait gen] tells the caller to
+    spin until [generation t > gen]. *)
+
+val passed : t -> gen:int -> bool
+(** Has the barrier opened for a thread that arrived in [gen]? *)
+
+val crossings : t -> int
+(** Completed barrier episodes. *)
+
+val longest_episode : t -> int
+(** Longest wall-clock time between the first arrival and the opening
+    of an episode. *)

@@ -1,0 +1,51 @@
+type t = {
+  timeslice : int;
+  mutable threads : Thread.t list;  (** in add order *)
+  mutable active : Thread.t option;
+}
+
+let create ~timeslice =
+  if timeslice <= 0 then invalid_arg "Gsched.create: timeslice must be positive";
+  { timeslice; threads = []; active = None }
+
+let timeslice t = t.timeslice
+
+let add t thread =
+  if List.exists (fun th -> th == thread) t.threads then
+    invalid_arg "Gsched.add: thread already registered";
+  t.threads <- t.threads @ [ thread ]
+
+let threads t = t.threads
+
+let thread_count t = List.length t.threads
+
+let active t = t.active
+
+let set_active t thread = t.active <- thread
+
+let pick t =
+  let executable = List.filter Thread.is_executable t.threads in
+  match executable with
+  | [] -> None
+  | first :: _ -> begin
+    match t.active with
+    | None -> Some first
+    | Some cur -> begin
+      (* Round-robin: first executable thread strictly after [cur] in
+         list order, wrapping around. *)
+      let rec split before after = function
+        | [] -> (List.rev before, after)
+        | th :: rest ->
+          if th == cur then (List.rev before, rest)
+          else split (th :: before) after rest
+      in
+      let before, after = split [] [] t.threads in
+      let order = after @ before in
+      match List.find_opt Thread.is_executable order with
+      | Some th -> Some th
+      | None -> if Thread.is_executable cur then Some cur else Some first
+    end
+  end
+
+let executable_count t =
+  List.length (List.filter Thread.is_executable t.threads)

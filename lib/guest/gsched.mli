@@ -1,0 +1,33 @@
+(** Per-VCPU guest thread scheduler (round-robin).
+
+    Each VCPU runs the threads pinned to it (affinity). The scheduler
+    is deliberately simple — benchmarks of interest either pin one
+    thread per VCPU (NAS) or balance statically (SPECjbb warehouses) —
+    but honours kernel preemption rules: a thread that holds a
+    spinlock or is spinning is never timesliced away by the guest
+    (only the VMM can preempt its VCPU — the lock-holder-preemption
+    hazard). *)
+
+type t
+
+val create : timeslice:int -> t
+(** [timeslice] in cycles; used by the kernel to rotate threads. *)
+
+val timeslice : t -> int
+
+val add : t -> Thread.t -> unit
+
+val threads : t -> Thread.t list
+
+val thread_count : t -> int
+
+val active : t -> Thread.t option
+
+val set_active : t -> Thread.t option -> unit
+
+val pick : t -> Thread.t option
+(** Next executable thread in round-robin order starting after the
+    current active one; the active thread itself is returned if it is
+    the only executable one. [None] when no thread can run. *)
+
+val executable_count : t -> int

@@ -1,0 +1,651 @@
+open Sim_engine
+
+type params = {
+  instr_overhead : int;
+  handoff : int;
+  flag_latency : int;
+  timeslice : int;
+  spin_grace : int;
+  ple_window : int;
+  monitor : Monitor.params;
+}
+
+let default_params (cpu : Sim_hw.Cpu_model.t) =
+  let freq = cpu.Sim_hw.Cpu_model.freq in
+  {
+    instr_overhead = Units.cycles_of_ns freq 35;
+    handoff = cpu.Sim_hw.Cpu_model.cache_handoff_cycles;
+    flag_latency = Units.cycles_of_ns freq 130;
+    timeslice = Units.cycles_of_ms freq 4;
+    spin_grace = Units.cycles_of_ms freq 10;
+    ple_window = Units.pow2 20;
+    monitor =
+      Monitor.default_params ~slot_cycles:(Sim_hw.Cpu_model.slot_cycles cpu);
+  }
+
+type vcpu_ctx = {
+  vcpu : Sim_vmm.Vcpu.t;
+  gsched : Gsched.t;
+  mutable online : bool;
+  mutable timer : Engine.handle option;  (** compute-completion event *)
+  mutable slice_timer : Engine.handle option;
+}
+
+type t = {
+  vmm : Sim_vmm.Vmm.t;
+  domain : Sim_vmm.Domain.t;
+  engine : Engine.t;
+  params : params;
+  hypercall : Sim_vmm.Hypercall.t;
+  monitor : Monitor.t;
+  rng : Rng.t;
+  locks : (int, Spinlock.t) Hashtbl.t;
+  sems : (int, Semaphore.t) Hashtbl.t;
+  barriers : (int, Barrier.t) Hashtbl.t;
+  vcpus : vcpu_ctx array;
+  mutable threads_rev : Thread.t list;
+  mutable next_thread_id : int;
+  mutable round_hook : Thread.t -> round:int -> duration:int -> unit;
+  mutable finished_hook : Thread.t -> unit;
+  mutable launched : bool;
+}
+
+let vmm t = t.vmm
+let domain t = t.domain
+let monitor t = t.monitor
+let hypercall t = t.hypercall
+let params t = t.params
+let threads t = List.rev t.threads_rev
+
+let now t = Engine.now t.engine
+
+(* ----- object lookup ----- *)
+
+let ensure_lock t id =
+  match Hashtbl.find_opt t.locks id with
+  | Some l -> l
+  | None ->
+    let l = Spinlock.create ~id in
+    Hashtbl.replace t.locks id l;
+    l
+
+let get_sem t id =
+  match Hashtbl.find_opt t.sems id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Kernel: undeclared semaphore %d" id)
+
+let get_barrier t id =
+  match Hashtbl.find_opt t.barriers id with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Kernel: undeclared barrier %d" id)
+
+let add_semaphore t ~id ~init =
+  if Hashtbl.mem t.sems id then invalid_arg "Kernel.add_semaphore: duplicate id";
+  Hashtbl.replace t.sems id (Semaphore.create ~id ~init)
+
+let add_barrier t ~id ~parties =
+  if Hashtbl.mem t.barriers id then invalid_arg "Kernel.add_barrier: duplicate id";
+  Hashtbl.replace t.barriers id (Barrier.create ~id ~parties)
+
+let lock_stats t =
+  let user = Hashtbl.fold (fun id l acc -> (id, l) :: acc) t.locks [] in
+  let internal =
+    Hashtbl.fold
+      (fun _ b acc ->
+        let l = Barrier.lock b in
+        (Spinlock.id l, l) :: acc)
+      t.barriers []
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) (user @ internal)
+
+let barrier_stats t =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun id b acc -> (id, b) :: acc) t.barriers [])
+
+(* ----- thread/vcpu helpers ----- *)
+
+let vctx_of t (thread : Thread.t) = t.vcpus.(thread.Thread.affinity)
+
+(* A thread "occupies" its VCPU when it is the active guest thread and
+   the VCPU is online: only then does it actually execute (or spin). *)
+let occupying t thread =
+  let vc = vctx_of t thread in
+  vc.online
+  &&
+  match Gsched.active vc.gsched with
+  | Some active -> active == thread
+  | None -> false
+
+let cancel_timer vc =
+  match vc.timer with
+  | Some h ->
+    Engine.cancel h;
+    vc.timer <- None
+  | None -> ()
+
+let cancel_slice vc =
+  match vc.slice_timer with
+  | Some h ->
+    Engine.cancel h;
+    vc.slice_timer <- None
+  | None -> ()
+
+(* Pseudo lock id under which a barrier's flag-spin waits are reported
+   (distinct from its arrival lock's id, which is [-(id + 1)]). *)
+let flag_id barrier = -(1000 + Barrier.id barrier)
+
+(* ----- execution machinery ----- *)
+
+let rec continue_thread t vc (thread : Thread.t) =
+  assert vc.online;
+  if thread.Thread.pending_compute > 0 then begin
+    thread.Thread.compute_started <- now t;
+    let h =
+      Engine.schedule_after t.engine ~delay:thread.Thread.pending_compute
+        (fun () ->
+          vc.timer <- None;
+          thread.Thread.pending_compute <- 0;
+          do_resume t vc thread)
+    in
+    vc.timer <- Some h
+  end
+  else do_resume t vc thread
+
+and do_resume t vc (thread : Thread.t) =
+  match thread.Thread.resume with
+  | Thread.R_fetch -> fetch t vc thread
+  | Thread.R_acquire lock_id ->
+    let lock = ensure_lock t lock_id in
+    acquire_lock t vc thread lock ~cs:0 ~next:Thread.R_fetch
+  | Thread.R_unlock lock_id ->
+    let lock = ensure_lock t lock_id in
+    Spinlock.release lock thread;
+    thread.Thread.locks_held <- thread.Thread.locks_held - 1;
+    handoff_check t lock;
+    thread.Thread.resume <- Thread.R_fetch;
+    fetch t vc thread
+  | Thread.R_sem_wait sem_id ->
+    let sem = get_sem t sem_id in
+    if Semaphore.try_wait sem then begin
+      thread.Thread.resume <- Thread.R_fetch;
+      fetch t vc thread
+    end
+    else begin
+      Semaphore.enqueue_waiter sem thread ~now:(now t);
+      thread.Thread.status <- Thread.Blocked_sem sem_id;
+      thread.Thread.resume <- Thread.R_fetch;
+      rotate_or_halt t vc
+    end
+  | Thread.R_sem_post sem_id ->
+    let sem = get_sem t sem_id in
+    (match Semaphore.post sem with
+    | None -> ()
+    | Some (waiter, since) ->
+      Monitor.record_sem_wait t.monitor ~wait:(now t - since);
+      waiter.Thread.status <- Thread.Runnable;
+      wake_thread t waiter);
+    thread.Thread.resume <- Thread.R_fetch;
+    fetch t vc thread
+  | Thread.R_barrier_arrive barrier_id ->
+    let barrier = get_barrier t barrier_id in
+    acquire_lock t vc thread (Barrier.lock barrier) ~cs:t.params.instr_overhead
+      ~next:(Thread.R_barrier_locked barrier_id)
+  | Thread.R_barrier_locked barrier_id ->
+    let barrier = get_barrier t barrier_id in
+    let lock = Barrier.lock barrier in
+    let outcome = Barrier.arrive barrier ~now:(now t) in
+    Spinlock.release lock thread;
+    thread.Thread.locks_held <- thread.Thread.locks_held - 1;
+    handoff_check t lock;
+    thread.Thread.resume <- Thread.R_fetch;
+    (match outcome with
+    | `Last ->
+      (* The last arriver never spins on the flag: zero wait. *)
+      Monitor.record_spin_wait t.monitor ~lock_id:(flag_id barrier) ~wait:0;
+      release_barrier t barrier;
+      fetch t vc thread
+    | `Wait gen ->
+      thread.Thread.status <- Thread.Spin_barrier (barrier_id, gen);
+      thread.Thread.spin_request <- now t;
+      (* Busy-wait with a grace budget: if the flag does not flip
+         within [spin_grace], fall back to a futex sleep. *)
+      arm_spin_grace t thread barrier_id gen;
+      arm_ple t thread)
+  | Thread.R_barrier_exit barrier_id ->
+    let barrier = get_barrier t barrier_id in
+    let wait = now t - thread.Thread.spin_request in
+    thread.Thread.total_spin_cycles <- thread.Thread.total_spin_cycles + wait;
+    Monitor.record_spin_wait t.monitor ~lock_id:(flag_id barrier) ~wait;
+    thread.Thread.resume <- Thread.R_fetch;
+    fetch t vc thread
+
+and fetch t vc (thread : Thread.t) =
+  match Program.next thread.Thread.cursor ~rng:thread.Thread.rng with
+  | None -> round_complete t vc thread
+  | Some instr -> begin
+    let overhead = t.params.instr_overhead in
+    match instr with
+    | Program.I_compute n -> start_work t vc thread ~cycles:n ~next:Thread.R_fetch
+    | Program.I_lock l ->
+      start_work t vc thread ~cycles:overhead ~next:(Thread.R_acquire l)
+    | Program.I_unlock l ->
+      start_work t vc thread ~cycles:overhead ~next:(Thread.R_unlock l)
+    | Program.I_sem_wait s ->
+      start_work t vc thread ~cycles:overhead ~next:(Thread.R_sem_wait s)
+    | Program.I_sem_post s ->
+      start_work t vc thread ~cycles:overhead ~next:(Thread.R_sem_post s)
+    | Program.I_barrier b ->
+      start_work t vc thread ~cycles:overhead ~next:(Thread.R_barrier_arrive b)
+    | Program.I_mark ->
+      thread.Thread.marks <- thread.Thread.marks + 1;
+      start_work t vc thread ~cycles:1 ~next:Thread.R_fetch
+  end
+
+and start_work t vc (thread : Thread.t) ~cycles ~next =
+  thread.Thread.pending_compute <- cycles;
+  thread.Thread.resume <- next;
+  continue_thread t vc thread
+
+and round_complete t vc (thread : Thread.t) =
+  thread.Thread.rounds <- thread.Thread.rounds + 1;
+  let duration = now t - thread.Thread.round_started in
+  t.round_hook thread ~round:thread.Thread.rounds ~duration;
+  if thread.Thread.restart && Program.static_instr_count thread.Thread.program > 0
+  then begin
+    Program.reset thread.Thread.cursor;
+    thread.Thread.round_started <- now t;
+    fetch t vc thread
+  end
+  else begin
+    thread.Thread.status <- Thread.Finished;
+    t.finished_hook thread;
+    rotate_or_halt t vc
+  end
+
+(* Acquire [lock]; on ownership, run [cs] cycles then [next]. *)
+and acquire_lock t vc (thread : Thread.t) lock ~cs ~next =
+  if Spinlock.try_acquire lock thread ~now:(now t) then begin
+    thread.Thread.locks_held <- thread.Thread.locks_held + 1;
+    Monitor.record_spin_wait t.monitor ~lock_id:(Spinlock.id lock) ~wait:0;
+    start_work t vc thread ~cycles:cs ~next
+  end
+  else begin
+    Spinlock.enqueue_waiter lock thread ~now:(now t);
+    thread.Thread.status <- Thread.Spinning (Spinlock.id lock);
+    thread.Thread.spin_request <- now t;
+    thread.Thread.pending_compute <- cs;
+    thread.Thread.resume <- next;
+    arm_ple t thread;
+    (* The lock may be free but reserved, or held: either way we spin.
+       If it is free and unreserved (released while we were enqueuing
+       is impossible in one engine instant, but a free lock with only
+       offline waiters is), start a handoff now. *)
+    handoff_check t lock
+  end
+
+(* If the lock is free and some waiter is online, start a handoff. *)
+and handoff_check t lock =
+  let online (waiter : Thread.t) =
+    (match waiter.Thread.status with
+    | Thread.Spinning id -> id = Spinlock.id lock
+    | Thread.Runnable | Thread.Spin_barrier _ | Thread.Blocked_barrier _
+    | Thread.Blocked_sem _
+    | Thread.Finished ->
+      false)
+    && occupying t waiter
+  in
+  match Spinlock.pick_online_waiter lock ~online with
+  | None -> ()
+  | Some waiter ->
+    Spinlock.reserve_for lock waiter;
+    ignore
+      (Engine.schedule_after t.engine ~delay:t.params.handoff (fun () ->
+           grant t lock waiter))
+
+(* Complete (or abort) an in-flight handoff. Self-validating: the
+   grantee may have been preempted during the handoff latency. *)
+and grant t lock (waiter : Thread.t) =
+  let still_spinning =
+    match waiter.Thread.status with
+    | Thread.Spinning id -> id = Spinlock.id lock
+    | Thread.Runnable | Thread.Spin_barrier _ | Thread.Blocked_barrier _
+    | Thread.Blocked_sem _
+    | Thread.Finished ->
+      false
+  in
+  if still_spinning && occupying t waiter then begin
+    let wait = Spinlock.complete_grant lock waiter ~now:(now t) in
+    waiter.Thread.total_spin_cycles <- waiter.Thread.total_spin_cycles + wait;
+    waiter.Thread.locks_held <- waiter.Thread.locks_held + 1;
+    waiter.Thread.status <- Thread.Runnable;
+    Monitor.record_spin_wait t.monitor ~lock_id:(Spinlock.id lock) ~wait;
+    continue_thread t (vctx_of t waiter) waiter
+  end
+  else begin
+    Spinlock.abort_grant lock waiter;
+    handoff_check t lock
+  end
+
+(* The last arrival bumped the generation: release online spinners
+   after the flag-observation latency; sleeping (futex-blocked)
+   waiters are woken through the kernel wake path; offline spinners
+   will notice when their VCPU is next scheduled. *)
+and release_barrier t barrier =
+  List.iter
+    (fun (thread : Thread.t) ->
+      match thread.Thread.status with
+      | Thread.Spin_barrier (bid, gen)
+        when bid = Barrier.id barrier && Barrier.passed barrier ~gen ->
+        if occupying t thread then
+          ignore
+            (Engine.schedule_after t.engine ~delay:t.params.flag_latency
+               (fun () -> barrier_proceed t barrier thread))
+      | Thread.Blocked_barrier (bid, gen)
+        when bid = Barrier.id barrier && Barrier.passed barrier ~gen ->
+        thread.Thread.status <- Thread.Runnable;
+        thread.Thread.resume <- Thread.R_barrier_exit bid;
+        thread.Thread.pending_compute <-
+          t.params.flag_latency + t.params.instr_overhead;
+        wake_thread t thread
+      | Thread.Spin_barrier _ | Thread.Blocked_barrier _ | Thread.Runnable
+      | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Finished ->
+        ())
+    t.threads_rev
+
+(* Self-validating barrier-exit event for online spinners. The wait
+   itself is measured and reported at [R_barrier_exit]: barrier waits
+   are busy-wait kernel synchronization wall time, the dominant source
+   of over-threshold waits once sibling VCPUs are de-synchronized. *)
+and barrier_proceed t barrier (thread : Thread.t) =
+  match thread.Thread.status with
+  | Thread.Spin_barrier (bid, gen)
+    when bid = Barrier.id barrier && Barrier.passed barrier ~gen
+         && occupying t thread ->
+    thread.Thread.status <- Thread.Runnable;
+    thread.Thread.resume <- Thread.R_barrier_exit bid;
+    thread.Thread.pending_compute <- 0;
+    continue_thread t (vctx_of t thread) thread
+  | Thread.Spin_barrier _ | Thread.Blocked_barrier _ | Thread.Runnable
+  | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Finished ->
+    ()
+
+(* Hardware pause-loop detection: while a thread busy-spins through a
+   whole PLE window on an online VCPU, the (modelled) processor raises
+   a pause-loop exit to the VMM — the signal the out-of-VM ASMan
+   variant consumes. Self-validating and re-arming: one exit per
+   window for as long as the same spin span persists. *)
+and arm_ple t (thread : Thread.t) =
+  if t.params.ple_window > 0 then begin
+    let span = thread.Thread.spin_request in
+    ignore
+      (Engine.schedule_after t.engine ~delay:t.params.ple_window (fun () ->
+           let still_spinning =
+             match thread.Thread.status with
+             | Thread.Spinning _ | Thread.Spin_barrier _ ->
+               thread.Thread.spin_request = span
+             | Thread.Runnable | Thread.Blocked_barrier _
+             | Thread.Blocked_sem _ | Thread.Finished ->
+               false
+           in
+           if still_spinning && occupying t thread then begin
+             let vc = vctx_of t thread in
+             Sim_vmm.Vmm.pause_loop_exit t.vmm vc.vcpu;
+             arm_ple t thread
+           end))
+  end
+
+(* Spin-then-block: if the barrier flag has not flipped when the grace
+   budget expires, the thread futex-sleeps and frees its VCPU. *)
+and arm_spin_grace t (thread : Thread.t) barrier_id gen =
+  ignore
+    (Engine.schedule_after t.engine ~delay:t.params.spin_grace (fun () ->
+         match thread.Thread.status with
+         | Thread.Spin_barrier (bid, g)
+           when bid = barrier_id && g = gen && occupying t thread ->
+           let barrier = get_barrier t bid in
+           if not (Barrier.passed barrier ~gen:g) then begin
+             thread.Thread.status <- Thread.Blocked_barrier (bid, g);
+             rotate_or_halt t (vctx_of t thread)
+           end
+         | Thread.Spin_barrier _ | Thread.Blocked_barrier _ | Thread.Runnable
+         | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Finished ->
+           ()))
+
+(* A blocked thread became runnable (semaphore token or launch). *)
+and wake_thread t (thread : Thread.t) =
+  let vc = vctx_of t thread in
+  if vc.online then begin
+    match Gsched.active vc.gsched with
+    | None ->
+      Gsched.set_active vc.gsched (Some thread);
+      resume_active t vc
+    | Some _ -> () (* picked up at the next rotation/dispatch *)
+  end
+  else Sim_vmm.Vmm.vcpu_wake t.vmm vc.vcpu
+
+(* The active thread can no longer execute: pick another, or halt the
+   VCPU if none can. *)
+and rotate_or_halt t vc =
+  cancel_timer vc;
+  Gsched.set_active vc.gsched None;
+  match Gsched.pick vc.gsched with
+  | Some next ->
+    Gsched.set_active vc.gsched (Some next);
+    resume_active t vc
+  | None -> halt_vcpu t vc
+
+and halt_vcpu t vc =
+  cancel_timer vc;
+  cancel_slice vc;
+  vc.online <- false;
+  (* The VMM does not call on_preempted for guest-initiated blocks. *)
+  Sim_vmm.Vmm.vcpu_block t.vmm vc.vcpu
+
+(* Resume the active thread according to its status. *)
+and resume_active t vc =
+  match Gsched.active vc.gsched with
+  | None -> ()
+  | Some thread -> begin
+    match thread.Thread.status with
+    | Thread.Runnable -> continue_thread t vc thread
+    | Thread.Spinning lock_id ->
+      arm_ple t thread;
+      handoff_check t (ensure_lock t lock_id)
+    | Thread.Spin_barrier (bid, gen) ->
+      let barrier = get_barrier t bid in
+      if Barrier.passed barrier ~gen then
+        ignore
+          (Engine.schedule_after t.engine ~delay:t.params.flag_latency
+             (fun () -> barrier_proceed t barrier thread))
+      else begin
+        arm_spin_grace t thread bid gen;
+        arm_ple t thread
+      end
+    | Thread.Blocked_barrier _ | Thread.Blocked_sem _ | Thread.Finished ->
+      rotate_or_halt t vc
+  end
+
+(* ----- timeslice rotation ----- *)
+
+let rec arm_slice t vc =
+  cancel_slice vc;
+  if Gsched.thread_count vc.gsched > 1 then begin
+    let h =
+      Engine.schedule_after t.engine ~delay:(Gsched.timeslice vc.gsched)
+        (fun () ->
+          vc.slice_timer <- None;
+          if vc.online then begin
+            (match Gsched.active vc.gsched with
+            | Some active
+              when Thread.is_preemptible_by_guest active
+                   && Gsched.executable_count vc.gsched > 1 -> begin
+              (* Save the active thread's progress and rotate. *)
+              cancel_timer vc;
+              if thread_mid_compute active then
+                active.Thread.pending_compute <-
+                  max 0
+                    (active.Thread.pending_compute
+                    - (now t - active.Thread.compute_started));
+              match Gsched.pick vc.gsched with
+              | Some next when next != active ->
+                Gsched.set_active vc.gsched (Some next);
+                resume_active t vc
+              | Some _ | None -> resume_active t vc
+            end
+            | Some _ | None -> ());
+            arm_slice t vc
+          end)
+    in
+    vc.slice_timer <- Some h
+  end
+
+and thread_mid_compute (thread : Thread.t) =
+  thread.Thread.status = Thread.Runnable && thread.Thread.pending_compute > 0
+
+(* ----- VCPU hooks ----- *)
+
+let on_scheduled t vc () =
+  vc.online <- true;
+  (match Gsched.active vc.gsched with
+  | Some active when Thread.is_executable active -> resume_active t vc
+  | Some _ | None -> begin
+    match Gsched.pick vc.gsched with
+    | Some next ->
+      Gsched.set_active vc.gsched (Some next);
+      resume_active t vc
+    | None -> halt_vcpu t vc
+  end);
+  if vc.online then arm_slice t vc
+
+let on_preempted t vc () =
+  vc.online <- false;
+  cancel_slice vc;
+  (match vc.timer with
+  | Some h ->
+    Engine.cancel h;
+    vc.timer <- None;
+    (match Gsched.active vc.gsched with
+    | Some active when thread_mid_compute active ->
+      active.Thread.pending_compute <-
+        max 0
+          (active.Thread.pending_compute
+          - (now t - active.Thread.compute_started))
+    | Some _ | None -> ())
+  | None -> ())
+
+(* ----- construction ----- *)
+
+let create ?params:params_opt vmm domain () =
+  let cpu = Sim_vmm.Vmm.cpu_model vmm in
+  let params =
+    match params_opt with Some p -> p | None -> default_params cpu
+  in
+  let engine = Sim_vmm.Vmm.engine vmm in
+  let rng = Rng.split (Engine.rng engine) in
+  let hypercall = Sim_vmm.Hypercall.create vmm in
+  let monitor =
+    Monitor.create params.monitor ~engine ~hypercall ~domain
+      ~rng:(Rng.split rng)
+  in
+  let t =
+    {
+      vmm;
+      domain;
+      engine;
+      params;
+      hypercall;
+      monitor;
+      rng;
+      locks = Hashtbl.create 16;
+      sems = Hashtbl.create 8;
+      barriers = Hashtbl.create 8;
+      vcpus =
+        Array.map
+          (fun vcpu ->
+            {
+              vcpu;
+              gsched = Gsched.create ~timeslice:params.timeslice;
+              online = false;
+              timer = None;
+              slice_timer = None;
+            })
+          domain.Sim_vmm.Domain.vcpus;
+      threads_rev = [];
+      next_thread_id = 0;
+      round_hook = (fun _ ~round:_ ~duration:_ -> ());
+      finished_hook = (fun _ -> ());
+      launched = false;
+    }
+  in
+  Array.iter
+    (fun vc ->
+      Sim_vmm.Vcpu.set_hooks vc.vcpu
+        {
+          Sim_vmm.Vcpu.on_scheduled = on_scheduled t vc;
+          on_preempted = on_preempted t vc;
+        })
+    t.vcpus;
+  t
+
+let add_thread t ?(restart = false) ~affinity program =
+  if t.launched then failwith "Kernel.add_thread: kernel already launched";
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem t.sems id) then
+        invalid_arg (Printf.sprintf "Kernel.add_thread: undeclared semaphore %d" id))
+    (Program.semaphores_referenced program);
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem t.barriers id) then
+        invalid_arg (Printf.sprintf "Kernel.add_thread: undeclared barrier %d" id))
+    (Program.barriers_referenced program);
+  let id = t.next_thread_id in
+  t.next_thread_id <- t.next_thread_id + 1;
+  let affinity = affinity mod Array.length t.vcpus in
+  let thread =
+    Thread.make ~id ~affinity ~restart ~rng:(Rng.split t.rng) program
+  in
+  t.threads_rev <- thread :: t.threads_rev;
+  Gsched.add t.vcpus.(affinity).gsched thread;
+  thread
+
+let set_round_hook t hook = t.round_hook <- hook
+
+let set_finished_hook t hook = t.finished_hook <- hook
+
+let launch t =
+  if t.launched then failwith "Kernel.launch: already launched";
+  t.launched <- true;
+  let start = now t in
+  List.iter (fun (th : Thread.t) -> th.Thread.round_started <- start) t.threads_rev;
+  Array.iter
+    (fun vc ->
+      if Gsched.executable_count vc.gsched > 0 then
+        Sim_vmm.Vmm.vcpu_wake t.vmm vc.vcpu)
+    t.vcpus
+
+let min_rounds t =
+  match t.threads_rev with
+  | [] -> 0
+  | threads ->
+    List.fold_left
+      (fun acc (th : Thread.t) -> min acc th.Thread.rounds)
+      max_int threads
+
+let total_marks t =
+  List.fold_left (fun acc (th : Thread.t) -> acc + th.Thread.marks) 0 t.threads_rev
+
+let reset_marks t =
+  List.iter (fun (th : Thread.t) -> th.Thread.marks <- 0) t.threads_rev
+
+let all_finished t =
+  t.threads_rev <> []
+  && List.for_all
+       (fun (th : Thread.t) -> th.Thread.status = Thread.Finished)
+       t.threads_rev
+
+let total_spin_cycles t =
+  List.fold_left
+    (fun acc (th : Thread.t) -> acc + th.Thread.total_spin_cycles)
+    0 t.threads_rev

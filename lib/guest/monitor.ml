@@ -1,0 +1,157 @@
+open Sim_engine
+
+type params = {
+  delta_exp : int;
+  trace_exp : int;
+  report_vcrd : bool;
+  estimator : Sim_learn.Estimator.params;
+}
+
+let default_params ~slot_cycles =
+  {
+    delta_exp = 20;
+    trace_exp = 10;
+    report_vcrd = true;
+    estimator = Sim_learn.Estimator.default_params ~slot_cycles;
+  }
+
+type trace_entry = { time : int; wait : int; lock_id : int }
+
+(* Keep the trace bounded: beyond this many entries the oldest half is
+   dropped. Generous for any figure window; prevents unbounded growth
+   on very long simulations. *)
+let trace_cap = 1_000_000
+
+type t = {
+  params : params;
+  engine : Engine.t;
+  hypercall : Sim_vmm.Hypercall.t;
+  domain : Sim_vmm.Domain.t;
+  estimator : Sim_learn.Estimator.t;
+  mutable spin_hist : Sim_stats.Histogram.t;
+  mutable sem_hist : Sim_stats.Histogram.t;
+  mutable trace_rev : trace_entry list;
+  mutable trace_len : int;
+  mutable trace_dropped : int;
+  mutable over_threshold : int;
+  mutable adjusting_events : int;
+  mutable window_end : Engine.handle option;
+  mutable window_budget : int;  (** online cycles left in the HIGH window *)
+  mutable window_anchor : int;  (** domain online cycles at the last re-arm *)
+}
+
+let create params ~engine ~hypercall ~domain ~rng =
+  {
+    params;
+    engine;
+    hypercall;
+    domain;
+    estimator = Sim_learn.Estimator.create params.estimator rng;
+    spin_hist = Sim_stats.Histogram.create ();
+    sem_hist = Sim_stats.Histogram.create ();
+    trace_rev = [];
+    trace_len = 0;
+    trace_dropped = 0;
+    over_threshold = 0;
+    adjusting_events = 0;
+    window_end = None;
+    window_budget = 0;
+    window_anchor = 0;
+  }
+
+let params t = t.params
+
+let threshold_cycles t = Units.pow2 t.params.delta_exp
+
+let set_vcrd t v =
+  if t.params.report_vcrd then Sim_vmm.Hypercall.do_vcrd_op t.hypercall t.domain v
+
+let domain_online t =
+  Sim_vmm.Vmm.domain_online_cycles
+    (Sim_vmm.Hypercall.vmm t.hypercall)
+    t.domain
+
+(* The HIGH window is metered in guest-consumed CPU time, not wall
+   time: a capped VM may be entirely offline for long stretches during
+   which no synchronization can occur, and a wall-clock window would
+   silently expire there. The budget is [x * |C(V)|] online cycles —
+   equivalent to [x] wall cycles when the whole gang is coscheduled.
+   The timer re-arms until the budget is consumed. *)
+let rec arm_window t =
+  let vcpus = Sim_vmm.Domain.vcpu_count t.domain in
+  let min_delay = Units.pow2 20 in
+  let delay = max min_delay (t.window_budget / vcpus) in
+  let handle =
+    Engine.schedule_after t.engine ~delay (fun () ->
+        let consumed = domain_online t - t.window_anchor in
+        if consumed >= t.window_budget then begin
+          t.window_end <- None;
+          set_vcrd t Sim_vmm.Domain.Low
+        end
+        else begin
+          t.window_anchor <- t.window_anchor + consumed;
+          t.window_budget <- t.window_budget - consumed;
+          arm_window t
+        end)
+  in
+  t.window_end <- Some handle
+
+(* Algorithm 1: an over-threshold spinlock is an adjusting event.
+   The estimator's clock is per-VCPU guest online time, not wall time:
+   localities of synchronization are a property of the program, which
+   makes progress only while the VM is online. Estimates and window
+   budgets are therefore all in online cycles. *)
+let adjusting_event t =
+  t.adjusting_events <- t.adjusting_events + 1;
+  let online_now = domain_online t / Sim_vmm.Domain.vcpu_count t.domain in
+  let x = Sim_learn.Estimator.on_adjusting_event t.estimator ~now:online_now in
+  (match t.window_end with
+  | Some h -> Engine.cancel h
+  | None -> ());
+  set_vcrd t Sim_vmm.Domain.High;
+  t.window_budget <- x * Sim_vmm.Domain.vcpu_count t.domain;
+  t.window_anchor <- domain_online t;
+  arm_window t
+
+let record_spin_wait t ~lock_id ~wait =
+  Sim_stats.Histogram.add t.spin_hist wait;
+  if wait >= Units.pow2 t.params.trace_exp then begin
+    t.trace_rev <- { time = Engine.now t.engine; wait; lock_id } :: t.trace_rev;
+    t.trace_len <- t.trace_len + 1;
+    if t.trace_len > trace_cap then begin
+      let keep = trace_cap / 2 in
+      t.trace_rev <- List.filteri (fun i _ -> i < keep) t.trace_rev;
+      t.trace_dropped <- t.trace_dropped + (t.trace_len - keep);
+      t.trace_len <- keep
+    end
+  end;
+  if wait > threshold_cycles t then begin
+    t.over_threshold <- t.over_threshold + 1;
+    adjusting_event t
+  end
+
+let record_sem_wait t ~wait = Sim_stats.Histogram.add t.sem_hist wait
+
+let spin_histogram t = t.spin_hist
+
+let sem_histogram t = t.sem_hist
+
+let trace t = List.rev t.trace_rev
+
+let trace_in_window t ~from_ ~until =
+  List.filter (fun e -> e.time >= from_ && e.time <= until) (trace t)
+
+let over_threshold_count t = t.over_threshold
+
+let adjusting_events t = t.adjusting_events
+
+let estimator t = t.estimator
+
+let reset_window t =
+  t.spin_hist <- Sim_stats.Histogram.create ();
+  t.sem_hist <- Sim_stats.Histogram.create ();
+  t.trace_rev <- [];
+  t.trace_len <- 0;
+  t.over_threshold <- 0
+
+let trace_dropped t = t.trace_dropped

@@ -1,0 +1,72 @@
+(** The Monitoring Module (paper §3.3), one per VM.
+
+    Runs "in the guest kernel": instruments every spinlock acquisition
+    with the hi-res timer, keeps the waiting-time histogram and trace
+    (Figures 1b, 2, 8), and detects {e over-threshold} spinlocks —
+    waits above [2^delta_exp] cycles (δ = 20). Each detection is a
+    VCRD {e adjusting event} (Algorithm 1): the {!Sim_learn.Estimator}
+    picks a lasting time [x], the module raises the domain's VCRD to
+    HIGH through the [do_vcrd_op] hypercall, and — if no further
+    over-threshold spinlock arrives within [x] — lowers it back. A
+    further detection inside the window is simply the next adjusting
+    event: the estimate is refreshed and the window extended. *)
+
+type params = {
+  delta_exp : int;  (** δ: over-threshold boundary is 2^δ cycles *)
+  trace_exp : int;  (** record trace entries for waits >= 2^trace_exp *)
+  report_vcrd : bool;
+      (** issue hypercalls (off when the module only observes, e.g.
+          under the plain Credit scheduler one can disable reporting —
+          the scheduler would ignore it anyway) *)
+  estimator : Sim_learn.Estimator.params;
+}
+
+val default_params : slot_cycles:int -> params
+(** δ = 20, trace threshold 2^10, reporting on. *)
+
+type trace_entry = { time : int; wait : int; lock_id : int }
+
+type t
+
+val create :
+  params ->
+  engine:Sim_engine.Engine.t ->
+  hypercall:Sim_vmm.Hypercall.t ->
+  domain:Sim_vmm.Domain.t ->
+  rng:Sim_engine.Rng.t ->
+  t
+
+val params : t -> params
+
+val threshold_cycles : t -> int
+(** [2^delta_exp]. *)
+
+val record_spin_wait : t -> lock_id:int -> wait:int -> unit
+(** Called by the kernel at every spinlock acquisition with the
+    measured wall-clock waiting time (0 for the uncontended fast
+    path). May trigger an adjusting event. *)
+
+val record_sem_wait : t -> wait:int -> unit
+
+val spin_histogram : t -> Sim_stats.Histogram.t
+val sem_histogram : t -> Sim_stats.Histogram.t
+
+val trace : t -> trace_entry list
+(** Chronological trace of waits above the trace threshold. Bounded:
+    beyond one million entries the oldest half is discarded (see
+    {!trace_dropped}). *)
+
+val trace_in_window : t -> from_:int -> until:int -> trace_entry list
+
+val over_threshold_count : t -> int
+
+val adjusting_events : t -> int
+
+val estimator : t -> Sim_learn.Estimator.t
+
+val trace_dropped : t -> int
+(** Entries discarded by the bound (0 in any normal run). *)
+
+val reset_window : t -> unit
+(** Clear histograms and trace (not the learner): starts a fresh
+    measurement window, e.g. the paper's 30-second observation. *)

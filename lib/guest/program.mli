@@ -1,0 +1,64 @@
+(** Guest thread programs.
+
+    A program is the op-level model of a benchmark thread: compute
+    chunks interleaved with kernel synchronization (spinlocks,
+    semaphores, busy-wait barriers). A {!cursor} flattens the program
+    into a resumable instruction stream — the guest kernel executes one
+    instruction at a time and can be preempted between (or inside)
+    instructions without losing position. *)
+
+type op =
+  | Compute of int  (** deterministic compute, in cycles *)
+  | Compute_rand of { mean : int; cv : float }
+      (** log-normal compute chunk drawn at execution time (per-thread
+          imbalance) *)
+  | Lock of int  (** acquire guest-kernel spinlock [id] *)
+  | Unlock of int
+  | Sem_wait of int
+  | Sem_post of int
+  | Barrier of int  (** arrive at barrier [id] and busy-wait *)
+  | Mark  (** application-level completion marker (e.g. one
+              SPECjbb transaction); counted by the kernel *)
+  | Repeat of int * op list  (** [Repeat (n, body)] runs [body] n times *)
+
+type instr =
+  | I_compute of int
+  | I_lock of int
+  | I_unlock of int
+  | I_sem_wait of int
+  | I_sem_post of int
+  | I_barrier of int
+  | I_mark
+
+type t
+
+val make : op list -> t
+(** Raises [Invalid_argument] if any [Repeat] count or compute length
+    is negative, or a [Compute_rand] has non-positive mean. *)
+
+val ops : t -> op list
+
+val static_instr_count : t -> int
+(** Total instructions one full execution emits (loops unrolled). *)
+
+val total_compute_cycles : t -> int
+(** Sum of compute cycles using [mean] for random chunks — the ideal
+    single-run CPU demand of the program. *)
+
+type cursor
+
+val cursor : t -> cursor
+(** A fresh cursor at the start of the program. *)
+
+val reset : cursor -> unit
+
+val next : cursor -> rng:Sim_engine.Rng.t -> instr option
+(** Advance and return the next instruction; [None] when the program
+    has finished. [rng] materializes [Compute_rand] chunks. *)
+
+val locks_referenced : t -> int list
+(** Sorted, distinct lock ids used by [Lock]/[Unlock]. *)
+
+val barriers_referenced : t -> int list
+
+val semaphores_referenced : t -> int list

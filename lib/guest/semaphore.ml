@@ -1,0 +1,45 @@
+type t = {
+  sem_id : int;
+  mutable count : int;
+  mutable waiters : (Thread.t * int) list;
+  mutable waits : int;
+  mutable blocked : int;
+}
+
+let create ~id ~init =
+  if init < 0 then invalid_arg "Semaphore.create: negative count";
+  { sem_id = id; count = init; waiters = []; waits = 0; blocked = 0 }
+
+let id t = t.sem_id
+
+let count t = t.count
+
+let try_wait t =
+  if t.count > 0 then begin
+    t.count <- t.count - 1;
+    t.waits <- t.waits + 1;
+    true
+  end
+  else false
+
+let enqueue_waiter t thread ~now =
+  if List.exists (fun (w, _) -> w == thread) t.waiters then
+    invalid_arg "Semaphore.enqueue_waiter: already waiting";
+  t.waiters <- t.waiters @ [ (thread, now) ];
+  t.blocked <- t.blocked + 1
+
+let post t =
+  match t.waiters with
+  | [] ->
+    t.count <- t.count + 1;
+    None
+  | (w, since) :: rest ->
+    t.waiters <- rest;
+    t.waits <- t.waits + 1;
+    Some (w, since)
+
+let waiter_count t = List.length t.waiters
+
+let waits t = t.waits
+
+let blocked_waits t = t.blocked

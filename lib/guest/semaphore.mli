@@ -1,0 +1,32 @@
+(** Guest-kernel counting semaphore (blocking, FIFO).
+
+    Waiters are descheduled (their VCPU can halt), so — unlike
+    spinlocks — virtualization costs them little: the paper measures
+    all semaphore waits below 2^16 cycles even at a 22.2% online
+    rate. *)
+
+type t
+
+val create : id:int -> init:int -> t
+(** Raises [Invalid_argument] on a negative initial count. *)
+
+val id : t -> int
+
+val count : t -> int
+
+val try_wait : t -> bool
+(** Decrement if positive. *)
+
+val enqueue_waiter : t -> Thread.t -> now:int -> unit
+
+val post : t -> (Thread.t * int) option
+(** If a waiter exists, dequeue the oldest and return it with its
+    enqueue time (the token transfers directly); otherwise increment
+    the count and return [None]. *)
+
+val waiter_count : t -> int
+
+val waits : t -> int
+(** Total successful wait operations. *)
+
+val blocked_waits : t -> int

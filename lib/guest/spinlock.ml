@@ -1,0 +1,89 @@
+type t = {
+  lock_id : int;
+  mutable owner : Thread.t option;
+  mutable waiters : (Thread.t * int) list;  (** request order, oldest first *)
+  mutable reserved_for : Thread.t option;
+  mutable acquisitions : int;
+  mutable contended : int;
+}
+
+let create ~id =
+  {
+    lock_id = id;
+    owner = None;
+    waiters = [];
+    reserved_for = None;
+    acquisitions = 0;
+    contended = 0;
+  }
+
+let id t = t.lock_id
+
+let owner t = t.owner
+
+let is_reserved t = t.reserved_for <> None
+
+let is_waiter t thread = List.exists (fun (w, _) -> w == thread) t.waiters
+
+let try_acquire t thread ~now =
+  ignore now;
+  match (t.owner, t.reserved_for) with
+  | None, None ->
+    t.owner <- Some thread;
+    t.acquisitions <- t.acquisitions + 1;
+    true
+  | Some _, _ | _, Some _ -> false
+
+let enqueue_waiter t thread ~now =
+  (match t.owner with
+  | Some o when o == thread -> invalid_arg "Spinlock: owner cannot wait"
+  | Some _ | None -> ());
+  if is_waiter t thread then invalid_arg "Spinlock: thread already waiting";
+  t.waiters <- t.waiters @ [ (thread, now) ]
+
+let waiting_since t thread =
+  List.find_map (fun (w, since) -> if w == thread then Some since else None) t.waiters
+
+let release t thread =
+  match t.owner with
+  | Some o when o == thread -> t.owner <- None
+  | Some _ | None -> invalid_arg "Spinlock.release: thread is not the owner"
+
+let pick_online_waiter t ~online =
+  match (t.owner, t.reserved_for) with
+  | None, None -> List.find_map (fun (w, _) -> if online w then Some w else None) t.waiters
+  | Some _, _ | _, Some _ -> None
+
+let reserve_for t thread =
+  if t.owner <> None then invalid_arg "Spinlock.reserve_for: lock is held";
+  if t.reserved_for <> None then invalid_arg "Spinlock.reserve_for: already reserved";
+  if not (is_waiter t thread) then
+    invalid_arg "Spinlock.reserve_for: thread is not a waiter";
+  t.reserved_for <- Some thread
+
+let complete_grant t thread ~now =
+  (match t.reserved_for with
+  | Some r when r == thread -> ()
+  | Some _ | None -> invalid_arg "Spinlock.complete_grant: no reservation");
+  let since =
+    match waiting_since t thread with
+    | Some s -> s
+    | None -> invalid_arg "Spinlock.complete_grant: thread is not a waiter"
+  in
+  t.waiters <- List.filter (fun (w, _) -> w != thread) t.waiters;
+  t.reserved_for <- None;
+  t.owner <- Some thread;
+  t.acquisitions <- t.acquisitions + 1;
+  t.contended <- t.contended + 1;
+  now - since
+
+let abort_grant t thread =
+  match t.reserved_for with
+  | Some r when r == thread -> t.reserved_for <- None
+  | Some _ | None -> invalid_arg "Spinlock.abort_grant: no matching reservation"
+
+let waiter_count t = List.length t.waiters
+
+let acquisitions t = t.acquisitions
+
+let contended_acquisitions t = t.contended

@@ -1,0 +1,60 @@
+(** Guest-kernel spinlock (Linux 2.6.18 semantics: non-FIFO).
+
+    Waiters spin, actively occupying their VCPU; on release the lock
+    goes to the earliest-requesting waiter whose VCPU is currently
+    online (after a cache-line handoff delay, during which the lock is
+    {e reserved}). A waiter whose VCPU is offline keeps its place in
+    the request order and re-contends when it comes back online.
+
+    This is exactly the structure virtualization breaks: a preempted
+    {e holder} leaves every online waiter spinning for one or more
+    offline periods — the paper's over-threshold spinlocks. *)
+
+type t
+
+val create : id:int -> t
+
+val id : t -> int
+
+val owner : t -> Thread.t option
+
+val is_reserved : t -> bool
+(** A handoff grant is in flight. *)
+
+val try_acquire : t -> Thread.t -> now:int -> bool
+(** Fast path: succeeds iff the lock is free and unreserved. On
+    success the thread becomes owner. *)
+
+val enqueue_waiter : t -> Thread.t -> now:int -> unit
+(** Register a contending thread (it should transition to
+    [Spinning]). Raises [Invalid_argument] if it already waits or owns
+    the lock. *)
+
+val waiting_since : t -> Thread.t -> int option
+
+val release : t -> Thread.t -> unit
+(** Raises [Invalid_argument] unless the thread is the owner. The
+    lock becomes free (waiters stay queued). *)
+
+val pick_online_waiter : t -> online:(Thread.t -> bool) -> Thread.t option
+(** Earliest-requesting waiter whose VCPU is online; [None] if the
+    lock is not free, is reserved, or no waiter is online. *)
+
+val reserve_for : t -> Thread.t -> unit
+(** Start a handoff: mark reserved for the given waiter. *)
+
+val complete_grant : t -> Thread.t -> now:int -> int
+(** Finish a handoff: the thread (which must hold the reservation)
+    becomes owner and leaves the waiter list. Returns its waiting time
+    [now - request time]. *)
+
+val abort_grant : t -> Thread.t -> unit
+(** Cancel an in-flight handoff (e.g. the grantee was preempted); the
+    thread stays a waiter. *)
+
+val waiter_count : t -> int
+
+val acquisitions : t -> int
+(** Total successful acquisitions (fast path + grants). *)
+
+val contended_acquisitions : t -> int

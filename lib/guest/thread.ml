@@ -1,0 +1,80 @@
+type status =
+  | Runnable
+  | Spinning of int
+  | Spin_barrier of int * int
+  | Blocked_barrier of int * int
+  | Blocked_sem of int
+  | Finished
+
+type resume_point =
+  | R_fetch
+  | R_acquire of int
+  | R_unlock of int
+  | R_sem_wait of int
+  | R_sem_post of int
+  | R_barrier_arrive of int
+  | R_barrier_locked of int
+  | R_barrier_exit of int
+
+type t = {
+  id : int;
+  affinity : int;
+  program : Program.t;
+  cursor : Program.cursor;
+  rng : Sim_engine.Rng.t;
+  restart : bool;
+  mutable status : status;
+  mutable resume : resume_point;
+  mutable pending_compute : int;
+  mutable compute_started : int;
+  mutable spin_request : int;
+  mutable locks_held : int;
+  mutable rounds : int;
+  mutable round_started : int;
+  mutable marks : int;
+  mutable total_spin_cycles : int;
+}
+
+let make ~id ~affinity ~restart ~rng program =
+  {
+    id;
+    affinity;
+    program;
+    cursor = Program.cursor program;
+    rng;
+    restart;
+    status = Runnable;
+    resume = R_fetch;
+    pending_compute = 0;
+    compute_started = 0;
+    spin_request = 0;
+    locks_held = 0;
+    rounds = 0;
+    round_started = 0;
+    marks = 0;
+    total_spin_cycles = 0;
+  }
+
+let is_executable t =
+  match t.status with
+  | Runnable | Spinning _ | Spin_barrier _ -> true
+  | Blocked_barrier _ | Blocked_sem _ | Finished -> false
+
+let is_preemptible_by_guest t =
+  match t.status with
+  | Runnable -> t.locks_held = 0 && t.resume = R_fetch
+  | Spinning _ | Spin_barrier _ | Blocked_barrier _ | Blocked_sem _ | Finished ->
+    false
+
+let pp fmt t =
+  let status =
+    match t.status with
+    | Runnable -> "runnable"
+    | Spinning l -> Printf.sprintf "spin(lock %d)" l
+    | Spin_barrier (b, g) -> Printf.sprintf "spin(barrier %d gen %d)" b g
+    | Blocked_barrier (b, g) -> Printf.sprintf "sleep(barrier %d gen %d)" b g
+    | Blocked_sem s -> Printf.sprintf "blocked(sem %d)" s
+    | Finished -> "finished"
+  in
+  Format.fprintf fmt "thread%d(vcpu %d %s rounds=%d)" t.id t.affinity status
+    t.rounds

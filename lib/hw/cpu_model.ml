@@ -1,0 +1,47 @@
+open Sim_engine
+
+type t = {
+  freq : Units.freq;
+  slot_ms : int;
+  slots_per_period : int;
+  slots_per_slice : int;
+  ipi_latency_cycles : int;
+  ctx_switch_cycles : int;
+  cache_handoff_cycles : int;
+}
+
+let default =
+  let freq = Units.ghz_f 2.33 in
+  {
+    freq;
+    slot_ms = 10;
+    slots_per_period = 3;
+    slots_per_slice = 3;
+    ipi_latency_cycles = Units.cycles_of_us freq 2;
+    ctx_switch_cycles = Units.cycles_of_us freq 5;
+    cache_handoff_cycles = 200;
+  }
+
+let slot_cycles t = Units.cycles_of_ms t.freq t.slot_ms
+
+let period_cycles t = slot_cycles t * t.slots_per_period
+
+let slice_cycles t = slot_cycles t * t.slots_per_slice
+
+let validate t =
+  let checks =
+    [
+      (Units.freq_to_khz t.freq > 0, "freq must be positive");
+      (t.slot_ms > 0, "slot_ms must be positive");
+      (t.slots_per_period > 0, "slots_per_period must be positive");
+      (t.slots_per_slice > 0, "slots_per_slice must be positive");
+      (t.ipi_latency_cycles >= 0, "ipi_latency_cycles must be non-negative");
+      (t.ctx_switch_cycles >= 0, "ctx_switch_cycles must be non-negative");
+      (t.cache_handoff_cycles >= 0, "cache_handoff_cycles must be non-negative");
+      ( t.ipi_latency_cycles < slot_cycles t,
+        "ipi latency must be shorter than a slot" );
+    ]
+  in
+  match List.find_opt (fun (ok, _) -> not ok) checks with
+  | Some (_, msg) -> Error msg
+  | None -> Ok ()

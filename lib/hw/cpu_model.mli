@@ -1,0 +1,35 @@
+(** Processor timing model.
+
+    Captures the parameters of the paper's testbed (dual quad-core
+    Xeon X5410, 2.33 GHz) and the Xen Credit scheduler's time
+    quantization: a basic scheduling slot of 10 ms and a credit
+    accounting period of 3 slots (30 ms). *)
+
+type t = {
+  freq : Sim_engine.Units.freq;  (** core clock *)
+  slot_ms : int;  (** basic scheduling slot / credit tick (Xen: 10 ms) *)
+  slots_per_period : int;  (** K — credit assignment interval in slots (Xen: 3) *)
+  slots_per_slice : int;
+      (** scheduling-decision interval in slots: Xen's Credit
+          scheduler allocates PCPUs in 30 ms time slices while burning
+          credit every 10 ms (paper §3.3) *)
+  ipi_latency_cycles : int;  (** inter-processor interrupt delivery latency *)
+  ctx_switch_cycles : int;  (** VCPU context-switch cost charged on switch *)
+  cache_handoff_cycles : int;  (** contended cache-line transfer (lock handoff) *)
+}
+
+val default : t
+(** 2.33 GHz, 10 ms slots, K = 3, 30 ms slices, ~2 us IPI, ~5 us
+    context switch, ~200-cycle lock handoff. *)
+
+val slot_cycles : t -> int
+(** Length of one scheduling slot in cycles. *)
+
+val period_cycles : t -> int
+(** Length of one credit accounting period ([slots_per_period] slots). *)
+
+val slice_cycles : t -> int
+(** Length of one scheduling slice ([slots_per_slice] slots). *)
+
+val validate : t -> (unit, string) result
+(** Check that all parameters are positive and consistent. *)

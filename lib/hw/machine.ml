@@ -1,0 +1,99 @@
+open Sim_engine
+
+type t = {
+  engine : Engine.t;
+  cpu_model : Cpu_model.t;
+  topology : Topology.t;
+  phases : int array;
+  mutable slot_handler : (int -> unit) option;
+  mutable period_handler : (unit -> unit) option;
+  mutable started : bool;
+  mutable ipis : int;
+  mutable ipis_cross_socket : int;
+}
+
+let create ?(stagger = true) engine cpu_model topology =
+  (match Cpu_model.validate cpu_model with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Machine.create: " ^ msg));
+  let n = Topology.pcpu_count topology in
+  let slot = Cpu_model.slot_cycles cpu_model in
+  let phases =
+    Array.init n (fun k -> if stagger then k * slot / n else 0)
+  in
+  {
+    engine;
+    cpu_model;
+    topology;
+    phases;
+    slot_handler = None;
+    period_handler = None;
+    started = false;
+    ipis = 0;
+    ipis_cross_socket = 0;
+  }
+
+let engine t = t.engine
+let cpu_model t = t.cpu_model
+let topology t = t.topology
+let pcpu_count t = Topology.pcpu_count t.topology
+
+let set_slot_handler t f = t.slot_handler <- Some f
+
+let set_period_handler t f = t.period_handler <- Some f
+
+let phase t pcpu = t.phases.(pcpu)
+
+let next_boundary t ~pcpu ~after =
+  let slot = Cpu_model.slot_cycles t.cpu_model in
+  let ph = t.phases.(pcpu) in
+  if after < ph then ph
+  else begin
+    let k = (after - ph) / slot in
+    ph + ((k + 1) * slot)
+  end
+
+let start t =
+  if t.started then failwith "Machine.start: already started";
+  let slot_handler =
+    match t.slot_handler with
+    | Some f -> f
+    | None -> failwith "Machine.start: no slot handler installed"
+  in
+  t.started <- true;
+  let slot = Cpu_model.slot_cycles t.cpu_model in
+  let period_slots = t.cpu_model.Cpu_model.slots_per_period in
+  (* Period events are anchored to the bootstrap PCPU's clock and fire
+     before its slot handler at the shared instant, so freshly assigned
+     credits are visible to that boundary's decisions. *)
+  let rec period_tick () =
+    (match t.period_handler with Some f -> f () | None -> ());
+    ignore
+      (Engine.schedule_after t.engine ~delay:(slot * period_slots) period_tick)
+  in
+  ignore (Engine.schedule_at t.engine ~time:t.phases.(0) period_tick);
+  for pcpu = 0 to pcpu_count t - 1 do
+    let rec tick () =
+      slot_handler pcpu;
+      ignore (Engine.schedule_after t.engine ~delay:slot tick)
+    in
+    ignore (Engine.schedule_at t.engine ~time:t.phases.(pcpu) tick)
+  done
+
+let started t = t.started
+
+let send_ipi t ~src ~dst callback =
+  if dst < 0 || dst >= pcpu_count t then invalid_arg "Machine.send_ipi: bad dst";
+  if src < 0 || src >= pcpu_count t then invalid_arg "Machine.send_ipi: bad src";
+  t.ipis <- t.ipis + 1;
+  (* Cross-socket interrupts traverse the interconnect: double latency. *)
+  let cross = not (Topology.same_socket t.topology src dst) in
+  if cross then t.ipis_cross_socket <- t.ipis_cross_socket + 1;
+  let latency =
+    t.cpu_model.Cpu_model.ipi_latency_cycles * if cross then 2 else 1
+  in
+  ignore (Engine.schedule_after t.engine ~delay:latency callback)
+
+let ipis_sent t = t.ipis
+
+let ipis_cross_socket t = t.ipis_cross_socket

@@ -1,0 +1,58 @@
+(** Physical machine: PCPUs with per-CPU slot clocks and IPI delivery.
+
+    Each PCPU fires a recurring {e slot-boundary} event every
+    [slot_cycles]. When [stagger] is on (the realistic default — Xen's
+    per-CPU timers are not aligned), PCPU [k]'s boundaries are offset
+    by [k * slot / pcpu_count], which de-synchronizes sibling VCPUs of
+    a VM and is a root cause of the paper's degradation. The scheduler
+    built on top registers a handler for these boundaries and uses
+    {!send_ipi} for coscheduling. *)
+
+type t
+
+val create :
+  ?stagger:bool ->
+  Sim_engine.Engine.t ->
+  Cpu_model.t ->
+  Topology.t ->
+  t
+(** [stagger] defaults to [true]. *)
+
+val engine : t -> Sim_engine.Engine.t
+val cpu_model : t -> Cpu_model.t
+val topology : t -> Topology.t
+val pcpu_count : t -> int
+
+val set_slot_handler : t -> (int -> unit) -> unit
+(** [set_slot_handler t f] installs [f pcpu], called at each of
+    [pcpu]'s slot boundaries. Must be set before {!start}. *)
+
+val set_period_handler : t -> (unit -> unit) -> unit
+(** Handler for the credit-assignment event, fired by the bootstrap
+    PCPU (PCPU 0) every [slots_per_period] slots, just before PCPU 0's
+    own slot handler for that boundary. *)
+
+val start : t -> unit
+(** Begin firing slot and period events. The first period event fires
+    at time [phase 0] so credits exist before any scheduling decision.
+    Raises [Failure] if no slot handler is installed or if called
+    twice. *)
+
+val started : t -> bool
+
+val phase : t -> int -> int
+(** [phase t pcpu] is the offset of [pcpu]'s first slot boundary. *)
+
+val next_boundary : t -> pcpu:int -> after:int -> int
+(** First slot boundary of [pcpu] strictly greater than [after]. *)
+
+val send_ipi : t -> src:int -> dst:int -> (unit -> unit) -> unit
+(** Deliver a callback on [dst] after the model's IPI latency
+    (doubled when [src] and [dst] sit on different sockets — the
+    interconnect hop). Self-IPIs are permitted. *)
+
+val ipis_sent : t -> int
+(** Total IPIs delivered or in flight (monotone counter). *)
+
+val ipis_cross_socket : t -> int
+(** How many of them crossed a socket boundary. *)

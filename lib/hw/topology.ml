@@ -1,0 +1,24 @@
+type t = { sockets : int; cores_per_socket : int }
+
+let make ~sockets ~cores_per_socket =
+  if sockets <= 0 || cores_per_socket <= 0 then
+    invalid_arg "Topology.make: dimensions must be positive";
+  { sockets; cores_per_socket }
+
+let default = make ~sockets:2 ~cores_per_socket:4
+
+let pcpu_count t = t.sockets * t.cores_per_socket
+
+let check t pcpu =
+  if pcpu < 0 || pcpu >= pcpu_count t then
+    invalid_arg (Printf.sprintf "Topology: pcpu %d out of range" pcpu)
+
+let socket_of t pcpu =
+  check t pcpu;
+  pcpu / t.cores_per_socket
+
+let same_socket t a b = socket_of t a = socket_of t b
+
+let pcpus_of_socket t s =
+  if s < 0 || s >= t.sockets then invalid_arg "Topology.pcpus_of_socket";
+  List.init t.cores_per_socket (fun i -> (s * t.cores_per_socket) + i)

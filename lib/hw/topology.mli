@@ -1,0 +1,23 @@
+(** Physical CPU topology (sockets x cores).
+
+    The paper's testbed is a dual-socket quad-core machine (8 PCPUs).
+    Socket locality is exposed for the LLC-aware extension the paper
+    lists as future work. *)
+
+type t = private { sockets : int; cores_per_socket : int }
+
+val make : sockets:int -> cores_per_socket:int -> t
+(** Raises [Invalid_argument] on non-positive dimensions. *)
+
+val default : t
+(** 2 sockets x 4 cores = 8 PCPUs (Dell T5400, dual Xeon X5410). *)
+
+val pcpu_count : t -> int
+
+val socket_of : t -> int -> int
+(** [socket_of t pcpu] is the socket holding [pcpu]. Raises
+    [Invalid_argument] for an out-of-range id. *)
+
+val same_socket : t -> int -> int -> bool
+
+val pcpus_of_socket : t -> int -> int list

@@ -1,0 +1,133 @@
+open Sim_engine
+
+type locality = { start : int; duration : int }
+
+type t = { localities : locality list; horizon : int }
+
+type profile = {
+  mean_duration : float;
+  mean_gap : float;
+  correlation : float;
+  jitter_cv : float;
+}
+
+let default_profile ~slot_cycles =
+  {
+    mean_duration = 4. *. float_of_int slot_cycles;
+    mean_gap = 12. *. float_of_int slot_cycles;
+    correlation = 0.7;
+    jitter_cv = 0.3;
+  }
+
+let validate_profile p =
+  p.mean_duration > 0. && p.mean_gap >= 0.
+  && p.correlation >= 0. && p.correlation < 1.
+  && p.jitter_cv >= 0.
+
+let generate rng profile ~n =
+  if n <= 0 then invalid_arg "Locality.generate: n must be positive";
+  if not (validate_profile profile) then
+    invalid_arg "Locality.generate: invalid profile";
+  let log_mean = log profile.mean_duration in
+  let sigma = profile.jitter_cv in
+  let rec build i t log_x acc =
+    if i = n then (List.rev acc, t)
+    else begin
+      let noise = Rng.gaussian rng ~mu:0. ~sigma in
+      let log_x' =
+        (profile.correlation *. log_x)
+        +. ((1. -. profile.correlation) *. log_mean)
+        +. noise
+      in
+      let duration = max 1 (int_of_float (exp log_x')) in
+      let gap =
+        max 1 (int_of_float (Rng.exponential rng ~mean:profile.mean_gap))
+      in
+      let loc = { start = t; duration } in
+      build (i + 1) (t + duration + gap) log_x' (loc :: acc)
+    end
+  in
+  let localities, horizon = build 0 0 log_mean [] in
+  { localities; horizon }
+
+let event_times ?spacing t =
+  let default_spacing =
+    let total =
+      List.fold_left (fun acc l -> acc + l.duration) 0 t.localities
+    in
+    let n = max 1 (List.length t.localities) in
+    max 1 (total / n / 10)
+  in
+  let spacing =
+    match spacing with
+    | Some s when s > 0 -> s
+    | Some _ -> invalid_arg "Locality.event_times: spacing must be positive"
+    | None -> default_spacing
+  in
+  List.concat_map
+    (fun l ->
+      let rec emit t acc =
+        if t >= l.start + l.duration then List.rev acc else emit (t + spacing) (t :: acc)
+      in
+      emit l.start [])
+    t.localities
+
+let overlap (a0, a1) (b0, b1) = max 0 (min a1 b1 - max a0 b0)
+
+(* Merge possibly-overlapping intervals into a disjoint union. *)
+let merge_ranges ranges =
+  let sorted = List.sort compare ranges in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (s, e) :: rest -> begin
+      match acc with
+      | (ps, pe) :: tail when s <= pe -> go ((ps, max pe e) :: tail) rest
+      | _ -> go ((s, e) :: acc) rest
+    end
+  in
+  go [] sorted
+
+let coverage t ~windows =
+  let window_ranges =
+    merge_ranges (List.map (fun (s, d) -> (s, s + d)) windows)
+  in
+  let locality_ranges =
+    List.map (fun l -> (l.start, l.start + l.duration)) t.localities
+  in
+  let total_locality =
+    List.fold_left (fun acc (s, e) -> acc + (e - s)) 0 locality_ranges
+  in
+  let total_window =
+    List.fold_left (fun acc (s, e) -> acc + (e - s)) 0 window_ranges
+  in
+  let covered =
+    List.fold_left
+      (fun acc lr ->
+        acc
+        + List.fold_left (fun a wr -> a + overlap lr wr) 0 window_ranges)
+      0 locality_ranges
+  in
+  let hit =
+    if total_locality = 0 then 0.
+    else float_of_int covered /. float_of_int total_locality
+  in
+  let excess =
+    if total_window = 0 then 0.
+    else float_of_int (total_window - covered) /. float_of_int total_window
+  in
+  (hit, excess)
+
+let autocorrelation t ~lag =
+  let xs = Array.of_list (List.map (fun l -> float_of_int l.duration) t.localities) in
+  let n = Array.length xs in
+  if lag <= 0 || n - lag < 2 then nan
+  else begin
+    let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+    let num = ref 0. and den = ref 0. in
+    for i = 0 to n - 1 do
+      let d = xs.(i) -. mean in
+      den := !den +. (d *. d);
+      if i + lag < n then num := !num +. (d *. (xs.(i + lag) -. mean))
+    done;
+    if !den = 0. then nan else !num /. !den
+  end

@@ -1,0 +1,46 @@
+(** The locality-of-synchronization model (paper §4.2, Figure 5).
+
+    A concurrent program's over-threshold spinlocks arrive in bursts
+    (localities) [L_i], each with a lasting time [X_i] and an
+    inter-locality start gap [Z_i >= X_i]. Properties (ii) and (iii)
+    of §4.2 say consecutive [X_i] are correlated while distant ones
+    decorrelate — modelled here as an AR(1) process on [log X].
+
+    This module generates synthetic locality traces for testing the
+    {!Estimator} in isolation from the full simulator and for the
+    [adaptive_learning] example. *)
+
+type locality = { start : int; duration : int }
+
+type t = { localities : locality list; horizon : int }
+
+type profile = {
+  mean_duration : float;  (** cycles, mean of X_i *)
+  mean_gap : float;  (** cycles, mean of Z_i - X_i *)
+  correlation : float;  (** AR(1) coefficient in [0, 1) *)
+  jitter_cv : float;  (** coefficient of variation of the AR noise *)
+}
+
+val default_profile : slot_cycles:int -> profile
+
+val generate : Sim_engine.Rng.t -> profile -> n:int -> t
+(** [generate rng profile ~n] is a trace of [n] localities starting at
+    time 0. Raises [Invalid_argument] on a non-positive [n] or invalid
+    profile. *)
+
+val event_times : ?spacing:int -> t -> int list
+(** Over-threshold spinlock timestamps: one at each locality start and
+    then every [spacing] cycles (default: 10% of the mean duration)
+    until the locality ends. Sorted ascending. *)
+
+val coverage : t -> windows:(int * int) list -> float * float
+(** [coverage t ~windows] evaluates a set of coscheduling windows
+    [(start, duration)] against the trace: returns
+    [(hit, excess)] where [hit] is the fraction of locality time
+    covered by the union of the windows and [excess] is the fraction
+    of (unioned) window time falling outside any locality
+    (over-coscheduling). Overlapping windows are merged first. *)
+
+val autocorrelation : t -> lag:int -> float
+(** Sample autocorrelation of the [X_i] sequence at the given lag;
+    [nan] if the trace is too short. *)

@@ -1,0 +1,29 @@
+(** Streaming univariate summary statistics (Welford's algorithm). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Sample (unbiased) variance; [nan] with fewer than two samples. *)
+
+val stddev : t -> float
+
+val cv : t -> float
+(** Coefficient of variation: [stddev /. mean]. *)
+
+val min_value : t -> float
+val max_value : t -> float
+
+val of_array : float array -> t
+
+val percentile : float array -> float -> float
+(** [percentile values p] for [p] in [\[0, 1\]] computes the
+    linearly-interpolated percentile of a copy of [values]. Raises
+    [Invalid_argument] on an empty array or out-of-range [p]. *)

@@ -1,0 +1,16 @@
+(** Plain-text table and bar-chart rendering for benchmark reports. *)
+
+val render : headers:string list -> string list list -> string
+(** [render ~headers rows] is an aligned, boxed ASCII table. Rows
+    shorter than [headers] are padded with empty cells. *)
+
+val render_series : Series.t list -> string
+(** Render series sharing an x axis as one table: first column x,
+    one column per series. *)
+
+val bar_chart : ?width:int -> (string * float) list -> string
+(** Horizontal ASCII bar chart, scaled to the maximum value. *)
+
+val fixed : ?decimals:int -> float -> string
+(** Format a float with a fixed number of decimals (default 2); [nan]
+    renders as ["-"]. *)

@@ -1,0 +1,38 @@
+(** Credit accounting (Algorithm 3, lines 1–7).
+
+    At each assignment event (every [K] slots) the bootstrap PCPU
+    computes the system-wide credit
+    [Cred_total = |P| * Cred_unit * K] and hands each domain
+    [Cred_total * weight_proportion], split equally among its VCPUs.
+    Running VCPUs burn [Cred_unit] per fully-used slot (pro-rated for
+    partial slots). Credit is capped so that a long-idle VCPU cannot
+    hoard an unbounded burst (Xen behaves the same way). *)
+
+val default_credit_unit : int
+(** 1000 — kept large so pro-rated burns lose little to integer
+    division. *)
+
+val total_per_period : pcpus:int -> slots_per_period:int -> credit_unit:int -> int
+
+val burn : credit_unit:int -> slot_cycles:int -> run_cycles:int -> int
+(** Credit consumed by running [run_cycles] within a slot of
+    [slot_cycles]. Raises [Invalid_argument] if [run_cycles] is
+    negative or exceeds the slot. *)
+
+val cap : credit_unit:int -> slots_per_period:int -> int
+(** Maximum credit a VCPU may hold: two periods of full-speed burn. *)
+
+val assign :
+  domains:Domain.t list ->
+  pcpus:int ->
+  slots_per_period:int ->
+  credit_unit:int ->
+  work_conserving:bool ->
+  unit
+(** One assignment event: increment (and cap) every VCPU's credit.
+    In non-work-conserving mode also update each VCPU's [parked]
+    flag (parked iff credit is strictly negative — a VM that exactly
+    balances its refill must keep running):
+    Xen parks capped VCPUs at the global accounting event rather than
+    at per-PCPU boundaries, so a capped VM's VCPUs stop and restart in
+    rough global sync. *)

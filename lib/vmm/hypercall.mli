@@ -1,0 +1,22 @@
+(** The guest-to-VMM hypercall surface.
+
+    The paper adds a single hypercall, [do_vcrd_op], through which the
+    guest Monitoring Module reports VCRD changes. This module wraps it
+    with per-domain call statistics, mirroring how the prototype
+    instruments the Xen hypercall path. *)
+
+type stats = { mutable to_high : int; mutable to_low : int }
+
+type t
+
+val create : Vmm.t -> t
+
+val vmm : t -> Vmm.t
+
+val do_vcrd_op : t -> Domain.t -> Domain.vcrd -> unit
+(** Forwards to {!Vmm.do_vcrd_op} and counts the call. *)
+
+val stats_for : t -> Domain.t -> stats
+(** Cumulative hypercall counts for a domain (zeros if never called). *)
+
+val total_calls : t -> int

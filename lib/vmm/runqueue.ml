@@ -1,0 +1,62 @@
+type t = { pcpu_id : int; mutable queue : Vcpu.t list (* FIFO: head = oldest *) }
+
+let create ~pcpu = { pcpu_id = pcpu; queue = [] }
+
+let pcpu t = t.pcpu_id
+
+let length t = List.length t.queue
+
+let is_empty t = t.queue = []
+
+let mem t v = List.memq v t.queue
+
+let insert t v =
+  if not (Vcpu.is_ready v) then
+    invalid_arg "Runqueue.insert: vcpu is not Ready";
+  if mem t v then invalid_arg "Runqueue.insert: vcpu already queued";
+  v.Vcpu.home <- t.pcpu_id;
+  t.queue <- t.queue @ [ v ]
+
+let remove t v =
+  if not (mem t v) then invalid_arg "Runqueue.remove: vcpu not in queue";
+  t.queue <- List.filter (fun x -> x != v) t.queue
+
+let to_list t = t.queue
+
+(* Strictly better in (boosted, credit) order; FIFO ties resolved by
+   scanning in queue order and replacing only on strict improvement. *)
+let better (a : Vcpu.t) (b : Vcpu.t) =
+  match (a.Vcpu.boosted, b.Vcpu.boosted) with
+  | true, false -> true
+  | false, true -> false
+  | true, true | false, false -> a.Vcpu.credit > b.Vcpu.credit
+
+let best ~f t =
+  List.fold_left
+    (fun acc v ->
+      if not (f v) then acc
+      else
+        match acc with
+        | None -> Some v
+        | Some cur -> if better v cur then Some v else acc)
+    None t.queue
+
+let head t = best ~f:Vcpu.eligible t
+
+let head_under t = best ~f:(fun v -> Vcpu.eligible v && v.Vcpu.credit > 0) t
+
+let best_by_credit t ~f =
+  List.fold_left
+    (fun acc v ->
+      if not (f v) then acc
+      else
+        match acc with
+        | None -> Some v
+        | Some cur -> if v.Vcpu.credit > cur.Vcpu.credit then Some v else acc)
+    None t.queue
+
+let has_domain t ~domain_id =
+  List.exists (fun v -> v.Vcpu.domain_id = domain_id) t.queue
+
+let find_domain t ~domain_id =
+  List.filter (fun v -> v.Vcpu.domain_id = domain_id) t.queue

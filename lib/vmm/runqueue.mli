@@ -1,0 +1,46 @@
+(** Per-PCPU run queue of [Ready] VCPUs.
+
+    Selection order follows the paper's Adaptive Scheduler: boosted
+    VCPUs (raised by a coscheduling IPI) come first, then decreasing
+    unused credit, ties broken FIFO. Queues are small (at most the
+    total VCPU count), so O(n) scans are used for clarity. *)
+
+type t
+
+val create : pcpu:int -> t
+
+val pcpu : t -> int
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val insert : t -> Vcpu.t -> unit
+(** Appends and records the VCPU's [home]. The VCPU must be [Ready]
+    and not already queued anywhere (checked for this queue). *)
+
+val remove : t -> Vcpu.t -> unit
+(** Raises [Invalid_argument] if the VCPU is not in this queue. *)
+
+val mem : t -> Vcpu.t -> bool
+
+val to_list : t -> Vcpu.t list
+(** Queue order (FIFO). *)
+
+val head : t -> Vcpu.t option
+(** The VCPU Algorithm 4 calls [VC(P_k)]: maximal by
+    [(boosted, credit)] among {!Vcpu.eligible} VCPUs, FIFO on ties.
+    Parked VCPUs are skipped unless boosted; whether an out-of-credit
+    {e unparked} head may run is the scheduler's policy decision. *)
+
+val head_under : t -> Vcpu.t option
+(** Like {!head} but restricted to VCPUs with positive credit
+    (Xen's UNDER priority). *)
+
+val best_by_credit : t -> f:(Vcpu.t -> bool) -> Vcpu.t option
+(** Maximal-credit VCPU satisfying [f]. *)
+
+val has_domain : t -> domain_id:int -> bool
+(** Is any VCPU of the given domain queued here? *)
+
+val find_domain : t -> domain_id:int -> Vcpu.t list

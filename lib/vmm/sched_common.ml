@@ -1,0 +1,80 @@
+open Sched_intf
+
+let requeue_current api ~pcpu =
+  match api.current pcpu with
+  | Some _ -> api.make_idle ~pcpu
+  | None -> ()
+
+let allow_any _v ~dst:_ = true
+
+let steal api ~dst ~under_only ~allowed =
+  let candidate = ref None in
+  Array.iter
+    (fun rq ->
+      if Runqueue.pcpu rq <> dst then
+        List.iter
+          (fun (v : Vcpu.t) ->
+            let eligible =
+              (not v.Vcpu.boosted) && (not v.Vcpu.parked)
+              && ((not under_only) || v.Vcpu.credit > 0)
+              && allowed v ~dst
+            in
+            if eligible then
+              match !candidate with
+              | None -> candidate := Some v
+              | Some cur ->
+                if v.Vcpu.credit > cur.Vcpu.credit then candidate := Some v)
+          (Runqueue.to_list rq))
+    api.runqueues;
+  match !candidate with
+  | None -> None
+  | Some v ->
+    api.migrate v ~dst;
+    Some v
+
+let pick_baseline api ~pcpu ~allowed =
+  let rq = api.runqueues.(pcpu) in
+  match Runqueue.head_under rq with
+  | Some v -> Some v
+  | None -> begin
+    match steal api ~dst:pcpu ~under_only:true ~allowed with
+    | Some v -> Some v
+    | None -> begin
+      (* The cap is enforced by parking at accounting events, so an
+         unparked OVER VCPU may run between events even in the
+         non-work-conserving mode (as Xen behaves). *)
+      match Runqueue.head rq with
+      | Some v -> Some v
+      | None -> steal api ~dst:pcpu ~under_only:false ~allowed
+    end
+  end
+
+let kick_idle api ~pick =
+  let n = Array.length api.runqueues in
+  for pcpu = 0 to n - 1 do
+    match api.current pcpu with
+    | None -> begin
+      match pick ~pcpu with
+      | Some v -> api.run_on ~pcpu v
+      | None -> ()
+    end
+    | Some _ -> ()
+  done
+
+let assign_credit api =
+  Credit.assign
+    ~domains:(api.domains ())
+    ~pcpus:(Array.length api.runqueues)
+    ~slots_per_period:
+      (Sim_hw.Machine.cpu_model api.machine).Sim_hw.Cpu_model.slots_per_period
+    ~credit_unit:api.credit_unit ~work_conserving:api.work_conserving
+
+let preempt_parked api ~refill =
+  Array.iteri
+    (fun pcpu _rq ->
+      match api.current pcpu with
+      | Some (v : Vcpu.t) when v.Vcpu.parked && not v.Vcpu.boosted ->
+        api.make_idle ~pcpu;
+        refill ~pcpu
+      | Some _ | None -> ())
+    api.runqueues

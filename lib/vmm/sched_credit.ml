@@ -1,0 +1,47 @@
+open Sched_intf
+
+let make (api : api) : t =
+  let pick ~pcpu =
+    Sched_common.pick_baseline api ~pcpu ~allowed:Sched_common.allow_any
+  in
+  let decide ~pcpu =
+    match pick ~pcpu with
+    | Some v -> api.run_on ~pcpu v
+    | None -> ()
+  in
+  let on_slot ~pcpu =
+    Sched_common.requeue_current api ~pcpu;
+    decide ~pcpu
+  in
+  let on_period () =
+    Sched_common.assign_credit api;
+    Sched_common.preempt_parked api ~refill:(fun ~pcpu -> decide ~pcpu)
+  in
+  let on_wake (v : Vcpu.t) =
+    (* Queue at home, then grab an idle PCPU if one exists (prefer
+       home) so wakeups are not delayed by a whole slot. *)
+    let home = v.Vcpu.home in
+    Runqueue.insert api.runqueues.(home) v;
+    (* Xen fast-tracks only UNDER wakeups (BOOST); an OVER VCPU waits
+       for its queue turn. *)
+    if Vcpu.eligible v && v.Vcpu.credit >= 0 then begin
+      let idle p = match api.current p with None -> true | Some _ -> false in
+      let n = Array.length api.runqueues in
+      let target =
+        if idle home then Some home
+        else begin
+          let rec scan p = if p >= n then None else if idle p then Some p else scan (p + 1) in
+          scan 0
+        end
+      in
+      match target with Some p -> api.run_on ~pcpu:p v | None -> ()
+    end
+  in
+  let on_block (v : Vcpu.t) =
+    (* The core already removed the blocked VCPU; fill the hole. *)
+    decide ~pcpu:v.Vcpu.home
+  in
+  let on_vcrd_change _dom = () in
+  let on_ple _v = () in
+  { name = "credit"; on_slot; on_period; on_wake; on_block; on_vcrd_change;
+    on_ple }

@@ -1,0 +1,8 @@
+(** Baseline: Xen's Credit scheduler (no coscheduling).
+
+    Proportional-share with automatic workload balancing of VCPUs
+    across PCPUs — before a PCPU goes idle it steals a runnable VCPU
+    from another run queue. VCRD changes are ignored: this is the
+    scheduler the paper's "Credit" curves measure. *)
+
+val make : Sched_intf.maker

@@ -1,0 +1,352 @@
+open Sched_intf
+
+type oov_state = {
+  estimator : Sim_learn.Estimator.t;
+  mutable window : Sim_engine.Engine.handle option;
+  mutable budget : int;  (** online cycles left in the HIGH window *)
+  mutable anchor : int;  (** domain online cycles at the last re-arm *)
+}
+
+let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
+    ?(continuity = true) ?(llc_aware = false) ~name ~should_cosched
+    (api : api) : t =
+  let domain_of (v : Vcpu.t) =
+    List.find (fun d -> d.Domain.id = v.Vcpu.domain_id) (api.domains ())
+  in
+  (* Mutex of Algorithm 4: only one PCPU launches the coscheduling IPIs
+     for a domain at any given instant. *)
+  let last_launch : (int, int) Hashtbl.t = Hashtbl.create 8 in
+
+  (* A VCPU of a coscheduled domain must not be migrated onto a PCPU
+     whose run queue already holds a sibling (Algorithm 4, line 3). *)
+  let allowed (v : Vcpu.t) ~dst =
+    let dom = domain_of v in
+    (not (should_cosched dom))
+    || not (Runqueue.has_domain api.runqueues.(dst) ~domain_id:dom.Domain.id)
+  in
+
+  (* Algorithm 3, lines 8-15: relocate a domain's Ready VCPUs so each
+     sits in a different PCPU's run queue (counting PCPUs that are
+     already running a sibling as taken). With [llc_aware], PCPUs that
+     share a socket (and thus the last-level cache) with a sibling are
+     preferred — coscheduling IPIs then stay on-socket and the gang
+     shares its LLC, the architectural property §7 points at. *)
+  let topology = Sim_hw.Machine.topology api.machine in
+  let spread (dom : Domain.t) =
+    let n = Array.length api.runqueues in
+    let taken = Array.make n false in
+    let anchor_socket = ref None in
+    let note_socket p =
+      if llc_aware && !anchor_socket = None then
+        anchor_socket := Some (Sim_hw.Topology.socket_of topology p)
+    in
+    Array.iter
+      (fun (v : Vcpu.t) ->
+        match Vcpu.running_on v with
+        | Some p ->
+          taken.(p) <- true;
+          note_socket p
+        | None -> ())
+      dom.Domain.vcpus;
+    let preferred p =
+      match !anchor_socket with
+      | Some socket when llc_aware ->
+        Sim_hw.Topology.socket_of topology p = socket
+      | Some _ | None -> true
+    in
+    let better candidate incumbent =
+      match incumbent with
+      | -1 -> true
+      | b ->
+        let cp = preferred candidate and bp = preferred b in
+        if cp <> bp then cp
+        else
+          Runqueue.length api.runqueues.(candidate)
+          < Runqueue.length api.runqueues.(b)
+    in
+    let claim_or_move (v : Vcpu.t) =
+      if Vcpu.is_ready v then begin
+        if
+          (not taken.(v.Vcpu.home))
+          && ((not llc_aware) || preferred v.Vcpu.home)
+        then begin
+          taken.(v.Vcpu.home) <- true;
+          note_socket v.Vcpu.home
+        end
+        else begin
+          let best = ref (-1) in
+          for p = 0 to n - 1 do
+            if (not taken.(p)) && better p !best then best := p
+          done;
+          match !best with
+          | -1 ->
+            (* More VCPUs than PCPUs: keep the home claim if free. *)
+            if not taken.(v.Vcpu.home) then taken.(v.Vcpu.home) <- true
+          | p ->
+            if p <> v.Vcpu.home then api.migrate v ~dst:p
+            else ();
+            taken.(p) <- true;
+            note_socket p
+        end
+      end
+    in
+    Array.iter claim_or_move dom.Domain.vcpus
+  in
+
+  (* Coschedule the siblings of [leader] (Algorithm 4, lines 5-7):
+     IPI every PCPU holding a Ready sibling; the handler boosts the
+     sibling and preempts the victim unless it is itself part of a
+     coscheduled gang. *)
+  let launch_cosched ~pcpu (leader : Vcpu.t) =
+    let dom = domain_of leader in
+    let now = api.now () in
+    let already = Hashtbl.find_opt last_launch dom.Domain.id in
+    if ipi && already <> Some now then begin
+      Hashtbl.replace last_launch dom.Domain.id now;
+      Array.iter
+        (fun (sib : Vcpu.t) ->
+          if sib != leader && Vcpu.is_ready sib then begin
+            let dst = sib.Vcpu.home in
+            let dst =
+              if dst <> pcpu then dst
+              else begin
+                (* Sibling queued behind the leader: relocate first. *)
+                spread dom;
+                sib.Vcpu.home
+              end
+            in
+            if dst <> pcpu then
+              Sim_hw.Machine.send_ipi api.machine ~src:pcpu ~dst (fun () ->
+                  if Vcpu.is_ready sib && should_cosched dom then begin
+                    sib.Vcpu.boosted <- true;
+                    match api.current dst with
+                    | None -> api.run_on ~pcpu:dst sib
+                    | Some cur ->
+                      if
+                        cur.Vcpu.domain_id <> sib.Vcpu.domain_id
+                        && not cur.Vcpu.boosted
+                      then api.run_on ~pcpu:dst sib
+                  end)
+          end)
+        dom.Domain.vcpus
+    end
+  in
+
+  let run ~pcpu (v : Vcpu.t) =
+    api.run_on ~pcpu v;
+    if should_cosched (domain_of v) then launch_cosched ~pcpu v
+  in
+
+  (* Gang solidarity: while any sibling still holds entitled credit,
+     the whole gang keeps running (out-of-credit members included), so
+     the VM's share is consumed in long aligned bursts and the gang
+     parks as a unit. Long-run fairness is preserved by the credit
+     refill rate; overdraw is bounded by the VMM's credit floor. *)
+  let gang_anchor (dom : Domain.t) =
+    solidarity
+    && Array.exists
+         (fun (v : Vcpu.t) ->
+           v.Vcpu.credit >= 0 && (Vcpu.is_running v || Vcpu.is_ready v))
+         dom.Domain.vcpus
+  in
+  (* Algorithm 4 selection for one PCPU. *)
+  let decide ~pcpu =
+    let rq = api.runqueues.(pcpu) in
+    match Runqueue.head rq with
+    | None -> begin
+      match Sched_common.steal api ~dst:pcpu ~under_only:true ~allowed with
+      | Some v -> run ~pcpu v
+      | None -> begin
+        if api.work_conserving then
+          match Sched_common.steal api ~dst:pcpu ~under_only:false ~allowed with
+          | Some v -> run ~pcpu v
+          | None -> ()
+      end
+    end
+    | Some head ->
+      let solidarity =
+        head.Vcpu.credit < 0
+        &&
+        let dom = domain_of head in
+        should_cosched dom && gang_anchor dom
+      in
+      if head.Vcpu.credit >= 0 || head.Vcpu.boosted || solidarity then
+        run ~pcpu head
+      else begin
+        (* Head used up its credit: migrate in a remote VCPU with
+           maximal credit (Algorithm 4, lines 2-4); in the capped mode
+           an out-of-credit VCPU stays parked until refilled. *)
+        match Sched_common.steal api ~dst:pcpu ~under_only:true ~allowed with
+        | Some v -> run ~pcpu v
+        | None -> if api.work_conserving then run ~pcpu head
+      end
+  in
+  let on_slot ~pcpu =
+    (* Gang continuity: a running member of an anchored coscheduled
+       domain keeps the PCPU through its slice boundary, so the gang's
+       aligned burst is not chopped at per-PCPU slice edges. The burst
+       ends when the anchor (entitled credit) is exhausted. *)
+    let keep =
+      continuity
+      &&
+      match api.current pcpu with
+      | Some cur ->
+        let dom = domain_of cur in
+        if should_cosched dom && gang_anchor dom then begin
+          launch_cosched ~pcpu cur;
+          true
+        end
+        else false
+      | None -> false
+    in
+    if not keep then begin
+      Sched_common.requeue_current api ~pcpu;
+      decide ~pcpu
+    end
+  in
+  let on_period () =
+    Sched_common.assign_credit api;
+    List.iter (fun d -> if should_cosched d then spread d) (api.domains ());
+    Sched_common.preempt_parked api ~refill:(fun ~pcpu -> decide ~pcpu)
+  in
+  let on_wake (v : Vcpu.t) =
+    let dom = domain_of v in
+    (* Respect the distinct-PCPU invariant for coscheduled domains. *)
+    let home =
+      if
+        should_cosched dom
+        && Runqueue.has_domain api.runqueues.(v.Vcpu.home)
+             ~domain_id:dom.Domain.id
+      then begin
+        let n = Array.length api.runqueues in
+        let rec scan p =
+          if p >= n then v.Vcpu.home
+          else if not (Runqueue.has_domain api.runqueues.(p) ~domain_id:dom.Domain.id)
+          then p
+          else scan (p + 1)
+        in
+        scan 0
+      end
+      else v.Vcpu.home
+    in
+    Runqueue.insert api.runqueues.(home) v;
+    (* Xen fast-tracks only UNDER wakeups (BOOST); an OVER VCPU waits
+       for its queue turn. *)
+    if Vcpu.eligible v && v.Vcpu.credit >= 0 then begin
+      let idle p = match api.current p with None -> true | Some _ -> false in
+      let n = Array.length api.runqueues in
+      let target =
+        if idle home then Some home
+        else begin
+          let rec scan p = if p >= n then None else if idle p then Some p else scan (p + 1) in
+          scan 0
+        end
+      in
+      match target with Some p -> run ~pcpu:p v | None -> ()
+    end
+  in
+  let on_block (v : Vcpu.t) = decide ~pcpu:v.Vcpu.home in
+  let on_vcrd_change (dom : Domain.t) =
+    match dom.Domain.vcrd with
+    | Domain.High ->
+      spread dom;
+      (* Start coscheduling right away from the PCPU running one of
+         the domain's VCPUs (or at the next boundary otherwise). *)
+      let leader =
+        Array.fold_left
+          (fun acc (v : Vcpu.t) ->
+            match acc with
+            | Some _ -> acc
+            | None -> ( match Vcpu.running_on v with Some _ -> Some v | None -> None))
+          None dom.Domain.vcpus
+      in
+      (match leader with
+      | Some v -> (
+        match Vcpu.running_on v with
+        | Some p -> if should_cosched dom then launch_cosched ~pcpu:p v
+        | None -> ())
+      | None -> ())
+    | Domain.Low ->
+      Array.iter (fun (v : Vcpu.t) -> v.Vcpu.boosted <- false) dom.Domain.vcpus
+  in
+  (* Out-of-VM VCRD detection (the paper's stated future work): the
+     hardware pause-loop-exit signal tells the VMM that a VCPU burned
+     a full PLE window busy-spinning — no guest modification needed.
+     Each PLE is treated exactly like a Monitoring-Module adjusting
+     event: a per-domain Roth-Erev estimator (clocked in guest online
+     time, like the in-VM monitor) picks the coscheduling duration and
+     the scheduler drives the domain's VCRD itself. *)
+  let engine = Sim_hw.Machine.engine api.machine in
+  let slot_cycles =
+    Sim_hw.Cpu_model.slot_cycles (Sim_hw.Machine.cpu_model api.machine)
+  in
+  let oov_table : (int, oov_state) Hashtbl.t = Hashtbl.create 8 in
+  let oov_state_of (dom : Domain.t) =
+    match Hashtbl.find_opt oov_table dom.Domain.id with
+    | Some st -> st
+    | None ->
+      let st =
+        {
+          estimator =
+            Sim_learn.Estimator.create
+              (Sim_learn.Estimator.default_params ~slot_cycles)
+              (Sim_engine.Rng.split (Sim_engine.Engine.rng engine));
+          window = None;
+          budget = 0;
+          anchor = 0;
+        }
+      in
+      Hashtbl.replace oov_table dom.Domain.id st;
+      st
+  in
+  let set_vcrd (dom : Domain.t) v =
+    if Domain.set_vcrd dom ~now:(api.now ()) v then on_vcrd_change dom
+  in
+  let rec arm_oov_window (dom : Domain.t) st =
+    let vcpus = Domain.vcpu_count dom in
+    let delay = max (Sim_engine.Units.pow2 20) (st.budget / vcpus) in
+    st.window <-
+      Some
+        (Sim_engine.Engine.schedule_after engine ~delay (fun () ->
+             let consumed = api.domain_online dom - st.anchor in
+             if consumed >= st.budget then begin
+               st.window <- None;
+               set_vcrd dom Domain.Low
+             end
+             else begin
+               st.anchor <- st.anchor + consumed;
+               st.budget <- st.budget - consumed;
+               arm_oov_window dom st
+             end))
+  in
+  let on_ple (v : Vcpu.t) =
+    if oov then begin
+      let dom = domain_of v in
+      let st = oov_state_of dom in
+      let online_now = api.domain_online dom / Domain.vcpu_count dom in
+      let x =
+        Sim_learn.Estimator.on_adjusting_event st.estimator ~now:online_now
+      in
+      (match st.window with
+      | Some h -> Sim_engine.Engine.cancel h
+      | None -> ());
+      set_vcrd dom Domain.High;
+      st.budget <- x * Domain.vcpu_count dom;
+      st.anchor <- api.domain_online dom;
+      arm_oov_window dom st
+    end
+  in
+  { name; on_slot; on_period; on_wake; on_block; on_vcrd_change; on_ple }
+
+let make_asman api =
+  make ~name:"asman"
+    ~should_cosched:(fun d -> d.Domain.vcrd = Domain.High)
+    api
+
+let make_static api =
+  make ~name:"cosched-static" ~should_cosched:(fun d -> d.Domain.concurrent_type) api
+
+let make_oov api =
+  make ~oov:true ~name:"asman-oov"
+    ~should_cosched:(fun d -> d.Domain.vcrd = Domain.High)
+    api

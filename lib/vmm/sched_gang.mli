@@ -1,0 +1,46 @@
+(** Coscheduling schedulers: ASMan (adaptive, Algorithms 3–4) and the
+    static CON baseline of the paper's previous work [12].
+
+    Both extend the Credit scheduler with gang dispatch: when the
+    policy says a domain must be coscheduled, the PCPU that schedules
+    one of its VCPUs sends IPIs to the PCPUs holding the sibling
+    VCPUs; the IPI handler temporarily boosts the sibling's priority
+    and preempts the victim so the whole VM is online within the slot.
+    Run-queue relocation (Algorithm 3, lines 8–15) keeps the siblings
+    on distinct PCPUs. Proportional-share fairness is untouched: gang
+    members still burn credit, so a coscheduled VM simply spends its
+    share in aligned bursts.
+
+    - {b ASMan}: coschedule while the domain's VCRD is [High] (set by
+      the guest Monitoring Module through the [do_vcrd_op] hypercall).
+    - {b CON}: coschedule domains statically marked
+      [concurrent_type], regardless of their dynamic behaviour. *)
+
+val make_asman : Sched_intf.maker
+val make_static : Sched_intf.maker
+
+val make_oov : Sched_intf.maker
+(** {b ASMan-OOV}: out-of-VM VCRD detection — the paper's §7 future
+    work. Instead of a Monitoring Module inside the guest kernel, the
+    VMM consumes the hardware pause-loop-exit signal (a VCPU spent a
+    full PLE window busy-spinning) and treats each exit as an
+    adjusting event for its own per-domain Roth-Erev estimator. The
+    guest needs no modification at all. *)
+
+val make :
+  ?oov:bool ->
+  ?ipi:bool ->
+  ?solidarity:bool ->
+  ?continuity:bool ->
+  ?llc_aware:bool ->
+  name:string ->
+  should_cosched:(Domain.t -> bool) ->
+  Sched_intf.maker
+(** Generic constructor (exposed for ablation benchmarks). [oov]
+    enables the VMM-side PLE-driven VCRD management; [ipi],
+    [solidarity] and [continuity] (all on by default) toggle the three
+    gang-dispatch mechanisms so their contributions can be measured
+    separately; [llc_aware] (off by default) makes Algorithm 3's
+    relocation prefer PCPUs sharing a socket/LLC with the gang,
+    keeping coscheduling IPIs on-socket (§7's architecture-aware
+    future work). *)

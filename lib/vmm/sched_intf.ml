@@ -1,0 +1,25 @@
+type api = {
+  machine : Sim_hw.Machine.t;
+  runqueues : Runqueue.t array;
+  domains : unit -> Domain.t list;
+  work_conserving : bool;
+  credit_unit : int;
+  now : unit -> int;
+  current : int -> Vcpu.t option;
+  run_on : pcpu:int -> Vcpu.t -> unit;
+  make_idle : pcpu:int -> unit;
+  migrate : Vcpu.t -> dst:int -> unit;
+  domain_online : Domain.t -> int;
+}
+
+type t = {
+  name : string;
+  on_slot : pcpu:int -> unit;
+  on_period : unit -> unit;
+  on_wake : Vcpu.t -> unit;
+  on_block : Vcpu.t -> unit;
+  on_vcrd_change : Domain.t -> unit;
+  on_ple : Vcpu.t -> unit;
+}
+
+type maker = api -> t

@@ -1,0 +1,56 @@
+(** Interface between the VMM core and pluggable schedulers.
+
+    The VMM core owns the run queues, the current-VCPU assignment and
+    the credit burning; a scheduler is a bundle of event handlers that
+    reacts to slot boundaries, assignment periods, wake/block and VCRD
+    changes by invoking the actions in {!api}. *)
+
+type api = {
+  machine : Sim_hw.Machine.t;
+  runqueues : Runqueue.t array;  (** index = PCPU id *)
+  domains : unit -> Domain.t list;  (** creation order *)
+  work_conserving : bool;
+      (** [false]: a VM's CPU time is strictly capped by its weight
+          (Xen's non work-conserving mode, used in §5.2);
+          [true]: VMs may consume slack (used in §5.3) *)
+  credit_unit : int;
+  now : unit -> int;
+  current : int -> Vcpu.t option;  (** VCPU online on a PCPU *)
+  run_on : pcpu:int -> Vcpu.t -> unit;
+      (** Context-switch a PCPU to a [Ready] VCPU (the previous
+          occupant is preempted and re-queued on that PCPU). A no-op
+          if it is already running there. *)
+  make_idle : pcpu:int -> unit;
+      (** Preempt and re-queue the occupant, leaving the PCPU idle. *)
+  migrate : Vcpu.t -> dst:int -> unit;
+      (** Move a [Ready] VCPU to another PCPU's run queue. *)
+  domain_online : Domain.t -> int;
+      (** Cumulative guest online cycles (for VMM-side window
+          metering, e.g. out-of-VM VCRD detection). *)
+}
+
+type t = {
+  name : string;
+  on_slot : pcpu:int -> unit;
+      (** Slot-boundary scheduling event on a PCPU. The core has
+          already charged credit; the handler must leave the PCPU
+          either running some VCPU or idle. *)
+  on_period : unit -> unit;  (** Credit assignment event (Algorithm 3). *)
+  on_wake : Vcpu.t -> unit;
+      (** A blocked VCPU became runnable; the core already marked it
+          [Ready] (not queued). The handler must queue it (and may
+          dispatch it immediately onto an idle PCPU). *)
+  on_block : Vcpu.t -> unit;
+      (** The VCPU running on some PCPU blocked; the core already
+          removed it. The handler should fill the hole. *)
+  on_vcrd_change : Domain.t -> unit;
+      (** The guest changed the domain's VCRD via hypercall. *)
+  on_ple : Vcpu.t -> unit;
+      (** Hardware pause-loop-exit: the VCPU has been busy-spinning a
+          full PLE window. The basis for out-of-VM VCRD detection (the
+          paper's stated future work); ignored by the other
+          schedulers. *)
+}
+
+type maker = api -> t
+(** Scheduler constructor, passed to [Vmm.create]. *)

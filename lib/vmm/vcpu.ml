@@ -1,0 +1,61 @@
+type state = Running of int | Ready | Blocked
+
+type hooks = { on_scheduled : unit -> unit; on_preempted : unit -> unit }
+
+let no_hooks = { on_scheduled = (fun () -> ()); on_preempted = (fun () -> ()) }
+
+type t = {
+  id : int;
+  domain_id : int;
+  index : int;
+  mutable credit : int;
+  mutable state : state;
+  mutable home : int;
+  mutable boosted : bool;
+  mutable parked : bool;
+  mutable hooks : hooks;
+  mutable online_cycles : int;
+  mutable last_dispatch : int;
+  mutable dispatches : int;
+  mutable migrations : int;
+}
+
+let make ~id ~domain_id ~index ~home =
+  {
+    id;
+    domain_id;
+    index;
+    credit = 0;
+    state = Blocked;
+    home;
+    boosted = false;
+    parked = false;
+    hooks = no_hooks;
+    online_cycles = 0;
+    last_dispatch = 0;
+    dispatches = 0;
+    migrations = 0;
+  }
+
+let set_hooks t hooks = t.hooks <- hooks
+
+let is_running t = match t.state with Running _ -> true | Ready | Blocked -> false
+
+let is_ready t = t.state = Ready
+
+let is_blocked t = t.state = Blocked
+
+let eligible t = t.boosted || not t.parked
+
+let running_on t = match t.state with Running p -> Some p | Ready | Blocked -> None
+
+let pp fmt t =
+  let state =
+    match t.state with
+    | Running p -> Printf.sprintf "running@%d" p
+    | Ready -> "ready"
+    | Blocked -> "blocked"
+  in
+  Format.fprintf fmt "vcpu%d(dom%d.%d %s credit=%d%s)" t.id t.domain_id t.index
+    state t.credit
+    (if t.boosted then " boost" else "")

@@ -1,0 +1,337 @@
+open Sim_engine
+open Sim_hw
+
+type t = {
+  engine : Engine.t;
+  machine : Machine.t;
+  cpu_model : Cpu_model.t;
+  runqueues : Runqueue.t array;
+  current : Vcpu.t option array;
+  mutable domains_rev : Domain.t list;
+  mutable sched : Sched_intf.t option;
+  work_conserving : bool;
+  credit_unit : int;
+  mutable next_vcpu_id : int;
+  mutable next_domain_id : int;
+  slot_counts : int array;  (** per-PCPU slot boundaries seen *)
+  (* accounting *)
+  idle_since : int array;  (** -1 when busy *)
+  idle_cycles : int array;
+  mutable ctx_switches : int;
+  mutable ple_count : int;
+  mutable acct_start : int;
+  acct_online_base : (int, int) Hashtbl.t;  (** domain id -> online at reset *)
+  mutable started : bool;
+}
+
+let engine t = t.engine
+let machine t = t.machine
+let cpu_model t = t.cpu_model
+let pcpu_count t = Machine.pcpu_count t.machine
+
+let sched_name t =
+  match t.sched with Some s -> s.Sched_intf.name | None -> "(none)"
+
+let domains t = List.rev t.domains_rev
+
+let find_domain t id =
+  match List.find_opt (fun d -> d.Domain.id = id) t.domains_rev with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Vmm.find_domain: no domain %d" id)
+
+let now t = Engine.now t.engine
+
+let slot_cycles t = Cpu_model.slot_cycles t.cpu_model
+
+(* Charge the VCPU for the span it has been online and accumulate its
+   online time. Called exactly once per online span, when it ends.
+   Like Xen, debt is floored at one accounting period's worth of burn
+   so a VCPU that overdraws cannot be starved for many periods. *)
+let charge t (v : Vcpu.t) =
+  let ran = now t - v.Vcpu.last_dispatch in
+  let ran_capped = min ran (slot_cycles t) in
+  let floor =
+    -(t.credit_unit * t.cpu_model.Cpu_model.slots_per_period)
+  in
+  let burned =
+    Credit.burn ~credit_unit:t.credit_unit ~slot_cycles:(slot_cycles t)
+      ~run_cycles:ran_capped
+  in
+  v.Vcpu.credit <- max floor (v.Vcpu.credit - burned);
+  v.Vcpu.online_cycles <- v.Vcpu.online_cycles + ran
+
+let begin_idle t pcpu = t.idle_since.(pcpu) <- now t
+
+let end_idle t pcpu =
+  if t.idle_since.(pcpu) >= 0 then begin
+    t.idle_cycles.(pcpu) <- t.idle_cycles.(pcpu) + (now t - t.idle_since.(pcpu));
+    t.idle_since.(pcpu) <- -1
+  end
+
+(* Take the occupant off [pcpu], charge it, requeue it and notify the
+   guest. The PCPU is left idle (accounting started). *)
+let preempt_current t pcpu =
+  match t.current.(pcpu) with
+  | None -> ()
+  | Some cur ->
+    charge t cur;
+    cur.Vcpu.state <- Vcpu.Ready;
+    cur.Vcpu.boosted <- false;
+    t.current.(pcpu) <- None;
+    begin_idle t pcpu;
+    Runqueue.insert t.runqueues.(pcpu) cur;
+    cur.Vcpu.hooks.Vcpu.on_preempted ()
+
+let run_on t ~pcpu (v : Vcpu.t) =
+  match t.current.(pcpu) with
+  | Some cur when cur == v -> ()
+  | _ ->
+    if not (Vcpu.is_ready v) then
+      invalid_arg "Vmm.run_on: vcpu is not Ready";
+    preempt_current t pcpu;
+    (* The preemption above may have re-entered the scheduler via
+       guest hooks only in block paths, which cannot happen here; the
+       VCPU is still Ready in some queue. *)
+    Runqueue.remove t.runqueues.(v.Vcpu.home) v;
+    if v.Vcpu.home <> pcpu then v.Vcpu.migrations <- v.Vcpu.migrations + 1;
+    end_idle t pcpu;
+    v.Vcpu.home <- pcpu;
+    v.Vcpu.state <- Vcpu.Running pcpu;
+    v.Vcpu.last_dispatch <- now t;
+    v.Vcpu.dispatches <- v.Vcpu.dispatches + 1;
+    t.current.(pcpu) <- Some v;
+    t.ctx_switches <- t.ctx_switches + 1;
+    v.Vcpu.hooks.Vcpu.on_scheduled ()
+
+let make_idle t ~pcpu = preempt_current t pcpu
+
+let migrate t (v : Vcpu.t) ~dst =
+  if not (Vcpu.is_ready v) then invalid_arg "Vmm.migrate: vcpu is not Ready";
+  if v.Vcpu.home <> dst then begin
+    Runqueue.remove t.runqueues.(v.Vcpu.home) v;
+    v.Vcpu.migrations <- v.Vcpu.migrations + 1;
+    Runqueue.insert t.runqueues.(dst) v
+  end
+
+let domain_online_cycles t dom =
+  let base = Domain.online_cycles dom in
+  Array.fold_left
+    (fun acc (v : Vcpu.t) ->
+      match v.Vcpu.state with
+      | Vcpu.Running _ -> acc + (now t - v.Vcpu.last_dispatch)
+      | Vcpu.Ready | Vcpu.Blocked -> acc)
+    base dom.Domain.vcpus
+
+let domain_online_now = domain_online_cycles
+
+let api t : Sched_intf.api =
+  {
+    Sched_intf.machine = t.machine;
+    runqueues = t.runqueues;
+    domains = (fun () -> domains t);
+    work_conserving = t.work_conserving;
+    credit_unit = t.credit_unit;
+    now = (fun () -> now t);
+    current = (fun pcpu -> t.current.(pcpu));
+    run_on = (fun ~pcpu v -> run_on t ~pcpu v);
+    make_idle = (fun ~pcpu -> make_idle t ~pcpu);
+    migrate = (fun v ~dst -> migrate t v ~dst);
+    domain_online = (fun dom -> domain_online_cycles t dom);
+  }
+
+let create ?(work_conserving = true) ?(credit_unit = Credit.default_credit_unit)
+    machine ~sched =
+  let n = Machine.pcpu_count machine in
+  let t =
+    {
+      engine = Machine.engine machine;
+      machine;
+      cpu_model = Machine.cpu_model machine;
+      runqueues = Array.init n (fun pcpu -> Runqueue.create ~pcpu);
+      current = Array.make n None;
+      domains_rev = [];
+      sched = None;
+      work_conserving;
+      credit_unit;
+      next_vcpu_id = 0;
+      next_domain_id = 0;
+      slot_counts = Array.make n 0;
+      idle_since = Array.make n 0;
+      idle_cycles = Array.make n 0;
+      ctx_switches = 0;
+      ple_count = 0;
+      acct_start = 0;
+      acct_online_base = Hashtbl.create 8;
+      started = false;
+    }
+  in
+  t.sched <- Some (sched (api t));
+  t
+
+let sched t =
+  match t.sched with Some s -> s | None -> failwith "Vmm: no scheduler"
+
+let create_domain t ?(concurrent_type = false) ~name ~weight ~vcpus () =
+  if t.started then failwith "Vmm.create_domain: VMM already started";
+  if vcpus <= 0 then invalid_arg "Vmm.create_domain: vcpus must be positive";
+  let domain_id = t.next_domain_id in
+  t.next_domain_id <- t.next_domain_id + 1;
+  let n = pcpu_count t in
+  let vcpu_array =
+    Array.init vcpus (fun index ->
+        let id = t.next_vcpu_id in
+        t.next_vcpu_id <- t.next_vcpu_id + 1;
+        (* Spread homes so sibling VCPUs start on distinct PCPUs (when
+           the domain has at most as many VCPUs as the machine), and
+           stagger domains so they do not all pile onto PCPU 0. *)
+        Vcpu.make ~id ~domain_id ~index ~home:((domain_id + index) mod n))
+  in
+  let dom =
+    Domain.make ~concurrent_type ~id:domain_id ~name ~weight ~vcpus:vcpu_array ()
+  in
+  t.domains_rev <- dom :: t.domains_rev;
+  dom
+
+(* Burn credit for the running VCPU without descheduling it: Xen's
+   10 ms credit tick, as opposed to the 30 ms slice decision. *)
+let charge_current t pcpu =
+  match t.current.(pcpu) with
+  | None -> ()
+  | Some v ->
+    charge t v;
+    v.Vcpu.last_dispatch <- now t
+
+let start t =
+  if t.started then failwith "Vmm.start: already started";
+  t.started <- true;
+  let slice = t.cpu_model.Cpu_model.slots_per_slice in
+  Machine.set_slot_handler t.machine (fun pcpu ->
+      charge_current t pcpu;
+      let count = t.slot_counts.(pcpu) in
+      t.slot_counts.(pcpu) <- count + 1;
+      (* A busy PCPU reschedules at slice granularity (Xen's 30 ms
+         allocation); an idle one re-polls every slot so runnable work
+         is picked up within a tick. *)
+      if count mod slice = 0 || t.current.(pcpu) = None then
+        (sched t).Sched_intf.on_slot ~pcpu);
+  Machine.set_period_handler t.machine (fun () ->
+      (sched t).Sched_intf.on_period ());
+  Machine.start t.machine
+
+let vcpu_wake t (v : Vcpu.t) =
+  match v.Vcpu.state with
+  | Vcpu.Blocked ->
+    v.Vcpu.state <- Vcpu.Ready;
+    (sched t).Sched_intf.on_wake v
+  | Vcpu.Ready | Vcpu.Running _ -> ()
+
+let vcpu_block t (v : Vcpu.t) =
+  match v.Vcpu.state with
+  | Vcpu.Running pcpu ->
+    charge t v;
+    v.Vcpu.state <- Vcpu.Blocked;
+    v.Vcpu.boosted <- false;
+    t.current.(pcpu) <- None;
+    begin_idle t pcpu;
+    (sched t).Sched_intf.on_block v
+  | Vcpu.Ready | Vcpu.Blocked ->
+    invalid_arg "Vmm.vcpu_block: vcpu is not Running"
+
+let do_vcrd_op t dom vcrd =
+  if Domain.set_vcrd dom ~now:(now t) vcrd then
+    (sched t).Sched_intf.on_vcrd_change dom
+
+let pause_loop_exit t v =
+  t.ple_count <- t.ple_count + 1;
+  (sched t).Sched_intf.on_ple v
+
+let current_on t pcpu = t.current.(pcpu)
+
+(* ----- accounting ----- *)
+
+
+let reset_accounting t =
+  t.acct_start <- now t;
+  Hashtbl.reset t.acct_online_base;
+  List.iter
+    (fun d -> Hashtbl.replace t.acct_online_base d.Domain.id (domain_online_now t d))
+    t.domains_rev;
+  Array.iteri
+    (fun p since ->
+      t.idle_cycles.(p) <- 0;
+      if since >= 0 then t.idle_since.(p) <- now t)
+    t.idle_since
+
+let online_rate t dom =
+  let elapsed = now t - t.acct_start in
+  if elapsed <= 0 then 0.
+  else begin
+    let base =
+      match Hashtbl.find_opt t.acct_online_base dom.Domain.id with
+      | Some b -> b
+      | None -> 0
+    in
+    let online = domain_online_now t dom - base in
+    float_of_int online
+    /. (float_of_int elapsed *. float_of_int (Domain.vcpu_count dom))
+  end
+
+let idle_fraction t =
+  let elapsed = now t - t.acct_start in
+  if elapsed <= 0 then 0.
+  else begin
+    let total = ref 0 in
+    Array.iteri
+      (fun p cycles ->
+        let open_span =
+          if t.idle_since.(p) >= 0 then now t - max t.idle_since.(p) t.acct_start
+          else 0
+        in
+        total := !total + cycles + open_span)
+      t.idle_cycles;
+    float_of_int !total /. (float_of_int elapsed *. float_of_int (pcpu_count t))
+  end
+
+let ctx_switches t = t.ctx_switches
+
+let ple_exits t = t.ple_count
+
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* Running VCPUs match the current array. *)
+  Array.iteri
+    (fun pcpu cur ->
+      match cur with
+      | Some (v : Vcpu.t) ->
+        if v.Vcpu.state <> Vcpu.Running pcpu then
+          err "pcpu %d holds vcpu %d whose state disagrees" pcpu v.Vcpu.id
+      | None -> ())
+    t.current;
+  List.iter
+    (fun dom ->
+      Array.iter
+        (fun (v : Vcpu.t) ->
+          let queued =
+            Array.fold_left
+              (fun acc rq -> acc + if Runqueue.mem rq v then 1 else 0)
+              0 t.runqueues
+          in
+          match v.Vcpu.state with
+          | Vcpu.Ready ->
+            if queued <> 1 then
+              err "ready vcpu %d is in %d queues" v.Vcpu.id queued
+            else if not (Runqueue.mem t.runqueues.(v.Vcpu.home) v) then
+              err "ready vcpu %d not in its home queue" v.Vcpu.id
+          | Vcpu.Running pcpu ->
+            if queued <> 0 then err "running vcpu %d is queued" v.Vcpu.id;
+            (match t.current.(pcpu) with
+            | Some cur when cur == v -> ()
+            | Some _ | None -> err "vcpu %d not current on pcpu %d" v.Vcpu.id pcpu)
+          | Vcpu.Blocked ->
+            if queued <> 0 then err "blocked vcpu %d is queued" v.Vcpu.id)
+        dom.Domain.vcpus)
+    t.domains_rev;
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " es)

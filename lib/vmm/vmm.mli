@@ -1,0 +1,96 @@
+(** The VMM core: owns run queues, the PCPU-to-VCPU assignment, credit
+    burning and online-time accounting, and drives a pluggable
+    scheduler from the machine's slot/period events.
+
+    Responsibility split: the scheduler decides {e which} VCPU runs
+    where; the core performs context switches, charges credit for time
+    actually run, clears boost on preemption, and keeps the state
+    invariants (a [Running] VCPU is on exactly one PCPU; a [Ready]
+    VCPU is in exactly one run queue; a [Blocked] VCPU is in none). *)
+
+type t
+
+val create :
+  ?work_conserving:bool ->
+  ?credit_unit:int ->
+  Sim_hw.Machine.t ->
+  sched:Sched_intf.maker ->
+  t
+(** [work_conserving] defaults to [true]; [credit_unit] to
+    {!Credit.default_credit_unit}. *)
+
+val engine : t -> Sim_engine.Engine.t
+val machine : t -> Sim_hw.Machine.t
+val cpu_model : t -> Sim_hw.Cpu_model.t
+val pcpu_count : t -> int
+val sched_name : t -> string
+
+val create_domain :
+  t ->
+  ?concurrent_type:bool ->
+  name:string ->
+  weight:int ->
+  vcpus:int ->
+  unit ->
+  Domain.t
+(** Create a domain whose VCPUs start [Blocked] with homes assigned
+    round-robin across PCPUs. Must be called before {!start}. *)
+
+val domains : t -> Domain.t list
+(** In creation order. *)
+
+val find_domain : t -> int -> Domain.t
+
+val start : t -> unit
+(** Install machine handlers and begin the slot/period event streams.
+    Call after all domains exist; the simulation then advances by
+    running the engine. *)
+
+val vcpu_wake : t -> Vcpu.t -> unit
+(** Guest signal: a [Blocked] VCPU has runnable work. No-op when not
+    blocked. *)
+
+val vcpu_block : t -> Vcpu.t -> unit
+(** Guest signal: the calling VCPU (must be [Running]) halts. The
+    guest is {e not} called back via [on_preempted] — it initiated the
+    block and is expected to have saved its own state. *)
+
+val do_vcrd_op : t -> Domain.t -> Domain.vcrd -> unit
+(** The paper's hypercall: update a domain's VCRD and notify the
+    scheduler on change. *)
+
+val pause_loop_exit : t -> Vcpu.t -> unit
+(** Hardware signal: the VCPU spent a full PLE window busy-spinning.
+    Forwarded to the scheduler's [on_ple] handler (the out-of-VM
+    detection path); counts are available via {!ple_exits}. *)
+
+val current_on : t -> int -> Vcpu.t option
+
+val now : t -> int
+
+(** {2 Accounting} *)
+
+val reset_accounting : t -> unit
+(** Restart the measurement window for {!online_rate} and
+    {!idle_fraction}. *)
+
+val online_rate : t -> Domain.t -> float
+(** Measured per-VCPU online rate of the domain over the current
+    accounting window (counts open online spans). *)
+
+val domain_online_cycles : t -> Domain.t -> int
+(** Cumulative online cycles across the domain's VCPUs since creation,
+    including open online spans — the guest-consumed CPU time the
+    Monitoring Module meters its VCRD windows in. *)
+
+val idle_fraction : t -> float
+(** Fraction of PCPU time spent idle over the accounting window. *)
+
+val ctx_switches : t -> int
+
+val ple_exits : t -> int
+(** Total pause-loop exits delivered. *)
+
+val check_invariants : t -> (unit, string) result
+(** Verify the Running/Ready/Blocked structural invariants; used by
+    tests and property checks. *)

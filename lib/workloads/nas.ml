@@ -1,0 +1,106 @@
+open Sim_engine
+
+type bench = BT | CG | EP | FT | MG | SP | LU
+
+let all = [ BT; CG; EP; FT; MG; SP; LU ]
+
+let name = function
+  | BT -> "BT"
+  | CG -> "CG"
+  | EP -> "EP"
+  | FT -> "FT"
+  | MG -> "MG"
+  | SP -> "SP"
+  | LU -> "LU"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "BT" -> Some BT
+  | "CG" -> Some CG
+  | "EP" -> Some EP
+  | "FT" -> Some FT
+  | "MG" -> Some MG
+  | "SP" -> Some SP
+  | "LU" -> Some LU
+  | _ -> None
+
+type params = {
+  bench_name : string;
+  iters : int;
+  phases_per_iter : int;
+  phase_compute : int;
+  imbalance_cv : float;
+  locks_per_phase : int;
+  cs_cycles : int;
+  nlocks : int;
+}
+
+(* Raw signatures: (iters at scale 1, phases/iter, phase length in us,
+   imbalance cv, locks/phase, critical section in us, lock-set size).
+   Phase lengths and counts are chosen so that one full run is a few
+   simulated seconds and the sync-op rates reflect each benchmark's
+   character. *)
+let signature = function
+  | BT -> (120, 3, 10_000, 0.002, 6, 2, 4)
+  | CG -> (75, 8, 2_000, 0.002, 2, 1, 2)
+  | EP -> (10, 1, 150_000, 0.02, 1, 1, 1)
+  | FT -> (30, 2, 23_000, 0.005, 4, 2, 2)
+  | MG -> (40, 6, 3_750, 0.003, 3, 1, 2)
+  | SP -> (160, 3, 6_700, 0.002, 8, 2, 4)
+  | LU -> (150, 4, 5_000, 0.002, 10, 2, 4)
+
+let params bench ~freq ~scale =
+  if scale <= 0. then invalid_arg "Nas.params: scale must be positive";
+  let iters1, phases, phase_us, cv, locks, cs_us, nlocks = signature bench in
+  let iters = max 2 (int_of_float (Float.round (float_of_int iters1 *. scale))) in
+  {
+    bench_name = name bench;
+    iters;
+    phases_per_iter = phases;
+    phase_compute = Units.cycles_of_us freq phase_us;
+    imbalance_cv = cv;
+    locks_per_phase = locks;
+    cs_cycles = Units.cycles_of_us freq cs_us;
+    nlocks;
+  }
+
+let phase_ops p ~phase =
+  let lock_ops =
+    List.concat
+      (List.init p.locks_per_phase (fun l ->
+           let id = ((phase * p.locks_per_phase) + l) mod p.nlocks in
+           [
+             Sim_guest.Program.Lock id;
+             Sim_guest.Program.Compute p.cs_cycles;
+             Sim_guest.Program.Unlock id;
+           ]))
+  in
+  Sim_guest.Program.Compute_rand
+    { mean = p.phase_compute; cv = p.imbalance_cv }
+  :: (lock_ops @ [ Sim_guest.Program.Barrier phase ])
+
+let workload ?(threads = 4) p =
+  if threads <= 0 then invalid_arg "Nas.workload: threads must be positive";
+  let iteration =
+    List.concat (List.init p.phases_per_iter (fun phase -> phase_ops p ~phase))
+  in
+  let program =
+    Sim_guest.Program.make [ Sim_guest.Program.Repeat (p.iters, iteration) ]
+  in
+  {
+    Workload.name = p.bench_name;
+    kind = Workload.Concurrent;
+    threads =
+      List.init threads (fun i ->
+          { Workload.affinity = i; program; restart = true });
+    barriers = List.init p.phases_per_iter (fun id -> (id, threads));
+    semaphores = [];
+  }
+
+let ideal_runtime_sec bench ~freq ~scale =
+  let p = params bench ~freq ~scale in
+  let cycles =
+    p.iters * p.phases_per_iter
+    * (p.phase_compute + (p.locks_per_phase * p.cs_cycles))
+  in
+  Units.sec_of_cycles freq cycles

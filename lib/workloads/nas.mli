@@ -1,0 +1,48 @@
+(** Synchronization-signature models of the NAS Parallel Benchmarks
+    (OpenMP C versions, Class A), the paper's concurrent workloads.
+
+    The numerics are irrelevant to the reproduction; what matters is
+    each benchmark's {e synchronization signature}: how often its
+    threads pass busy-wait barriers and contend on kernel locks, how
+    long the critical sections are, and how balanced the compute
+    phases are. The parameters below encode the well-known relative
+    characters — EP is embarrassingly parallel (coarse phases, almost
+    no sync), CG and MG synchronize very finely, LU's pipelined sweeps
+    make it the most synchronization-bound, BT/SP/FT sit in between —
+    scaled so one 100%-online run takes a few simulated seconds.
+
+    Every parameter set is [scale]-able: [iters] shrinks with [scale]
+    while per-phase behaviour is untouched, so degradation shapes are
+    preserved at a fraction of the simulation cost. *)
+
+type bench = BT | CG | EP | FT | MG | SP | LU
+
+val all : bench list
+(** In the paper's Figure 9 order. *)
+
+val name : bench -> string
+val of_name : string -> bench option
+
+type params = {
+  bench_name : string;
+  iters : int;  (** outer time steps *)
+  phases_per_iter : int;  (** barrier-terminated phases per step *)
+  phase_compute : int;  (** cycles of compute per phase per thread *)
+  imbalance_cv : float;  (** per-phase compute imbalance *)
+  locks_per_phase : int;  (** kernel-lock critical sections per phase *)
+  cs_cycles : int;  (** critical-section length *)
+  nlocks : int;  (** size of the shared lock set *)
+}
+
+val params : bench -> freq:Sim_engine.Units.freq -> scale:float -> params
+(** Raises [Invalid_argument] if [scale <= 0]. *)
+
+val workload : ?threads:int -> params -> Workload.t
+(** Build the per-VM workload ([threads] defaults to 4, pinned one per
+    VCPU as OpenMP does). Barrier ids are [0 .. phases_per_iter - 1];
+    parties = [threads]. *)
+
+val ideal_runtime_sec :
+  bench -> freq:Sim_engine.Units.freq -> scale:float -> float
+(** Per-thread compute demand of one run in seconds: the 100%-online
+    lower bound. *)

@@ -1,0 +1,71 @@
+open Sim_engine
+
+type params = {
+  warehouses : int;
+  txn_compute : int;
+  txn_cv : float;
+  locks_per_txn : int;
+  cs_cycles : int;
+  hot_locks : int;
+  txns_per_round : int;
+}
+
+let default_params ~freq ~warehouses =
+  if warehouses <= 0 then
+    invalid_arg "Specjbb.default_params: warehouses must be positive";
+  {
+    warehouses;
+    txn_compute = Units.cycles_of_us freq 30;
+    txn_cv = 0.2;
+    locks_per_txn = 2;
+    cs_cycles = Units.cycles_of_us freq 2;
+    hot_locks = 4;
+    txns_per_round = 200;
+  }
+
+let txn_ops p ~thread_index ~txn =
+  let lock_ops =
+    List.concat
+      (List.init p.locks_per_txn (fun l ->
+           let id = (thread_index + txn + l) mod p.hot_locks in
+           [
+             Sim_guest.Program.Lock id;
+             Sim_guest.Program.Compute p.cs_cycles;
+             Sim_guest.Program.Unlock id;
+           ]))
+  in
+  (Sim_guest.Program.Compute_rand { mean = p.txn_compute; cv = p.txn_cv }
+   :: lock_ops)
+  @ [ Sim_guest.Program.Mark ]
+
+let workload ?(vcpus = 4) p =
+  if vcpus <= 0 then invalid_arg "Specjbb.workload: vcpus must be positive";
+  let thread i =
+    (* Unroll a few transaction variants so threads rotate over the
+       hot-lock set, then repeat the block forever. *)
+    let variants = 4 in
+    let block =
+      List.concat
+        (List.init variants (fun txn -> txn_ops p ~thread_index:i ~txn))
+    in
+    let program =
+      Sim_guest.Program.make
+        [ Sim_guest.Program.Repeat (max 1 (p.txns_per_round / variants), block) ]
+    in
+    { Workload.affinity = i mod vcpus; program; restart = true }
+  in
+  {
+    Workload.name = Printf.sprintf "specjbb-w%d" p.warehouses;
+    kind = Workload.Concurrent;
+    threads = List.init p.warehouses thread;
+    barriers = [];
+    semaphores = [];
+  }
+
+let score entries ~vcpus =
+  let qualifying = List.filter (fun (w, _) -> w >= vcpus) entries in
+  match qualifying with
+  | [] -> invalid_arg "Specjbb.score: no qualifying warehouse counts"
+  | _ ->
+    List.fold_left (fun acc (_, v) -> acc +. v) 0. qualifying
+    /. float_of_int (List.length qualifying)

@@ -1,0 +1,34 @@
+(** SPECjbb2005 model: W warehouse threads executing transactions
+    against shared in-JVM data structures.
+
+    A transaction is a compute chunk plus a handful of short critical
+    sections on a small set of hot kernel locks (object pools, shared
+    trees). No I/O, no network — as in the paper's setup, all three
+    tiers live in one JVM. Throughput is measured in bops
+    (transactions completed per wall-clock window via [Mark]); the
+    SPECjbb score is the mean of the throughputs for warehouse counts
+    >= the VCPU count. *)
+
+type params = {
+  warehouses : int;
+  txn_compute : int;  (** cycles of compute per transaction *)
+  txn_cv : float;
+  locks_per_txn : int;
+  cs_cycles : int;
+  hot_locks : int;
+  txns_per_round : int;
+}
+
+val default_params :
+  freq:Sim_engine.Units.freq -> warehouses:int -> params
+(** ~30 us transactions, 2 critical sections of ~2 us on a 4-lock hot
+    set. Raises [Invalid_argument] if [warehouses <= 0]. *)
+
+val workload : ?vcpus:int -> params -> Workload.t
+(** Warehouse thread [i] is pinned to VCPU [i mod vcpus] (default 4).
+    Threads restart forever; throughput is read from [Mark] counts. *)
+
+val score : (int * float) list -> vcpus:int -> float
+(** [score throughput_by_warehouses ~vcpus] is the SPECjbb score: the
+    mean throughput over entries with warehouses >= vcpus. Raises
+    [Invalid_argument] if no entry qualifies. *)

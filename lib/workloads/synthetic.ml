@@ -1,0 +1,119 @@
+open Sim_guest
+
+let compute_only ?(threads = 4) ?(chunks = 10) ~chunk_cycles () =
+  let program =
+    Program.make [ Program.Repeat (chunks, [ Program.Compute chunk_cycles ]) ]
+  in
+  {
+    Workload.name = "compute-only";
+    kind = Workload.Throughput;
+    threads =
+      List.init threads (fun i ->
+          { Workload.affinity = i; program; restart = false });
+    barriers = [];
+    semaphores = [];
+  }
+
+let lock_storm ?(threads = 4) ?(rounds = 100) ~cs_cycles ~think_cycles () =
+  let program =
+    Program.make
+      [
+        Program.Repeat
+          ( rounds,
+            [
+              Program.Compute_rand { mean = think_cycles; cv = 0.2 };
+              Program.Lock 0;
+              Program.Compute cs_cycles;
+              Program.Unlock 0;
+              Program.Mark;
+            ] );
+      ]
+  in
+  {
+    Workload.name = "lock-storm";
+    kind = Workload.Concurrent;
+    threads =
+      List.init threads (fun i ->
+          { Workload.affinity = i; program; restart = false });
+    barriers = [];
+    semaphores = [];
+  }
+
+let barrier_loop ?(threads = 4) ?(rounds = 50) ~compute_cycles ~cv () =
+  let program =
+    Program.make
+      [
+        Program.Repeat
+          ( rounds,
+            [
+              Program.Compute_rand { mean = compute_cycles; cv };
+              Program.Barrier 0;
+            ] );
+      ]
+  in
+  {
+    Workload.name = "barrier-loop";
+    kind = Workload.Concurrent;
+    threads =
+      List.init threads (fun i ->
+          { Workload.affinity = i; program; restart = false });
+    barriers = [ (0, threads) ];
+    semaphores = [];
+  }
+
+let ping_pong ~rounds ~compute_cycles =
+  let a =
+    Program.make
+      [
+        Program.Repeat
+          ( rounds,
+            [
+              Program.Compute compute_cycles;
+              Program.Sem_post 0;
+              Program.Sem_wait 1;
+            ] );
+      ]
+  in
+  let b =
+    Program.make
+      [
+        Program.Repeat
+          ( rounds,
+            [
+              Program.Sem_wait 0;
+              Program.Compute compute_cycles;
+              Program.Sem_post 1;
+            ] );
+      ]
+  in
+  {
+    Workload.name = "ping-pong";
+    kind = Workload.Concurrent;
+    threads =
+      [
+        { Workload.affinity = 0; program = a; restart = false };
+        { Workload.affinity = 1; program = b; restart = false };
+      ];
+    barriers = [];
+    semaphores = [ (0, 0); (1, 0) ];
+  }
+
+let random_program rng ~ops ~nlocks ~max_compute =
+  if ops < 0 then invalid_arg "Synthetic.random_program: negative ops";
+  if nlocks <= 0 then invalid_arg "Synthetic.random_program: nlocks";
+  let rec build remaining acc =
+    if remaining <= 0 then List.rev acc
+    else begin
+      let pick = Sim_engine.Rng.int rng 3 in
+      match pick with
+      | 0 | 1 ->
+        let n = 1 + Sim_engine.Rng.int rng (max 1 max_compute) in
+        build (remaining - 1) (Program.Compute n :: acc)
+      | _ ->
+        let l = Sim_engine.Rng.int rng nlocks in
+        let cs = 1 + Sim_engine.Rng.int rng (max 1 (max_compute / 4)) in
+        build (remaining - 1)
+          (Program.Unlock l :: Program.Compute cs :: Program.Lock l :: acc)
+    end
+  in
+  Program.make (build ops [])

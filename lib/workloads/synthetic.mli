@@ -1,0 +1,34 @@
+(** Synthetic workloads for tests, property checks and examples. *)
+
+val compute_only :
+  ?threads:int -> ?chunks:int -> chunk_cycles:int -> unit -> Workload.t
+(** Pure compute, one thread per VCPU index. *)
+
+val lock_storm :
+  ?threads:int ->
+  ?rounds:int ->
+  cs_cycles:int ->
+  think_cycles:int ->
+  unit ->
+  Workload.t
+(** Every thread hammers one shared lock: [think (jittered); lock;
+    cs; unlock] per round. Maximum contention; exercises the handoff
+    and lock-holder-preemption paths. *)
+
+val barrier_loop :
+  ?threads:int -> ?rounds:int -> compute_cycles:int -> cv:float -> unit -> Workload.t
+(** Compute + barrier per round: the minimal concurrent workload. *)
+
+val ping_pong : rounds:int -> compute_cycles:int -> Workload.t
+(** Two threads alternating via a pair of semaphores — the blocking
+    (non-spinning) synchronization path. *)
+
+val random_program :
+  Sim_engine.Rng.t ->
+  ops:int ->
+  nlocks:int ->
+  max_compute:int ->
+  Sim_guest.Program.t
+(** A well-formed random program: compute chunks and properly paired
+    lock/unlock sections drawn from [nlocks] locks. Never deadlocks
+    (at most one lock held, consistent ordering). *)

@@ -1,0 +1,41 @@
+type kind = Concurrent | Throughput
+
+type thread_spec = {
+  affinity : int;
+  program : Sim_guest.Program.t;
+  restart : bool;
+}
+
+type t = {
+  name : string;
+  kind : kind;
+  threads : thread_spec list;
+  barriers : (int * int) list;
+  semaphores : (int * int) list;
+}
+
+let install t kernel =
+  List.iter
+    (fun (id, parties) -> Sim_guest.Kernel.add_barrier kernel ~id ~parties)
+    t.barriers;
+  List.iter
+    (fun (id, init) -> Sim_guest.Kernel.add_semaphore kernel ~id ~init)
+    t.semaphores;
+  List.map
+    (fun spec ->
+      Sim_guest.Kernel.add_thread kernel ~restart:spec.restart
+        ~affinity:spec.affinity spec.program)
+    t.threads
+
+let thread_count t = List.length t.threads
+
+let critical_path_cycles t =
+  List.fold_left
+    (fun acc spec ->
+      max acc (Sim_guest.Program.total_compute_cycles spec.program))
+    0 t.threads
+
+let total_compute_cycles t =
+  List.fold_left
+    (fun acc spec -> acc + Sim_guest.Program.total_compute_cycles spec.program)
+    0 t.threads

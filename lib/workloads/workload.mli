@@ -1,0 +1,32 @@
+(** Workload descriptions: everything needed to populate one VM's
+    guest kernel with threads and synchronization objects. *)
+
+type kind =
+  | Concurrent  (** synchronizing threads (paper: NAS, SPECjbb) *)
+  | Throughput  (** independent copies, no synchronization (SPEC rate) *)
+
+type thread_spec = {
+  affinity : int;  (** VCPU index (modulo the VM's VCPU count) *)
+  program : Sim_guest.Program.t;
+  restart : bool;  (** rerun the program when it completes *)
+}
+
+type t = {
+  name : string;
+  kind : kind;
+  threads : thread_spec list;
+  barriers : (int * int) list;  (** (id, parties) *)
+  semaphores : (int * int) list;  (** (id, initial count) *)
+}
+
+val install : t -> Sim_guest.Kernel.t -> Sim_guest.Thread.t list
+(** Declare objects and create threads (in [threads] order). *)
+
+val thread_count : t -> int
+
+val critical_path_cycles : t -> int
+(** Largest per-thread ideal compute demand: a lower bound on the
+    workload's 100%-online run time for one round. *)
+
+val total_compute_cycles : t -> int
+(** Sum over threads — the CPU demand of one round. *)

@@ -1,0 +1,167 @@
+(* Tests for the discrete-event engine. *)
+
+open Sim_engine
+
+let test_time_starts_at_zero () =
+  let e = Engine.create () in
+  Alcotest.(check int) "now" 0 (Engine.now e)
+
+let test_fires_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  ignore (Engine.schedule_at e ~time:30 (record "c"));
+  ignore (Engine.schedule_at e ~time:10 (record "a"));
+  ignore (Engine.schedule_at e ~time:20 (record "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Engine.now e)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Engine.schedule_at e ~time:5 (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_schedule_after () =
+  let e = Engine.create () in
+  let fired = ref (-1) in
+  ignore
+    (Engine.schedule_at e ~time:100 (fun () ->
+         ignore
+           (Engine.schedule_after e ~delay:50 (fun () -> fired := Engine.now e))));
+  Engine.run e;
+  Alcotest.(check int) "relative" 150 !fired
+
+let test_past_raises () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e ~time:10 (fun () -> ()));
+  Engine.run e;
+  (* now = 10; scheduling before now must fail *)
+  let raised =
+    try
+      ignore (Engine.schedule_at e ~time:5 (fun () -> ()));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "past scheduling raises" true raised
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e ~time:10 (fun () -> fired := true) in
+  Alcotest.(check bool) "pending" true (Engine.is_pending h);
+  Engine.cancel h;
+  Alcotest.(check bool) "not pending" false (Engine.is_pending h);
+  Engine.run e;
+  Alcotest.(check bool) "did not fire" false !fired;
+  (* double-cancel is a no-op *)
+  Engine.cancel h
+
+let test_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule_at e ~time:(i * 10) (fun () -> incr count))
+  done;
+  Engine.run ~until:35 e;
+  Alcotest.(check int) "fired 3 of 10" 3 !count;
+  Alcotest.(check int) "clock parked at limit" 35 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "rest fired" 10 !count
+
+let test_run_until_empty_advances_clock () =
+  let e = Engine.create () in
+  Engine.run ~until:1_000 e;
+  Alcotest.(check int) "clock advanced" 1_000 (Engine.now e)
+
+let test_halt () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore
+      (Engine.schedule_at e ~time:i (fun () ->
+           incr count;
+           if !count = 4 then Engine.halt e))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "halted after 4" 4 !count;
+  Alcotest.(check bool) "halted flag" true (Engine.halted e)
+
+let test_events_fired () =
+  let e = Engine.create () in
+  for i = 1 to 7 do
+    ignore (Engine.schedule_at e ~time:i (fun () -> ()))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "count" 7 (Engine.events_fired e)
+
+let test_pending_count () =
+  let e = Engine.create () in
+  let h1 = Engine.schedule_at e ~time:1 (fun () -> ()) in
+  let _h2 = Engine.schedule_at e ~time:2 (fun () -> ()) in
+  Alcotest.(check int) "two pending" 2 (Engine.pending_count e);
+  Engine.cancel h1;
+  Alcotest.(check int) "one pending" 1 (Engine.pending_count e)
+
+let test_recursive_scheduling () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 100 then ignore (Engine.schedule_after e ~delay:1 tick)
+  in
+  ignore (Engine.schedule_at e ~time:0 tick);
+  Engine.run e;
+  Alcotest.(check int) "ticks" 100 !count;
+  Alcotest.(check int) "time" 99 (Engine.now e)
+
+let test_zero_delay_fires_after_queued () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule_at e ~time:10 (fun () ->
+         ignore (Engine.schedule_after e ~delay:0 (fun () -> log := "late" :: !log));
+         log := "first" :: !log));
+  ignore (Engine.schedule_at e ~time:10 (fun () -> log := "second" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "zero delay ordering"
+    [ "first"; "second"; "late" ] (List.rev !log)
+
+let prop_monotone_clock =
+  QCheck.Test.make ~name:"clock is monotone over random schedules"
+    QCheck.(list (int_range 0 10_000))
+    (fun times ->
+      let e = Engine.create () in
+      let ok = ref true in
+      let last = ref 0 in
+      List.iter
+        (fun t ->
+          ignore
+            (Engine.schedule_at e ~time:t (fun () ->
+                 if Engine.now e < !last then ok := false;
+                 last := Engine.now e)))
+        times;
+      Engine.run e;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "zero start" `Quick test_time_starts_at_zero;
+    Alcotest.test_case "order" `Quick test_fires_in_order;
+    Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+    Alcotest.test_case "schedule_after" `Quick test_schedule_after;
+    Alcotest.test_case "past raises" `Quick test_past_raises;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "run until empty" `Quick test_run_until_empty_advances_clock;
+    Alcotest.test_case "halt" `Quick test_halt;
+    Alcotest.test_case "events fired" `Quick test_events_fired;
+    Alcotest.test_case "pending count" `Quick test_pending_count;
+    Alcotest.test_case "recursive" `Quick test_recursive_scheduling;
+    Alcotest.test_case "zero delay" `Quick test_zero_delay_fires_after_queued;
+    QCheck_alcotest.to_alcotest prop_monotone_clock;
+  ]

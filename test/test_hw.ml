@@ -1,0 +1,147 @@
+(* Tests for the hardware model: CPU timing, topology, machine. *)
+
+open Sim_hw
+
+let test_cpu_model_defaults () =
+  let m = Cpu_model.default in
+  Alcotest.(check int) "slot = 10 ms" 23_300_000 (Cpu_model.slot_cycles m);
+  Alcotest.(check int) "period = 3 slots" 69_900_000 (Cpu_model.period_cycles m);
+  Alcotest.(check int) "slice = 3 slots" 69_900_000 (Cpu_model.slice_cycles m);
+  Alcotest.(check bool) "valid" true (Cpu_model.validate m = Ok ())
+
+let test_cpu_model_validation () =
+  let bad = { Cpu_model.default with Cpu_model.slot_ms = 0 } in
+  Alcotest.(check bool) "invalid slot" true
+    (match Cpu_model.validate bad with Error _ -> true | Ok () -> false);
+  let bad_slice = { Cpu_model.default with Cpu_model.slots_per_slice = -1 } in
+  Alcotest.(check bool) "invalid slice" true
+    (match Cpu_model.validate bad_slice with Error _ -> true | Ok () -> false)
+
+let test_topology () =
+  let t = Topology.default in
+  Alcotest.(check int) "8 pcpus" 8 (Topology.pcpu_count t);
+  Alcotest.(check int) "socket of 0" 0 (Topology.socket_of t 0);
+  Alcotest.(check int) "socket of 4" 1 (Topology.socket_of t 4);
+  Alcotest.(check bool) "same socket" true (Topology.same_socket t 0 3);
+  Alcotest.(check bool) "cross socket" false (Topology.same_socket t 3 4);
+  Alcotest.(check (list int)) "socket 1 pcpus" [ 4; 5; 6; 7 ]
+    (Topology.pcpus_of_socket t 1);
+  let raised = try ignore (Topology.socket_of t 8); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "out of range" true raised
+
+let make_machine ?(stagger = true) () =
+  let engine = Sim_engine.Engine.create () in
+  let machine =
+    Machine.create ~stagger engine Cpu_model.default Topology.default
+  in
+  (engine, machine)
+
+let test_phases_staggered () =
+  let _, m = make_machine () in
+  let slot = Cpu_model.slot_cycles Cpu_model.default in
+  Alcotest.(check int) "pcpu 0 phase" 0 (Machine.phase m 0);
+  Alcotest.(check int) "pcpu 1 phase" (slot / 8) (Machine.phase m 1);
+  Alcotest.(check int) "pcpu 7 phase" (7 * slot / 8) (Machine.phase m 7)
+
+let test_phases_aligned () =
+  let _, m = make_machine ~stagger:false () in
+  for p = 0 to 7 do
+    Alcotest.(check int) "aligned" 0 (Machine.phase m p)
+  done
+
+let test_next_boundary () =
+  let _, m = make_machine () in
+  let slot = Cpu_model.slot_cycles Cpu_model.default in
+  Alcotest.(check int) "first boundary" 0 (Machine.next_boundary m ~pcpu:0 ~after:(-1));
+  Alcotest.(check int) "after 0" slot (Machine.next_boundary m ~pcpu:0 ~after:0);
+  let ph1 = Machine.phase m 1 in
+  Alcotest.(check int) "pcpu1 first" ph1 (Machine.next_boundary m ~pcpu:1 ~after:0);
+  Alcotest.(check int) "pcpu1 second" (ph1 + slot)
+    (Machine.next_boundary m ~pcpu:1 ~after:ph1)
+
+let test_slot_events () =
+  let engine, m = make_machine () in
+  let counts = Array.make 8 0 in
+  Machine.set_slot_handler m (fun pcpu -> counts.(pcpu) <- counts.(pcpu) + 1);
+  Machine.start m;
+  let slot = Cpu_model.slot_cycles Cpu_model.default in
+  (* Run for exactly 3 slots: every PCPU sees 3 boundaries (its phase
+     offset puts each boundary within the window). *)
+  Sim_engine.Engine.run ~until:((3 * slot) - 1) engine;
+  Array.iteri
+    (fun p c -> Alcotest.(check int) (Printf.sprintf "pcpu %d slots" p) 3 c)
+    counts
+
+let test_period_before_slot () =
+  let engine, m = make_machine () in
+  let log = ref [] in
+  Machine.set_slot_handler m (fun pcpu ->
+      if pcpu = 0 then log := `Slot :: !log);
+  Machine.set_period_handler m (fun () -> log := `Period :: !log);
+  Machine.start m;
+  Sim_engine.Engine.run ~until:1 engine;
+  (* At t = 0 the period handler must fire before PCPU 0's slot handler
+     so fresh credit is visible to the decision. *)
+  match List.rev !log with
+  | `Period :: `Slot :: _ -> ()
+  | _ -> Alcotest.fail "period did not precede slot at t=0"
+
+let test_requires_handler () =
+  let _, m = make_machine () in
+  let raised = try Machine.start m; false with Failure _ -> true in
+  Alcotest.(check bool) "start without handler fails" true raised
+
+let test_double_start () =
+  let _, m = make_machine () in
+  Machine.set_slot_handler m (fun _ -> ());
+  Machine.start m;
+  let raised = try Machine.start m; false with Failure _ -> true in
+  Alcotest.(check bool) "double start fails" true raised
+
+let test_ipi () =
+  let engine, m = make_machine () in
+  Machine.set_slot_handler m (fun _ -> ());
+  let delivered = ref (-1) in
+  Machine.send_ipi m ~src:0 ~dst:3 (fun () -> delivered := Sim_engine.Engine.now engine);
+  Alcotest.(check int) "counted" 1 (Machine.ipis_sent m);
+  Sim_engine.Engine.run ~until:Cpu_model.default.Cpu_model.ipi_latency_cycles engine;
+  Alcotest.(check int) "latency"
+    Cpu_model.default.Cpu_model.ipi_latency_cycles !delivered
+
+let test_ipi_cross_socket () =
+  let engine, m = make_machine () in
+  Machine.set_slot_handler m (fun _ -> ());
+  let base = Cpu_model.default.Cpu_model.ipi_latency_cycles in
+  let same = ref (-1) and cross = ref (-1) in
+  Machine.send_ipi m ~src:0 ~dst:3 (fun () -> same := Sim_engine.Engine.now engine);
+  Machine.send_ipi m ~src:0 ~dst:4 (fun () -> cross := Sim_engine.Engine.now engine);
+  Sim_engine.Engine.run ~until:(3 * base) engine;
+  Alcotest.(check int) "same socket latency" base !same;
+  Alcotest.(check int) "cross socket doubles" (2 * base) !cross;
+  Alcotest.(check int) "cross counter" 1 (Machine.ipis_cross_socket m);
+  Alcotest.(check int) "total counter" 2 (Machine.ipis_sent m)
+
+let test_ipi_bad_dst () =
+  let _, m = make_machine () in
+  let raised =
+    try Machine.send_ipi m ~src:0 ~dst:99 (fun () -> ()); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad dst" true raised
+
+let suite =
+  [
+    Alcotest.test_case "cpu model defaults" `Quick test_cpu_model_defaults;
+    Alcotest.test_case "cpu model validation" `Quick test_cpu_model_validation;
+    Alcotest.test_case "topology" `Quick test_topology;
+    Alcotest.test_case "staggered phases" `Quick test_phases_staggered;
+    Alcotest.test_case "aligned phases" `Quick test_phases_aligned;
+    Alcotest.test_case "next boundary" `Quick test_next_boundary;
+    Alcotest.test_case "slot events" `Quick test_slot_events;
+    Alcotest.test_case "period before slot" `Quick test_period_before_slot;
+    Alcotest.test_case "handler required" `Quick test_requires_handler;
+    Alcotest.test_case "double start" `Quick test_double_start;
+    Alcotest.test_case "ipi" `Quick test_ipi;
+    Alcotest.test_case "ipi cross socket" `Quick test_ipi_cross_socket;
+    Alcotest.test_case "ipi bad dst" `Quick test_ipi_bad_dst;
+  ]

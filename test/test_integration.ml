@@ -1,0 +1,335 @@
+(* Integration tests: full scenarios through Scenario/Runner.
+
+   These exercise the whole stack — machine, VMM, scheduler, guest
+   kernel, workloads — on small configurations and check behavioural
+   invariants rather than exact numbers. *)
+
+open Asman
+
+let base_config =
+  Config.with_scale (Config.with_seed Config.default 11L) 0.05
+
+let single_vm ?(config = base_config) ?(sched = Config.Credit) ?(weight = 256)
+    ?(vcpus = 4) workload =
+  Scenario.build
+    (Config.with_work_conserving config false)
+    ~sched
+    ~vms:[ { Scenario.vm_name = "V1"; weight; vcpus; workload = Some workload } ]
+
+let freq = Config.freq base_config
+
+let us n = Sim_engine.Units.cycles_of_us freq n
+let ms n = Sim_engine.Units.cycles_of_ms freq n
+
+(* ----- basic execution ----- *)
+
+let test_compute_only_completes () =
+  let workload =
+    Sim_workloads.Synthetic.compute_only ~threads:4 ~chunks:10
+      ~chunk_cycles:(ms 5) ()
+  in
+  let s = single_vm workload in
+  let m = Runner.run_rounds s ~rounds:1 ~max_sec:10. in
+  let runtime = Runner.first_round_sec m ~vm:"V1" in
+  (* 10 chunks x 5 ms at a 100% online rate: ~50 ms per thread. *)
+  Alcotest.(check bool) "close to ideal" true (runtime >= 0.05 && runtime < 0.08);
+  Alcotest.(check bool) "invariants" true
+    (Sim_vmm.Vmm.check_invariants s.Scenario.vmm = Ok ())
+
+let test_compute_duration_scales_with_online_rate () =
+  let workload () =
+    Sim_workloads.Synthetic.compute_only ~threads:4 ~chunks:40
+      ~chunk_cycles:(ms 5) ()
+  in
+  let time weight =
+    let s = single_vm ~weight (workload ()) in
+    let m = Runner.run_rounds s ~rounds:1 ~max_sec:20. in
+    Runner.first_round_sec m ~vm:"V1"
+  in
+  let full = time 256 and capped = time 64 in
+  (* 40% online rate: pure compute takes ~2.5x longer (quantization of
+     30 ms bursts adds noise on top of the exact 2.5). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "cap slows compute (%.2fx)" (capped /. full))
+    true
+    (capped /. full > 1.9 && capped /. full < 3.5)
+
+let test_ping_pong_semaphores () =
+  let workload = Sim_workloads.Synthetic.ping_pong ~rounds:50 ~compute_cycles:(us 200) in
+  let s = single_vm workload in
+  let m = Runner.run_rounds s ~rounds:1 ~max_sec:10. in
+  Alcotest.(check int) "completed" 1 (Runner.vm_metrics m ~vm:"V1").Runner.rounds;
+  (* Semaphore waits are blocking: none should be recorded as spin. *)
+  let mon = Runner.monitor_of s ~vm:"V1" in
+  Alcotest.(check bool) "sem waits recorded" true
+    (Sim_stats.Histogram.count (Sim_guest.Monitor.sem_histogram mon) > 0)
+
+let test_barrier_loop_completes () =
+  let workload =
+    Sim_workloads.Synthetic.barrier_loop ~threads:4 ~rounds:20
+      ~compute_cycles:(ms 1) ~cv:0.01 ()
+  in
+  let s = single_vm workload in
+  let m = Runner.run_rounds s ~rounds:1 ~max_sec:10. in
+  Alcotest.(check int) "completed" 1 (Runner.vm_metrics m ~vm:"V1").Runner.rounds;
+  let inst = Scenario.find_vm s "V1" in
+  match inst.Scenario.kernel with
+  | Some k ->
+    let crossings =
+      List.fold_left
+        (fun acc (_, b) -> acc + Sim_guest.Barrier.crossings b)
+        0 (Sim_guest.Kernel.barrier_stats k)
+    in
+    Alcotest.(check int) "20 crossings" 20 crossings
+  | None -> Alcotest.fail "kernel missing"
+
+let test_lock_storm_mutual_exclusion_stats () =
+  let workload =
+    Sim_workloads.Synthetic.lock_storm ~threads:4 ~rounds:100 ~cs_cycles:(us 2)
+      ~think_cycles:(us 20) ()
+  in
+  let s = single_vm workload in
+  let m = Runner.run_rounds s ~rounds:1 ~max_sec:10. in
+  Alcotest.(check int) "completed" 1 (Runner.vm_metrics m ~vm:"V1").Runner.rounds;
+  let inst = Scenario.find_vm s "V1" in
+  match inst.Scenario.kernel with
+  | Some k ->
+    let _, lock = List.hd (Sim_guest.Kernel.lock_stats k) in
+    Alcotest.(check int) "400 acquisitions" 400 (Sim_guest.Spinlock.acquisitions lock);
+    Alcotest.(check bool) "contention occurred" true
+      (Sim_guest.Spinlock.contended_acquisitions lock > 0);
+    Alcotest.(check int) "marks" 400 (Sim_guest.Kernel.total_marks k)
+  | None -> Alcotest.fail "kernel missing"
+
+(* ----- fairness (Equations 1-2 hold dynamically) ----- *)
+
+let test_online_rates_match_weights () =
+  List.iter
+    (fun (weight, expected) ->
+      let workload =
+        Sim_workloads.Synthetic.compute_only ~threads:4 ~chunks:200
+          ~chunk_cycles:(ms 5) ()
+      in
+      let s = single_vm ~weight workload in
+      let m = Runner.run_rounds s ~rounds:1 ~max_sec:8. in
+      let vm = Runner.vm_metrics m ~vm:"V1" in
+      Alcotest.(check bool)
+        (Printf.sprintf "weight %d online ~%.3f (got %.3f)" weight expected
+           vm.Runner.online_rate)
+        true
+        (abs_float (vm.Runner.online_rate -. expected) < 0.05))
+    [ (256, 1.0); (128, 0.667); (64, 0.4); (32, 0.222) ]
+
+let test_two_vm_share () =
+  (* Two busy VMs with 2:1 weights in capped mode: online rates 2:1. *)
+  let mk () =
+    Sim_workloads.Synthetic.compute_only ~threads:4 ~chunks:400
+      ~chunk_cycles:(ms 5) ()
+  in
+  let config = Config.with_work_conserving base_config false in
+  let s =
+    Scenario.build config ~sched:Config.Credit
+      ~vms:
+        [
+          { Scenario.vm_name = "A"; weight = 512; vcpus = 4; workload = Some (mk ()) };
+          { Scenario.vm_name = "B"; weight = 256; vcpus = 4; workload = Some (mk ()) };
+        ]
+  in
+  (* Keep the window well inside the workload duration (A finishes
+     its 2 s of work in ~2 s at full speed). *)
+  let m = Runner.run_window s ~sec:1.5 in
+  let a = (Runner.vm_metrics m ~vm:"A").Runner.online_rate in
+  let b = (Runner.vm_metrics m ~vm:"B").Runner.online_rate in
+  (* Entitlements: A = 8 * 0.5 / 4 = 1.0, B = 8 * 0.25 / 4 = 0.5. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "2:1 share (%.3f vs %.3f)" a b)
+    true
+    (abs_float (a -. 1.0) < 0.07 && abs_float (b -. 0.5) < 0.07)
+
+let test_work_conserving_uses_slack () =
+  (* One busy VM in work-conserving mode with a low weight still gets
+     the whole machine when nothing else runs. *)
+  let workload =
+    Sim_workloads.Synthetic.compute_only ~threads:4 ~chunks:100
+      ~chunk_cycles:(ms 5) ()
+  in
+  let s =
+    Scenario.build base_config ~sched:Config.Credit
+      ~vms:
+        [ { Scenario.vm_name = "V1"; weight = 32; vcpus = 4; workload = Some workload } ]
+  in
+  let m = Runner.run_window s ~sec:0.4 in
+  let vm = Runner.vm_metrics m ~vm:"V1" in
+  Alcotest.(check bool)
+    (Printf.sprintf "uses slack (%.3f)" vm.Runner.online_rate)
+    true (vm.Runner.online_rate > 0.9)
+
+(* ----- scheduler invariants ----- *)
+
+let test_invariants_during_run () =
+  let workload =
+    Sim_workloads.Nas.workload
+      (Sim_workloads.Nas.params Sim_workloads.Nas.CG ~freq ~scale:0.05)
+  in
+  List.iter
+    (fun sched ->
+      let s = single_vm ~sched ~weight:64 workload in
+      (* Check structural invariants at many points during the run. *)
+      let engine = s.Scenario.engine in
+      let violations = ref 0 in
+      let rec check () =
+        (match Sim_vmm.Vmm.check_invariants s.Scenario.vmm with
+        | Ok () -> ()
+        | Error _ -> incr violations);
+        ignore (Sim_engine.Engine.schedule_after engine ~delay:(ms 7) check)
+      in
+      ignore (Sim_engine.Engine.schedule_after engine ~delay:0 check);
+      let _ = Runner.run_rounds s ~rounds:1 ~max_sec:10. in
+      Alcotest.(check int)
+        (Printf.sprintf "no violations under %s" (Config.sched_name sched))
+        0 !violations)
+    [ Config.Credit; Config.Asman; Config.Cosched_static ]
+
+let test_no_pcpu_overcommit () =
+  (* A VCPU can be Running on at most one PCPU: implied by invariants,
+     but double-check via the current map after a busy multi-VM run. *)
+  let mk b = Sim_workloads.Nas.workload (Sim_workloads.Nas.params b ~freq ~scale:0.05) in
+  let s =
+    Scenario.build base_config ~sched:Config.Asman
+      ~vms:
+        [
+          { Scenario.vm_name = "A"; weight = 256; vcpus = 4;
+            workload = Some (mk Sim_workloads.Nas.LU) };
+          { Scenario.vm_name = "B"; weight = 256; vcpus = 4;
+            workload = Some (mk Sim_workloads.Nas.SP) };
+        ]
+  in
+  let _ = Runner.run_window s ~sec:1.0 in
+  let seen = Hashtbl.create 16 in
+  for p = 0 to Sim_vmm.Vmm.pcpu_count s.Scenario.vmm - 1 do
+    match Sim_vmm.Vmm.current_on s.Scenario.vmm p with
+    | Some v ->
+      if Hashtbl.mem seen v.Sim_vmm.Vcpu.id then Alcotest.fail "vcpu on two pcpus";
+      Hashtbl.replace seen v.Sim_vmm.Vcpu.id ()
+    | None -> ()
+  done;
+  Alcotest.(check bool) "ran" true (Sim_engine.Engine.now s.Scenario.engine > 0)
+
+(* ----- the headline behaviours ----- *)
+
+let lu_runtime sched weight =
+  let workload =
+    Sim_workloads.Nas.workload
+      (Sim_workloads.Nas.params Sim_workloads.Nas.LU ~freq ~scale:0.05)
+  in
+  let s = single_vm ~sched ~weight workload in
+  let m = Runner.run_rounds s ~rounds:1 ~max_sec:60. in
+  Runner.first_round_sec m ~vm:"V1"
+
+let test_credit_degrades_concurrent () =
+  let full = lu_runtime Config.Credit 256 in
+  let capped = lu_runtime Config.Credit 32 in
+  (* Fair share alone would give 4.5x; virtualization-induced
+     synchronization stalls push well beyond it (paper Fig 1a). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "superlinear degradation (%.1fx)" (capped /. full))
+    true
+    (capped /. full > 5.5)
+
+let test_asman_recovers_concurrent () =
+  let credit = lu_runtime Config.Credit 32 in
+  let asman = lu_runtime Config.Asman 32 in
+  (* Paper Fig 7: ASMan saves ~30% of the Credit run time at 22.2%. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "asman faster (%.2f vs %.2f)" asman credit)
+    true
+    (asman < 0.8 *. credit)
+
+let test_asman_detects_over_threshold () =
+  let workload =
+    Sim_workloads.Nas.workload
+      (Sim_workloads.Nas.params Sim_workloads.Nas.LU ~freq ~scale:0.05)
+  in
+  let s = single_vm ~sched:Config.Asman ~weight:32 workload in
+  let m = Runner.run_rounds s ~rounds:1 ~max_sec:60. in
+  let vm = Runner.vm_metrics m ~vm:"V1" in
+  Alcotest.(check bool) "adjusting events occurred" true
+    (vm.Runner.adjusting_events > 0);
+  Alcotest.(check bool) "vcrd flipped" true (vm.Runner.vcrd_transitions > 0);
+  Alcotest.(check bool) "ipis were sent" true (m.Runner.ipis > 0)
+
+let test_no_over_threshold_at_full_rate () =
+  let workload =
+    Sim_workloads.Nas.workload
+      (Sim_workloads.Nas.params Sim_workloads.Nas.LU ~freq ~scale:0.05)
+  in
+  let s = single_vm ~sched:Config.Credit ~weight:256 workload in
+  let m = Runner.run_rounds s ~rounds:1 ~max_sec:30. in
+  let vm = Runner.vm_metrics m ~vm:"V1" in
+  Alcotest.(check int) "no over-threshold waits at 100%" 0
+    vm.Runner.spin_over_threshold
+
+let test_throughput_insensitive_to_scheduler () =
+  (* Non-concurrent workloads must not care about coscheduling
+     (paper: "while keeping the performance of non-concurrent
+     workloads"). *)
+  let time sched =
+    let workload =
+      Sim_workloads.Speccpu.workload
+        (Sim_workloads.Speccpu.params Sim_workloads.Speccpu.Gcc ~freq ~scale:0.05)
+    in
+    let s = single_vm ~sched ~weight:64 workload in
+    let m = Runner.run_rounds s ~rounds:1 ~max_sec:60. in
+    Runner.first_round_sec m ~vm:"V1"
+  in
+  let credit = time Config.Credit and asman = time Config.Asman in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 10%% (%.3f vs %.3f)" credit asman)
+    true
+    (abs_float (asman -. credit) /. credit < 0.10)
+
+let test_determinism () =
+  let run () = lu_runtime Config.Asman 64 in
+  let a = run () and b = run () in
+  Alcotest.(check (float 1e-12)) "identical runs" a b
+
+let test_seed_changes_outcome () =
+  let run seed =
+    let config = Config.with_seed base_config seed in
+    let workload =
+      Sim_workloads.Nas.workload
+        (Sim_workloads.Nas.params Sim_workloads.Nas.LU ~freq
+           ~scale:config.Config.scale)
+    in
+    let s = single_vm ~config ~weight:64 workload in
+    let m = Runner.run_rounds s ~rounds:1 ~max_sec:60. in
+    (Runner.first_round_sec m ~vm:"V1", m.Runner.events_fired)
+  in
+  (* Different seeds draw different compute jitter; run times differ. *)
+  Alcotest.(check bool) "seeds matter" true (run 1L <> run 2L)
+
+let suite =
+  [
+    Alcotest.test_case "compute-only completes" `Quick test_compute_only_completes;
+    Alcotest.test_case "compute scales with cap" `Quick
+      test_compute_duration_scales_with_online_rate;
+    Alcotest.test_case "ping-pong semaphores" `Quick test_ping_pong_semaphores;
+    Alcotest.test_case "barrier loop" `Quick test_barrier_loop_completes;
+    Alcotest.test_case "lock storm stats" `Quick test_lock_storm_mutual_exclusion_stats;
+    Alcotest.test_case "online rates = eq 2" `Slow test_online_rates_match_weights;
+    Alcotest.test_case "two-VM 2:1 share" `Slow test_two_vm_share;
+    Alcotest.test_case "work-conserving slack" `Quick test_work_conserving_uses_slack;
+    Alcotest.test_case "invariants during run" `Slow test_invariants_during_run;
+    Alcotest.test_case "no pcpu overcommit" `Quick test_no_pcpu_overcommit;
+    Alcotest.test_case "credit degrades concurrent" `Slow
+      test_credit_degrades_concurrent;
+    Alcotest.test_case "asman recovers concurrent" `Slow
+      test_asman_recovers_concurrent;
+    Alcotest.test_case "asman detects over-threshold" `Slow
+      test_asman_detects_over_threshold;
+    Alcotest.test_case "clean at 100%" `Quick test_no_over_threshold_at_full_rate;
+    Alcotest.test_case "throughput insensitive" `Slow
+      test_throughput_insensitive_to_scheduler;
+    Alcotest.test_case "determinism" `Slow test_determinism;
+    Alcotest.test_case "seed sensitivity" `Slow test_seed_changes_outcome;
+  ]

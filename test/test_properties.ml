@@ -1,0 +1,110 @@
+(* Cross-cutting property tests: random workloads through the whole
+   stack must terminate, preserve invariants and conserve work. *)
+
+open Asman
+
+let freq = Config.freq Config.default
+
+let run_random_scenario ~seed ~sched ~threads ~ops =
+  let rng = Sim_engine.Rng.create seed in
+  let config = Config.with_scale (Config.with_seed Config.default seed) 0.05 in
+  let programs =
+    List.init threads (fun _ ->
+        Sim_workloads.Synthetic.random_program rng ~ops ~nlocks:2
+          ~max_compute:(Sim_engine.Units.cycles_of_us freq 500))
+  in
+  let workload =
+    {
+      Sim_workloads.Workload.name = "random";
+      kind = Sim_workloads.Workload.Concurrent;
+      threads =
+        List.mapi
+          (fun i program -> { Sim_workloads.Workload.affinity = i; program; restart = false })
+          programs;
+      barriers = [];
+      semaphores = [];
+    }
+  in
+  let s =
+    Scenario.build
+      (Config.with_work_conserving config false)
+      ~sched
+      ~vms:[ { Scenario.vm_name = "V"; weight = 64; vcpus = 4; workload = Some workload } ]
+  in
+  let m = Runner.run_rounds s ~rounds:1 ~max_sec:30. in
+  (s, m)
+
+let prop_random_programs_terminate =
+  QCheck.Test.make ~count:15 ~name:"random lock programs terminate and hold invariants"
+    QCheck.(pair (int_range 1 1000) (int_range 1 25))
+    (fun (seed, ops) ->
+      let s, m =
+        run_random_scenario ~seed:(Int64.of_int seed) ~sched:Config.Credit
+          ~threads:4 ~ops
+      in
+      let vm = Runner.vm_metrics m ~vm:"V" in
+      vm.Runner.rounds = 1
+      && Sim_vmm.Vmm.check_invariants s.Scenario.vmm = Ok ())
+
+let prop_random_programs_terminate_asman =
+  QCheck.Test.make ~count:10 ~name:"random programs terminate under asman"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let s, m =
+        run_random_scenario ~seed:(Int64.of_int seed) ~sched:Config.Asman
+          ~threads:4 ~ops:15
+      in
+      let vm = Runner.vm_metrics m ~vm:"V" in
+      vm.Runner.rounds = 1
+      && Sim_vmm.Vmm.check_invariants s.Scenario.vmm = Ok ())
+
+(* Work conservation: total online time across a run can never exceed
+   wall time x PCPUs, and a busy system should not leave PCPUs idle
+   while UNDER work is queued (checked in aggregate: online + idle =
+   capacity). *)
+let prop_capacity_conserved =
+  QCheck.Test.make ~count:10 ~name:"online + idle = capacity"
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let config =
+        Config.with_scale (Config.with_seed Config.default (Int64.of_int seed)) 0.05
+      in
+      let workload =
+        Sim_workloads.Synthetic.compute_only ~threads:4 ~chunks:50
+          ~chunk_cycles:(Sim_engine.Units.cycles_of_ms freq 3) ()
+      in
+      let s =
+        Scenario.build config ~sched:Config.Credit
+          ~vms:
+            [ { Scenario.vm_name = "V"; weight = 256; vcpus = 4; workload = Some workload } ]
+      in
+      let m = Runner.run_window s ~sec:0.3 in
+      let vm = Runner.vm_metrics m ~vm:"V" in
+      let idle = Sim_vmm.Vmm.idle_fraction s.Scenario.vmm in
+      (* 4 of 8 PCPUs busy with the VM; dom0 idle: fractions add up. *)
+      let online_frac = vm.Runner.online_rate *. 4. /. 8. in
+      abs_float (online_frac +. idle -. 1.) < 0.05)
+
+(* Determinism across the stack: identical seeds give identical
+   simulations (event counts are a strong fingerprint). *)
+let prop_deterministic =
+  QCheck.Test.make ~count:8 ~name:"same seed, same simulation"
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let fingerprint () =
+        let s, m =
+          run_random_scenario ~seed:(Int64.of_int seed) ~sched:Config.Asman
+            ~threads:3 ~ops:10
+        in
+        (m.Runner.events_fired, m.Runner.ctx_switches,
+         Sim_engine.Engine.now s.Scenario.engine)
+      in
+      fingerprint () = fingerprint ())
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_random_programs_terminate;
+    QCheck_alcotest.to_alcotest prop_random_programs_terminate_asman;
+    QCheck_alcotest.to_alcotest prop_capacity_conserved;
+    QCheck_alcotest.to_alcotest prop_deterministic;
+  ]

@@ -1,0 +1,273 @@
+(* Unit tests for VMM building blocks: VCPU, Domain (Equations 1-2),
+   Runqueue ordering and Credit accounting (Algorithm 3). *)
+
+open Sim_vmm
+
+let mk_vcpu ?(domain_id = 0) ?(id = 0) ?(index = 0) () =
+  Vcpu.make ~id ~domain_id ~index ~home:0
+
+let mk_domain ?(id = 0) ?(weight = 256) ?(vcpus = 4) () =
+  let arr =
+    Array.init vcpus (fun index -> Vcpu.make ~id:index ~domain_id:id ~index ~home:index)
+  in
+  Domain.make ~id ~name:(Printf.sprintf "dom%d" id) ~weight ~vcpus:arr ()
+
+(* ----- Vcpu ----- *)
+
+let test_vcpu_initial () =
+  let v = mk_vcpu () in
+  Alcotest.(check bool) "blocked" true (Vcpu.is_blocked v);
+  Alcotest.(check int) "credit" 0 v.Vcpu.credit;
+  Alcotest.(check bool) "eligible" true (Vcpu.eligible v)
+
+let test_vcpu_eligibility () =
+  let v = mk_vcpu () in
+  v.Vcpu.parked <- true;
+  Alcotest.(check bool) "parked not eligible" false (Vcpu.eligible v);
+  v.Vcpu.boosted <- true;
+  Alcotest.(check bool) "boost overrides parked" true (Vcpu.eligible v)
+
+let test_vcpu_states () =
+  let v = mk_vcpu () in
+  v.Vcpu.state <- Vcpu.Running 3;
+  Alcotest.(check bool) "running" true (Vcpu.is_running v);
+  Alcotest.(check bool) "running_on" true (Vcpu.running_on v = Some 3);
+  v.Vcpu.state <- Vcpu.Ready;
+  Alcotest.(check bool) "ready" true (Vcpu.is_ready v);
+  Alcotest.(check bool) "no pcpu" true (Vcpu.running_on v = None)
+
+(* ----- Domain: Equations 1 and 2 ----- *)
+
+let test_weight_proportion () =
+  let d0 = mk_domain ~id:0 ~weight:256 () in
+  let d1 = mk_domain ~id:1 ~weight:128 () in
+  let all = [ d0; d1 ] in
+  Alcotest.(check (float 1e-9)) "eq 1 d0" (256. /. 384.)
+    (Domain.weight_proportion d0 ~all);
+  Alcotest.(check (float 1e-9)) "eq 1 d1" (128. /. 384.)
+    (Domain.weight_proportion d1 ~all)
+
+(* The paper's setup: Dom0 with weight 256 and V1 with 4 VCPUs on 8
+   PCPUs; weights 256/128/64/32 must give 100/66.7/40/22.2%. *)
+let test_expected_online_rate_paper_values () =
+  List.iter
+    (fun (weight, expected) ->
+      let dom0 = mk_domain ~id:0 ~weight:256 ~vcpus:8 () in
+      let v1 = mk_domain ~id:1 ~weight ~vcpus:4 () in
+      let rate = Domain.expected_online_rate v1 ~all:[ dom0; v1 ] ~pcpus:8 in
+      Alcotest.(check (float 1e-3))
+        (Printf.sprintf "weight %d" weight)
+        expected rate)
+    [ (256, 1.0); (128, 0.6667); (64, 0.4); (32, 0.2222) ]
+
+let test_online_rate_capped_at_one () =
+  let d = mk_domain ~id:0 ~weight:256 ~vcpus:1 () in
+  Alcotest.(check (float 1e-9)) "capped" 1.
+    (Domain.expected_online_rate d ~all:[ d ] ~pcpus:8)
+
+let test_domain_validation () =
+  let raised f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero weight" true
+    (raised (fun () -> ignore (mk_domain ~weight:0 ())));
+  Alcotest.(check bool) "foreign vcpu" true
+    (raised (fun () ->
+         let v = Vcpu.make ~id:0 ~domain_id:99 ~index:0 ~home:0 in
+         ignore (Domain.make ~id:0 ~name:"x" ~weight:1 ~vcpus:[| v |] ())))
+
+let test_vcrd_accounting () =
+  let d = mk_domain () in
+  Alcotest.(check bool) "starts low" true (d.Domain.vcrd = Domain.Low);
+  Alcotest.(check bool) "low->high changes" true
+    (Domain.set_vcrd d ~now:100 Domain.High);
+  Alcotest.(check bool) "high->high no change" false
+    (Domain.set_vcrd d ~now:200 Domain.High);
+  Alcotest.(check bool) "high->low changes" true
+    (Domain.set_vcrd d ~now:350 Domain.Low);
+  Alcotest.(check int) "transitions" 1 d.Domain.vcrd_transitions;
+  Alcotest.(check int) "high cycles" 250 d.Domain.high_cycles
+
+(* ----- Runqueue ----- *)
+
+let test_runqueue_basics () =
+  let rq = Runqueue.create ~pcpu:2 in
+  Alcotest.(check bool) "empty" true (Runqueue.is_empty rq);
+  let v = mk_vcpu () in
+  v.Vcpu.state <- Vcpu.Ready;
+  Runqueue.insert rq v;
+  Alcotest.(check int) "home updated" 2 v.Vcpu.home;
+  Alcotest.(check bool) "mem" true (Runqueue.mem rq v);
+  Alcotest.(check int) "length" 1 (Runqueue.length rq);
+  Runqueue.remove rq v;
+  Alcotest.(check bool) "removed" false (Runqueue.mem rq v)
+
+let test_runqueue_rejects () =
+  let rq = Runqueue.create ~pcpu:0 in
+  let v = mk_vcpu () in
+  let raised f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "insert blocked" true
+    (raised (fun () -> Runqueue.insert rq v));
+  v.Vcpu.state <- Vcpu.Ready;
+  Runqueue.insert rq v;
+  Alcotest.(check bool) "double insert" true
+    (raised (fun () -> Runqueue.insert rq v));
+  let w = mk_vcpu ~id:1 () in
+  w.Vcpu.state <- Vcpu.Ready;
+  Alcotest.(check bool) "remove absent" true
+    (raised (fun () -> Runqueue.remove rq w))
+
+let ready ?(credit = 0) ?(boosted = false) ?(parked = false) id =
+  let v = mk_vcpu ~id () in
+  v.Vcpu.state <- Vcpu.Ready;
+  v.Vcpu.credit <- credit;
+  v.Vcpu.boosted <- boosted;
+  v.Vcpu.parked <- parked;
+  v
+
+let test_head_order () =
+  let rq = Runqueue.create ~pcpu:0 in
+  let a = ready ~credit:100 0 in
+  let b = ready ~credit:300 1 in
+  let c = ready ~credit:200 ~boosted:true 2 in
+  List.iter (Runqueue.insert rq) [ a; b; c ];
+  (match Runqueue.head rq with
+  | Some h -> Alcotest.(check int) "boost first" 2 h.Vcpu.id
+  | None -> Alcotest.fail "no head");
+  c.Vcpu.boosted <- false;
+  match Runqueue.head rq with
+  | Some h -> Alcotest.(check int) "max credit" 1 h.Vcpu.id
+  | None -> Alcotest.fail "no head"
+
+let test_head_skips_parked () =
+  let rq = Runqueue.create ~pcpu:0 in
+  let a = ready ~credit:500 ~parked:true 0 in
+  let b = ready ~credit:10 1 in
+  List.iter (Runqueue.insert rq) [ a; b ];
+  (match Runqueue.head rq with
+  | Some h -> Alcotest.(check int) "unparked wins" 1 h.Vcpu.id
+  | None -> Alcotest.fail "no head");
+  a.Vcpu.boosted <- true;
+  match Runqueue.head rq with
+  | Some h -> Alcotest.(check int) "boosted parked eligible" 0 h.Vcpu.id
+  | None -> Alcotest.fail "no head"
+
+let test_head_under () =
+  let rq = Runqueue.create ~pcpu:0 in
+  let a = ready ~credit:(-5) 0 in
+  let b = ready ~credit:7 1 in
+  List.iter (Runqueue.insert rq) [ a; b ];
+  (match Runqueue.head_under rq with
+  | Some h -> Alcotest.(check int) "under" 1 h.Vcpu.id
+  | None -> Alcotest.fail "no head");
+  Runqueue.remove rq b;
+  Alcotest.(check bool) "no under" true (Runqueue.head_under rq = None);
+  Alcotest.(check bool) "head still over" true (Runqueue.head rq != None)
+
+let test_fifo_ties () =
+  let rq = Runqueue.create ~pcpu:0 in
+  let a = ready ~credit:50 0 in
+  let b = ready ~credit:50 1 in
+  List.iter (Runqueue.insert rq) [ a; b ];
+  match Runqueue.head rq with
+  | Some h -> Alcotest.(check int) "first inserted wins ties" 0 h.Vcpu.id
+  | None -> Alcotest.fail "no head"
+
+let test_find_domain () =
+  let rq = Runqueue.create ~pcpu:0 in
+  let a = ready 0 in
+  let b = ready 1 in
+  b.Vcpu.state <- Vcpu.Ready;
+  List.iter (Runqueue.insert rq) [ a; b ];
+  Alcotest.(check bool) "has domain 0" true (Runqueue.has_domain rq ~domain_id:0);
+  Alcotest.(check bool) "no domain 9" false (Runqueue.has_domain rq ~domain_id:9);
+  Alcotest.(check int) "find" 2 (List.length (Runqueue.find_domain rq ~domain_id:0))
+
+(* ----- Credit ----- *)
+
+let test_burn () =
+  let slot = 1_000_000 in
+  Alcotest.(check int) "full slot" 1000
+    (Credit.burn ~credit_unit:1000 ~slot_cycles:slot ~run_cycles:slot);
+  Alcotest.(check int) "half slot" 500
+    (Credit.burn ~credit_unit:1000 ~slot_cycles:slot ~run_cycles:(slot / 2));
+  Alcotest.(check int) "zero" 0
+    (Credit.burn ~credit_unit:1000 ~slot_cycles:slot ~run_cycles:0);
+  let raised =
+    try ignore (Credit.burn ~credit_unit:1000 ~slot_cycles:slot ~run_cycles:(slot + 1)); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "overrun raises" true raised
+
+let test_assign_shares () =
+  let d0 = mk_domain ~id:0 ~weight:256 ~vcpus:8 () in
+  let d1 = mk_domain ~id:1 ~weight:256 ~vcpus:4 () in
+  Credit.assign ~domains:[ d0; d1 ] ~pcpus:8 ~slots_per_period:3
+    ~credit_unit:1000 ~work_conserving:true;
+  (* total = 8 * 1000 * 3 = 24000; each domain gets half. *)
+  Alcotest.(check int) "d0 per vcpu" (12_000 / 8) d0.Domain.vcpus.(0).Vcpu.credit;
+  Alcotest.(check int) "d1 per vcpu" (12_000 / 4) d1.Domain.vcpus.(0).Vcpu.credit
+
+let test_assign_cap () =
+  let d = mk_domain ~id:0 ~weight:256 ~vcpus:1 () in
+  for _ = 1 to 10 do
+    Credit.assign ~domains:[ d ] ~pcpus:8 ~slots_per_period:3 ~credit_unit:1000
+      ~work_conserving:true
+  done;
+  Alcotest.(check int) "capped" (Credit.cap ~credit_unit:1000 ~slots_per_period:3)
+    d.Domain.vcpus.(0).Vcpu.credit
+
+let test_assign_parking () =
+  let d = mk_domain ~id:0 ~weight:256 ~vcpus:1 () in
+  d.Domain.vcpus.(0).Vcpu.credit <- -5_000;
+  Credit.assign ~domains:[ d ] ~pcpus:1 ~slots_per_period:3 ~credit_unit:1000
+    ~work_conserving:false;
+  Alcotest.(check bool) "still parked (negative)" true d.Domain.vcpus.(0).Vcpu.parked;
+  Credit.assign ~domains:[ d ] ~pcpus:1 ~slots_per_period:3 ~credit_unit:1000
+    ~work_conserving:false;
+  Alcotest.(check bool) "unparked once positive" false
+    d.Domain.vcpus.(0).Vcpu.parked
+
+let test_assign_wc_never_parks () =
+  let d = mk_domain ~id:0 ~weight:256 ~vcpus:1 () in
+  d.Domain.vcpus.(0).Vcpu.credit <- -50_000;
+  Credit.assign ~domains:[ d ] ~pcpus:1 ~slots_per_period:3 ~credit_unit:1000
+    ~work_conserving:true;
+  Alcotest.(check bool) "not parked in WC" false d.Domain.vcpus.(0).Vcpu.parked
+
+let prop_assign_proportional =
+  QCheck.Test.make ~name:"credit split proportional to weights"
+    QCheck.(pair (int_range 1 1024) (int_range 1 1024))
+    (fun (w0, w1) ->
+      let d0 = mk_domain ~id:0 ~weight:w0 ~vcpus:2 () in
+      let d1 = mk_domain ~id:1 ~weight:w1 ~vcpus:2 () in
+      Credit.assign ~domains:[ d0; d1 ] ~pcpus:4 ~slots_per_period:3
+        ~credit_unit:1000 ~work_conserving:true;
+      let c0 = d0.Domain.vcpus.(0).Vcpu.credit * 2 in
+      let c1 = d1.Domain.vcpus.(0).Vcpu.credit * 2 in
+      (* Integer rounding: allow a small absolute slack. *)
+      abs ((c0 * w1) - (c1 * w0)) <= 4 * (w0 + w1))
+
+let suite =
+  [
+    Alcotest.test_case "vcpu initial" `Quick test_vcpu_initial;
+    Alcotest.test_case "vcpu eligibility" `Quick test_vcpu_eligibility;
+    Alcotest.test_case "vcpu states" `Quick test_vcpu_states;
+    Alcotest.test_case "eq1 weight proportion" `Quick test_weight_proportion;
+    Alcotest.test_case "eq2 paper online rates" `Quick
+      test_expected_online_rate_paper_values;
+    Alcotest.test_case "online rate cap" `Quick test_online_rate_capped_at_one;
+    Alcotest.test_case "domain validation" `Quick test_domain_validation;
+    Alcotest.test_case "vcrd accounting" `Quick test_vcrd_accounting;
+    Alcotest.test_case "runqueue basics" `Quick test_runqueue_basics;
+    Alcotest.test_case "runqueue rejects" `Quick test_runqueue_rejects;
+    Alcotest.test_case "head order" `Quick test_head_order;
+    Alcotest.test_case "head skips parked" `Quick test_head_skips_parked;
+    Alcotest.test_case "head under" `Quick test_head_under;
+    Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+    Alcotest.test_case "find domain" `Quick test_find_domain;
+    Alcotest.test_case "burn" `Quick test_burn;
+    Alcotest.test_case "assign shares" `Quick test_assign_shares;
+    Alcotest.test_case "assign cap" `Quick test_assign_cap;
+    Alcotest.test_case "assign parking" `Quick test_assign_parking;
+    Alcotest.test_case "assign wc" `Quick test_assign_wc_never_parks;
+    QCheck_alcotest.to_alcotest prop_assign_proportional;
+  ]
