@@ -6,7 +6,16 @@
      dune exec bench/main.exe -- fig7      # one figure
      dune exec bench/main.exe -- ablations # only the ablation studies
      dune exec bench/main.exe -- micro     # only the micro-benchmarks
-     BENCH_SCALE=0.5 dune exec bench/main.exe   # bigger workloads *)
+     dune exec bench/main.exe -- -j 4      # fan jobs over 4 domains
+     dune exec bench/main.exe -- --json out.json   # dump timings
+     BENCH_SCALE=0.5 dune exec bench/main.exe   # bigger workloads
+     ASMAN_JOBS=4 dune exec bench/main.exe      # worker count via env
+
+   Figure/ablation data points fan out over Asman.Pool worker domains
+   (-j N or ASMAN_JOBS; default: cores - 1; -j 1 = sequential). With
+   --json [FILE] the per-figure and per-job wall-clock timings plus
+   the worker count are dumped to FILE (default BENCH_<date>.json) so
+   the perf trajectory is tracked across PRs. *)
 
 open Asman
 
@@ -20,22 +29,52 @@ let scale =
 
 let config = Config.with_scale Config.default scale
 
+(* ----- per-run timing records (for the report and --json) ----- *)
+
+type timing_entry = {
+  entry_id : string;
+  wall_sec : float;
+  stats : Pool.stats;
+}
+
+(* Reversed run order. *)
+let recorded : timing_entry list ref = ref []
+
+let timed id f =
+  Pool.reset_accounting ();
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let wall_sec = Unix.gettimeofday () -. t0 in
+  let stats = Pool.accounting () in
+  recorded := { entry_id = id; wall_sec; stats } :: !recorded;
+  (result, wall_sec, stats)
+
+let speedup ~wall_sec (stats : Pool.stats) =
+  if wall_sec > 0. then stats.Pool.busy_sec /. wall_sec else 1.
+
+let print_timing id wall_sec (stats : Pool.stats) =
+  Printf.printf
+    "(%s regenerated in %.1f s host wall: %d jobs over %d workers, busy \
+     %.1f s, speedup %.2fx)\n\n%!"
+    id wall_sec
+    (List.length stats.Pool.timings)
+    stats.Pool.jobs_used stats.Pool.busy_sec (speedup ~wall_sec stats)
+
 (* ----- figure regeneration ----- *)
 
 let run_experiment (e : Experiments.t) =
-  let t0 = Unix.gettimeofday () in
-  let outcome = e.Experiments.run config in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let id = e.Experiments.id in
+  let outcome, wall_sec, stats = timed id (fun () -> e.Experiments.run config) in
   print_string (Report.outcome e outcome);
-  Printf.printf "(%s regenerated in %.1f s of host time)\n\n%!"
-    e.Experiments.id elapsed
+  print_timing id wall_sec stats
 
 let run_figures ids =
   Printf.printf
-    "ASMan reproduction — figure regeneration (workload scale %g, seed %Ld)\n\
+    "ASMan reproduction — figure regeneration (workload scale %g, seed %Ld, \
+     %d worker domains)\n\
      Absolute times are simulator scale; compare shapes and ratios with the\n\
      paper columns printed next to each measured table.\n\n%!"
-    scale config.Config.seed;
+    scale config.Config.seed (Pool.jobs ());
   List.iter
     (fun id ->
       match Experiments.find id with
@@ -46,23 +85,80 @@ let run_figures ids =
 (* ----- ablation studies ----- *)
 
 let run_ablation (a : Ablations.t) =
-  let t0 = Unix.gettimeofday () in
-  let outcome = a.Ablations.run config in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let id = a.Ablations.id in
+  let outcome, wall_sec, stats = timed id (fun () -> a.Ablations.run config) in
   let as_experiment =
     {
-      Experiments.id = a.Ablations.id;
+      Experiments.id;
       title = a.Ablations.title;
       description = a.Ablations.description;
       run = a.Ablations.run;
     }
   in
   print_string (Report.outcome as_experiment outcome);
-  Printf.printf "(%s ran in %.1f s of host time)\n\n%!" a.Ablations.id elapsed
+  print_timing id wall_sec stats
 
 let run_ablations () =
   print_endline "--- ablation studies (DESIGN.md design choices) ---\n";
   List.iter run_ablation Ablations.all
+
+(* ----- machine-readable timing dump (--json) ----- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let date_string () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let default_json_file () = Printf.sprintf "BENCH_%s.json" (date_string ())
+
+let write_json path =
+  let entries = List.rev !recorded in
+  let total_wall = List.fold_left (fun s e -> s +. e.wall_sec) 0. entries in
+  let entry_json e =
+    let job_secs =
+      String.concat ","
+        (List.map
+           (fun (t : Pool.job_timing) -> Printf.sprintf "%.6f" t.Pool.wall_sec)
+           e.stats.Pool.timings)
+    in
+    Printf.sprintf
+      "    {\"id\":\"%s\",\"wall_sec\":%.6f,\"busy_sec\":%.6f,\"jobs\":%d,\
+       \"workers\":%d,\"speedup\":%.3f,\"job_sec\":[%s]}"
+      (json_escape e.entry_id) e.wall_sec e.stats.Pool.busy_sec
+      (List.length e.stats.Pool.timings)
+      e.stats.Pool.jobs_used
+      (speedup ~wall_sec:e.wall_sec e.stats)
+      job_secs
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+     \  \"date\": \"%s\",\n\
+     \  \"scale\": %g,\n\
+     \  \"seed\": %Ld,\n\
+     \  \"workers\": %d,\n\
+     \  \"total_wall_sec\": %.6f,\n\
+     \  \"runs\": [\n%s\n\
+     \  ]\n\
+     }\n"
+    (date_string ()) scale config.Config.seed (Pool.jobs ()) total_wall
+    (String.concat ",\n" (List.map entry_json entries));
+  close_out oc;
+  Printf.printf "timings written to %s\n%!" path
 
 (* ----- Bechamel micro-benchmarks ----- *)
 
@@ -118,6 +214,11 @@ let microbenchmarks () =
            i := ((!i * 1103515245) + 12345) land 0xFFFFFF;
            Sim_stats.Histogram.add h !i))
   in
+  let test_pool =
+    Test.make ~name:"pool map (32 jobs)"
+      (Staged.stage (fun () ->
+           ignore (Pool.map (fun x -> x * x) (List.init 32 Fun.id))))
+  in
   let test_sim_slice =
     Test.make ~name:"simulate 100ms of LU@40% (asman)"
       (Staged.stage (fun () ->
@@ -140,7 +241,7 @@ let microbenchmarks () =
     Test.make_grouped ~name:"asman" ~fmt:"%s %s"
       [
         test_heap; test_rng; test_engine; test_estimator; test_histogram;
-        test_sim_slice;
+        test_pool; test_sim_slice;
       ]
   in
   let ols =
@@ -167,9 +268,38 @@ let microbenchmarks () =
     merged;
   print_newline ()
 
+(* ----- argument parsing ----- *)
+
+type opts = { jobs : int option; json : string option; ids : string list }
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [-j N] [--json [FILE]] [micro|ablations|<figure ids>]";
+  exit 2
+
+let parse_args args =
+  let rec go acc = function
+    | [] -> { acc with ids = List.rev acc.ids }
+    | "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> go { acc with jobs = Some j } rest
+      | Some _ | None ->
+        prerr_endline "-j needs a positive integer";
+        usage ())
+    | [ "-j" ] ->
+      prerr_endline "-j needs a positive integer";
+      usage ()
+    | "--json" :: f :: rest when Filename.check_suffix f ".json" ->
+      go { acc with json = Some f } rest
+    | "--json" :: rest -> go { acc with json = Some (default_json_file ()) } rest
+    | id :: rest -> go { acc with ids = id :: acc.ids } rest
+  in
+  go { jobs = None; json = None; ids = [] } args
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
+  (match opts.jobs with Some j -> Pool.set_jobs j | None -> ());
+  (match opts.ids with
   | [] ->
     run_figures (Experiments.ids ());
     run_ablations ();
@@ -183,4 +313,5 @@ let () =
         | Some e, _ -> run_experiment e
         | None, Some a -> run_ablation a
         | None, None -> Printf.eprintf "unknown id %s\n" id)
-      ids
+      ids);
+  match opts.json with Some path -> write_json path | None -> ()

@@ -32,6 +32,17 @@ let sched_arg =
     & opt (conv (parse, print)) Config.Asman
     & info [ "sched" ] ~doc ~docv:"SCHED")
 
+let jobs_arg =
+  let doc =
+    "Worker domains for experiment fan-out (default: $(b,ASMAN_JOBS) or \
+     cores - 1; 1 = sequential). Results are identical at any worker count: \
+     every data point builds its own engine from a fixed seed."
+  in
+  Arg.(
+    value
+    & opt int (Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
 let config_of ~scale ~seed =
   Config.with_seed (Config.with_scale Config.default scale) seed
 
@@ -62,7 +73,8 @@ let experiment_cmd =
     let doc = "Also print the measured series as CSV." in
     Arg.(value & flag & info [ "csv" ] ~doc)
   in
-  let run id csv scale seed =
+  let run id csv scale seed jobs =
+    Pool.set_jobs jobs;
     let config = config_of ~scale ~seed in
     let run_one (e : Experiments.t) =
       let outcome = e.Experiments.run config in
@@ -81,7 +93,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper")
-    Term.(const run $ id_arg $ csv_arg $ scale_arg $ seed_arg)
+    Term.(const run $ id_arg $ csv_arg $ scale_arg $ seed_arg $ jobs_arg)
 
 (* ----- ablation ----- *)
 
@@ -90,7 +102,8 @@ let ablation_cmd =
     let doc = "Ablation id (see 'asman_cli ablations'), or 'all'." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id scale seed =
+  let run id scale seed jobs =
+    Pool.set_jobs jobs;
     let config = config_of ~scale ~seed in
     let run_one (a : Ablations.t) =
       let outcome = a.Ablations.run config in
@@ -117,7 +130,7 @@ let ablation_cmd =
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run an ablation study of a design choice")
-    Term.(const run $ id_arg $ scale_arg $ seed_arg)
+    Term.(const run $ id_arg $ scale_arg $ seed_arg $ jobs_arg)
 
 (* ----- run ----- *)
 

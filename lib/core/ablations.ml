@@ -16,8 +16,21 @@ let lu_runtime config ~sched ~weight =
 
 let lu_baseline config = lu_runtime config ~sched:Config.Credit ~weight:256
 
-let slowdown_series config ~label runs =
-  let base = lu_baseline config in
+(* Fan a list of named runs out over Pool worker domains: every thunk
+   builds its own scenario from an immutable Config, so runs are
+   independent jobs whose results fold back in input order. *)
+let par_runs runs =
+  List.combine (List.map fst runs)
+    (Pool.map (fun thunk -> thunk ()) (List.map snd runs))
+
+(* Prepend the 100%-online Credit baseline to the fan-out so it runs
+   as one more parallel job, then hand [k] the base and the variants. *)
+let with_baseline config runs k =
+  match par_runs (("baseline", fun () -> lu_baseline config) :: runs) with
+  | (_, base) :: variants -> k base variants
+  | [] -> assert false
+
+let slowdown_series ~base ~label runs =
   Series.make ~label ~x_name:"variant index" ~y_name:"slowdown vs 100%"
     (List.mapi (fun i (_, t) -> (float_of_int i, t /. base)) runs)
 
@@ -35,10 +48,10 @@ let gang_variant ?ipi ?solidarity ?continuity name =
         ~should_cosched:(fun d -> d.Sim_vmm.Domain.vcrd = Sim_vmm.Domain.High) )
 
 let ablate_gang config =
-  let runs =
+  let variants =
     List.map
       (fun (name, sched) ->
-        (name, lu_runtime config ~sched ~weight:32))
+        (name, fun () -> lu_runtime config ~sched ~weight:32))
       [
         ("credit", Config.Credit);
         ("asman (all on)", Config.Asman);
@@ -47,8 +60,9 @@ let ablate_gang config =
         ("no continuity", gang_variant ~continuity:false "asman-nocont");
       ]
   in
+  with_baseline config variants @@ fun base runs ->
   {
-    Experiments.series = [ slowdown_series config ~label:"LU @22.2%" runs ];
+    Experiments.series = [ slowdown_series ~base ~label:"LU @22.2%" runs ];
     expected = [];
     notes =
       [
@@ -62,10 +76,10 @@ let ablate_gang config =
 (* ----- per-PCPU phase stagger ----- *)
 
 let ablate_stagger config =
-  let run ~stagger ~sched =
+  let run ~stagger ~sched () =
     lu_runtime { config with Config.stagger } ~sched ~weight:32
   in
-  let runs =
+  let variants =
     [
       ("credit, staggered", run ~stagger:true ~sched:Config.Credit);
       ("credit, aligned", run ~stagger:false ~sched:Config.Credit);
@@ -73,9 +87,9 @@ let ablate_stagger config =
       ("asman, aligned", run ~stagger:false ~sched:Config.Asman);
     ]
   in
-  let runs = List.map (fun (n, t) -> (n, t)) runs in
+  with_baseline config variants @@ fun base runs ->
   {
-    Experiments.series = [ slowdown_series config ~label:"LU @22.2%" runs ];
+    Experiments.series = [ slowdown_series ~base ~label:"LU @22.2%" runs ];
     expected = [];
     notes =
       [
@@ -90,16 +104,37 @@ let ablate_stagger config =
 
 let ablate_grace config =
   let freq = Config.freq config in
-  let run grace_ms =
+  let config_for grace_ms =
     let gp = Config.guest_params config in
     let gp =
       { gp with Sim_guest.Kernel.spin_grace = Sim_engine.Units.cycles_of_ms freq grace_ms }
     in
-    let config = { config with Config.guest_params = Some gp } in
-    (lu_runtime config ~sched:Config.Credit ~weight:32 /. lu_baseline config,
-     lu_runtime config ~sched:Config.Asman ~weight:32 /. lu_baseline config)
+    { config with Config.guest_params = Some gp }
   in
-  let points = List.map (fun g -> (g, run g)) [ 1; 5; 10; 20; 50 ] in
+  let graces = [ 1; 5; 10; 20; 50 ] in
+  (* Three jobs per grace value: Credit@22.2%, ASMan@22.2% and the
+     100% baseline (all under that grace), 15 jobs in one fan-out. *)
+  let times =
+    Pool.map
+      (fun thunk -> thunk ())
+      (List.concat_map
+         (fun g ->
+           let c = config_for g in
+           [
+             (fun () -> lu_runtime c ~sched:Config.Credit ~weight:32);
+             (fun () -> lu_runtime c ~sched:Config.Asman ~weight:32);
+             (fun () -> lu_baseline c);
+           ])
+         graces)
+  in
+  let rec fold_triples gs ts =
+    match (gs, ts) with
+    | g :: gs', credit :: asman :: base :: ts' ->
+      (g, (credit /. base, asman /. base)) :: fold_triples gs' ts'
+    | [], [] -> []
+    | _ -> assert false
+  in
+  let points = fold_triples graces times in
   let series label pick =
     Series.make ~label ~x_name:"spin grace (ms)" ~y_name:"slowdown vs 100%"
       (List.map (fun (g, pair) -> (float_of_int g, pick pair)) points)
@@ -131,19 +166,24 @@ let with_candidates config cycles_list =
 
 let ablate_learning config =
   let slot = Sim_hw.Cpu_model.slot_cycles config.Config.cpu in
-  let runs =
+  let variants =
     [
-      ("learned (6 candidates)", lu_runtime config ~sched:Config.Asman ~weight:32);
+      ( "learned (6 candidates)",
+        fun () -> lu_runtime config ~sched:Config.Asman ~weight:32 );
       ( "fixed x = slot/2",
-        lu_runtime (with_candidates config [ slot / 2 ]) ~sched:Config.Asman ~weight:32 );
+        fun () ->
+          lu_runtime (with_candidates config [ slot / 2 ]) ~sched:Config.Asman ~weight:32 );
       ( "fixed x = 4 slots",
-        lu_runtime (with_candidates config [ 4 * slot ]) ~sched:Config.Asman ~weight:32 );
+        fun () ->
+          lu_runtime (with_candidates config [ 4 * slot ]) ~sched:Config.Asman ~weight:32 );
       ( "fixed x = 16 slots",
-        lu_runtime (with_candidates config [ 16 * slot ]) ~sched:Config.Asman ~weight:32 );
+        fun () ->
+          lu_runtime (with_candidates config [ 16 * slot ]) ~sched:Config.Asman ~weight:32 );
     ]
   in
+  with_baseline config variants @@ fun base runs ->
   {
-    Experiments.series = [ slowdown_series config ~label:"LU @22.2%" runs ];
+    Experiments.series = [ slowdown_series ~base ~label:"LU @22.2%" runs ];
     expected = [];
     notes =
       [
@@ -166,8 +206,17 @@ let ablate_threshold config =
     in
     lu_runtime config ~sched:Config.Asman ~weight:32
   in
-  let points = List.map (fun d -> (d, run d)) [ 16; 18; 20; 22; 24 ] in
-  let base = lu_baseline config in
+  let deltas = [ 16; 18; 20; 22; 24 ] in
+  let base, points =
+    match
+      Pool.map
+        (fun thunk -> thunk ())
+        ((fun () -> lu_baseline config)
+         :: List.map (fun d () -> run d) deltas)
+    with
+    | base :: times -> (base, List.combine deltas times)
+    | [] -> assert false
+  in
   {
     Experiments.series =
       [
@@ -191,19 +240,31 @@ let ablate_slice config =
   let with_slice n =
     { config with Config.cpu = { config.Config.cpu with Sim_hw.Cpu_model.slots_per_slice = n } }
   in
-  let runs =
-    List.concat_map
-      (fun n ->
-        let c = with_slice n in
-        let base = lu_baseline c in
-        [
-          ( Printf.sprintf "credit, %d0 ms slices" n,
-            lu_runtime c ~sched:Config.Credit ~weight:32 /. base );
-          ( Printf.sprintf "asman, %d0 ms slices" n,
-            lu_runtime c ~sched:Config.Asman ~weight:32 /. base );
-        ])
-      [ 1; 3 ]
+  let slices = [ 1; 3 ] in
+  (* Per slice length: Credit, ASMan and that length's own baseline. *)
+  let times =
+    Pool.map
+      (fun thunk -> thunk ())
+      (List.concat_map
+         (fun n ->
+           let c = with_slice n in
+           [
+             (fun () -> lu_runtime c ~sched:Config.Credit ~weight:32);
+             (fun () -> lu_runtime c ~sched:Config.Asman ~weight:32);
+             (fun () -> lu_baseline c);
+           ])
+         slices)
   in
+  let rec fold_triples ns ts =
+    match (ns, ts) with
+    | n :: ns', credit :: asman :: base :: ts' ->
+      (Printf.sprintf "credit, %d0 ms slices" n, credit /. base)
+      :: (Printf.sprintf "asman, %d0 ms slices" n, asman /. base)
+      :: fold_triples ns' ts'
+    | [], [] -> []
+    | _ -> assert false
+  in
+  let runs = fold_triples slices times in
   {
     Experiments.series =
       [
@@ -224,12 +285,25 @@ let ablate_slice config =
 (* ----- in-VM vs out-of-VM detection ----- *)
 
 let ablate_oov config =
-  let runtime sched (w, _r) = lu_runtime config ~sched ~weight:w in
+  (* 3 schedulers x 4 online rates = 12 independent jobs. *)
+  let specs =
+    List.concat_map
+      (fun sched ->
+        List.map (fun (w, r) -> (sched, w, r)) Experiments.online_rate_points)
+      [ Config.Credit; Config.Asman; Config.Asman_oov ]
+  in
+  let times =
+    Pool.map (fun (sched, w, _r) -> lu_runtime config ~sched ~weight:w) specs
+  in
+  let points =
+    List.map2 (fun (sched, _w, r) t -> (Config.sched_name sched, r, t)) specs times
+  in
   let series sched label =
     Series.make ~label ~x_name:"online rate (%)" ~y_name:"run time (s)"
-      (List.map
-         (fun (w, r) -> (r, runtime sched (w, r)))
-         Experiments.online_rate_points)
+      (List.filter_map
+         (fun (n, r, t) ->
+           if n = Config.sched_name sched then Some (r, t) else None)
+         points)
   in
   let credit = series Config.Credit "Credit" in
   let asman = series Config.Asman "ASMan (in-VM monitor)" in
@@ -286,8 +360,11 @@ let ablate_llc config =
     let cross = Sim_hw.Machine.ipis_cross_socket s.Scenario.machine in
     (Runner.mean_round_sec m ~vm:"V1", m.Runner.ipis, cross)
   in
-  let t_plain, ipis_plain, cross_plain = run Config.Asman in
-  let t_llc, ipis_llc, cross_llc = run llc_sched in
+  let (t_plain, ipis_plain, cross_plain), (t_llc, ipis_llc, cross_llc) =
+    match Pool.map run [ Config.Asman; llc_sched ] with
+    | [ plain; llc ] -> (plain, llc)
+    | _ -> assert false
+  in
   let pct ipis cross =
     if ipis = 0 then 0. else 100. *. float_of_int cross /. float_of_int ipis
   in

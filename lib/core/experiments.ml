@@ -70,9 +70,12 @@ let wait_bucket_counts monitor =
 
 let rates = List.map snd online_rate_points
 
-let series_over_rates ~label ~y_name f =
-  Series.make ~label ~x_name:"online rate (%)" ~y_name
-    (List.map (fun (w, r) -> (r, f ~weight:w ~rate:r)) online_rate_points)
+(* Every data point below is an independent job: it builds its own
+   Scenario — hence its own Engine, RNG and guest state — from the
+   shared immutable Config, so fanning jobs out over Pool worker
+   domains shares no mutable state and the folded-back outcome is
+   identical at any worker count. *)
+let par_map f xs = Pool.map f xs
 
 (* ----- Fig 1a: LU run time vs online rate, Credit scheduler ----- *)
 
@@ -83,7 +86,7 @@ let paper_fig1a_credit =
 
 let fig1a_run config =
   let runtimes =
-    List.map
+    par_map
       (fun (w, r) ->
         (r, nas_runtime config ~sched:Config.Credit ~bench:Sim_workloads.Nas.LU ~weight:w))
       online_rate_points
@@ -120,7 +123,7 @@ let fig1a_run config =
 
 let fig1b_run config =
   let per_rate =
-    List.map
+    par_map
       (fun (w, r) ->
         let s, _m = nas_run config ~sched:Config.Credit ~bench:Sim_workloads.Nas.LU ~weight:w in
         (r, wait_bucket_counts (Runner.monitor_of s ~vm:"V1")))
@@ -167,8 +170,10 @@ let fig1b_run config =
 (* ----- Fig 2 / Fig 8: detailed spinlock wait traces ----- *)
 
 let trace_summary config ~sched =
+  (* Each job returns its scenario's monitor: private to the job while
+     running, read-only once the job has completed. *)
   let per_rate =
-    List.map
+    par_map
       (fun (w, r) ->
         let s, _m = nas_run config ~sched ~bench:Sim_workloads.Nas.LU ~weight:w in
         let monitor = Runner.monitor_of s ~vm:"V1" in
@@ -264,17 +269,29 @@ let paper_fig7_asman =
     [ (100., 400.); (66.7, 620.); (40., 1050.); (22.2, 1900.) ]
 
 let fig7_run config =
-  let runtime sched (w, _r) =
-    nas_runtime config ~sched ~bench:Sim_workloads.Nas.LU ~weight:w
+  (* One job per (scheduler, online rate) point: 8 independent runs. *)
+  let specs =
+    List.concat_map
+      (fun sched -> List.map (fun (w, r) -> (sched, w, r)) online_rate_points)
+      [ Config.Credit; Config.Asman ]
   in
-  let credit =
-    series_over_rates ~label:"Credit LU (sim s)" ~y_name:"run time (s)"
-      (fun ~weight ~rate:_ -> runtime Config.Credit (weight, 0.))
+  let times =
+    par_map
+      (fun (sched, w, _r) ->
+        nas_runtime config ~sched ~bench:Sim_workloads.Nas.LU ~weight:w)
+      specs
   in
-  let asman =
-    series_over_rates ~label:"ASMan LU (sim s)" ~y_name:"run time (s)"
-      (fun ~weight ~rate:_ -> runtime Config.Asman (weight, 0.))
+  let points =
+    List.map2 (fun (sched, _w, r) t -> (Config.sched_name sched, r, t)) specs times
   in
+  let series_of sched_name label =
+    Series.make ~label ~x_name:"online rate (%)" ~y_name:"run time (s)"
+      (List.filter_map
+         (fun (n, r, t) -> if n = sched_name then Some (r, t) else None)
+         points)
+  in
+  let credit = series_of "credit" "Credit LU (sim s)" in
+  let asman = series_of "asman" "ASMan LU (sim s)" in
   let ratio_at r =
     match (Series.y_at asman r, Series.y_at credit r) with
     | Some a, Some c when c > 0. -> a /. c
@@ -300,15 +317,33 @@ let fig9_rates = [ (128, 66.7); (64, 40.); (32, 22.2) ]
 
 let fig9_run config =
   let benches = Sim_workloads.Nas.all in
-  let base =
-    List.map
-      (fun b ->
-        (b, nas_runtime config ~sched:Config.Credit ~bench:b ~weight:256))
-      benches
+  (* One flat fan-out: 7 baseline runs plus 2 schedulers x 3 rates x 7
+     benchmarks, every run an independent job. *)
+  let base_specs = List.map (fun b -> (Config.Credit, 256, b)) benches in
+  let sweep_specs =
+    List.concat_map
+      (fun sched ->
+        List.concat_map
+          (fun (w, _r) -> List.map (fun b -> (sched, w, b)) benches)
+          fig9_rates)
+      [ Config.Credit; Config.Asman ]
   in
-  let slowdown sched b w =
-    nas_runtime config ~sched ~bench:b ~weight:w /. List.assq b base
+  let specs = base_specs @ sweep_specs in
+  let times =
+    par_map
+      (fun (sched, w, b) -> nas_runtime config ~sched ~bench:b ~weight:w)
+      specs
   in
+  let table =
+    List.map2
+      (fun (sched, w, b) t ->
+        ((Config.sched_name sched, w, Sim_workloads.Nas.name b), t))
+      specs times
+  in
+  let time sched w b =
+    List.assoc (Config.sched_name sched, w, Sim_workloads.Nas.name b) table
+  in
+  let slowdown sched b w = time sched w b /. time Config.Credit 256 b in
   let per_sched_rate sched (w, r) =
     let label =
       Printf.sprintf "%s @%g%%" (Config.sched_name sched) r
@@ -374,7 +409,27 @@ let fig10_throughput config ~sched ~weight ~warehouses =
   float_of_int vm.Runner.marks /. fig10_window_sec /. 1000.
 
 let fig10_run config =
-  let per sched (w, r) =
+  (* 2 schedulers x 3 rates x 8 warehouse counts = 48 independent jobs. *)
+  let specs =
+    List.concat_map
+      (fun sched ->
+        List.concat_map
+          (fun (w, r) -> List.map (fun wh -> (sched, w, r, wh)) fig10_warehouses)
+          fig9_rates)
+      [ Config.Credit; Config.Asman ]
+  in
+  let tputs =
+    par_map
+      (fun (sched, w, _r, wh) ->
+        fig10_throughput config ~sched ~weight:w ~warehouses:wh)
+      specs
+  in
+  let table =
+    List.map2
+      (fun (sched, _w, r, wh) v -> ((Config.sched_name sched, r, wh), v))
+      specs tputs
+  in
+  let per sched (_w, r) =
     let label =
       Printf.sprintf "%s @%g%%" (Config.sched_name sched) r
     in
@@ -382,7 +437,7 @@ let fig10_run config =
       (List.map
          (fun wh ->
            ( float_of_int wh,
-             fig10_throughput config ~sched ~weight:w ~warehouses:wh ))
+             List.assoc (Config.sched_name sched, r, wh) table ))
          fig10_warehouses)
   in
   let credit_series = List.map (per Config.Credit) fig9_rates in
@@ -475,8 +530,9 @@ let multi_vm_outcome config ~vms ~paper_note =
       (Config.Cosched_static, "CON");
     ]
   in
+  (* One job per scheduler; each builds its own multi-VM scenario. *)
   let results =
-    List.map
+    par_map
       (fun (sched, label) -> (label, multi_vm_run config ~vms ~sched))
       scheds
   in

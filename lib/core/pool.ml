@@ -1,0 +1,159 @@
+(* Jobs close over immutable inputs and fan out through a
+   Mutex/Condition work queue; each result lands in the array slot of
+   its input index, so [map] preserves order no matter which worker
+   finishes first. Worker exceptions are captured per slot and the
+   first one (in input order) is re-raised after every domain joins. *)
+
+(* ----- worker-count knob (-j / ASMAN_JOBS) ----- *)
+
+let env_jobs () =
+  match Sys.getenv_opt "ASMAN_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+(* 0 = unset: fall back to [default_jobs] at each call. *)
+let current_jobs = Atomic.make 0
+
+let set_jobs n = Atomic.set current_jobs (max 1 n)
+
+let jobs () =
+  match Atomic.get current_jobs with 0 -> default_jobs () | n -> n
+
+(* ----- per-job wall-time accounting ----- *)
+
+type job_timing = { index : int; wall_sec : float }
+
+type stats = {
+  jobs_used : int;
+  timings : job_timing list;
+  busy_sec : float;
+}
+
+let acc_mutex = Mutex.create ()
+
+(* Reversed completion order; re-reversed in [accounting]. *)
+let acc_timings : job_timing list ref = ref []
+
+let acc_jobs_used = ref 1
+
+let reset_accounting () =
+  Mutex.protect acc_mutex (fun () ->
+      acc_timings := [];
+      acc_jobs_used := 1)
+
+let record_timing index wall_sec =
+  Mutex.protect acc_mutex (fun () ->
+      acc_timings := { index; wall_sec } :: !acc_timings)
+
+let note_jobs_used k =
+  Mutex.protect acc_mutex (fun () ->
+      if k > !acc_jobs_used then acc_jobs_used := k)
+
+let accounting () =
+  Mutex.protect acc_mutex (fun () ->
+      let timings = List.rev !acc_timings in
+      {
+        jobs_used = !acc_jobs_used;
+        timings;
+        busy_sec = List.fold_left (fun s t -> s +. t.wall_sec) 0. timings;
+      })
+
+(* ----- blocking FIFO of pending jobs ----- *)
+
+module Jobq = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    m : Mutex.t;
+    nonempty : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      q = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+    }
+
+  let push t x =
+    Mutex.protect t.m (fun () ->
+        Queue.push x t.q;
+        Condition.signal t.nonempty)
+
+  let close t =
+    Mutex.protect t.m (fun () ->
+        t.closed <- true;
+        Condition.broadcast t.nonempty)
+
+  (* Blocks until a job is available; [None] once closed and drained. *)
+  let pop t =
+    Mutex.protect t.m (fun () ->
+        while Queue.is_empty t.q && not t.closed do
+          Condition.wait t.nonempty t.m
+        done;
+        if Queue.is_empty t.q then None else Some (Queue.pop t.q))
+end
+
+(* ----- parallel map ----- *)
+
+let now () = Unix.gettimeofday ()
+
+let run_job f results i x =
+  let t0 = now () in
+  (results.(i) <-
+    (match f x with
+    | y -> Some (Ok y)
+    | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
+  record_timing i (now () -. t0)
+
+let run_parallel ~workers f input results =
+  let q = Jobq.create () in
+  Array.iteri (fun i x -> Jobq.push q (i, x)) input;
+  Jobq.close q;
+  let worker () =
+    let rec loop () =
+      match Jobq.pop q with
+      | None -> ()
+      | Some (i, x) ->
+        run_job f results i x;
+        loop ()
+    in
+    loop ()
+  in
+  (* The calling domain is worker number [workers]. *)
+  let helpers = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join helpers
+
+let map ?jobs:requested f xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let n = List.length xs in
+    let k =
+      let want = match requested with Some j -> j | None -> jobs () in
+      max 1 (min want n)
+    in
+    note_jobs_used k;
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    if k = 1 then Array.iteri (fun i x -> run_job f results i x) input
+    else run_parallel ~workers:k f input results;
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function Some (Ok y) -> y | Some (Error _) | None -> assert false)
+         results)

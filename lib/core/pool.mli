@@ -1,0 +1,60 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    The experiment harness decomposes every figure and ablation into a
+    list of independent jobs — one per data point, each building its
+    own [Config]/[Scenario]/[Engine] — and fans them out here.
+    {!map} preserves input order and re-raises worker exceptions, so a
+    parallel run is observationally identical to [List.map]: with
+    per-scenario engines and fixed seeds, results are byte-identical
+    at any worker count.
+
+    Built on [Domain.spawn] and stdlib [Mutex]/[Condition] job
+    queues; no external dependencies. *)
+
+val default_jobs : unit -> int
+(** The [ASMAN_JOBS] environment variable if it parses as a positive
+    integer, else [Domain.recommended_domain_count () - 1], floored
+    at 1. *)
+
+val set_jobs : int -> unit
+(** Set the global worker count used when {!map}'s [?jobs] is omitted
+    (the [-j] flag). Values below 1 are clamped to 1; 1 selects the
+    sequential path (jobs run inline in the calling domain). *)
+
+val jobs : unit -> int
+(** The current global worker count: the last {!set_jobs} value, or
+    {!default_jobs} if never set. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] using at
+    most [jobs] domains (default {!jobs}[ ()], never more than
+    [List.length xs]) and returns the results in input order.
+
+    Jobs are drawn from a shared Mutex/Condition FIFO; the calling
+    domain participates as a worker, so [jobs = 1] spawns no domain
+    at all. If any job raises, the first exception in {e input}
+    order is re-raised (with its backtrace) after every worker has
+    joined. Each job's wall time is recorded in the global
+    accounting (see {!accounting}). *)
+
+(** {2 Per-job wall-time accounting}
+
+    A global, mutex-protected accumulator covering every job executed
+    since the last {!reset_accounting} — across nested {!map} calls —
+    so a driver can wrap one experiment and report its parallel
+    speedup ([busy_sec / wall elapsed]). *)
+
+type job_timing = {
+  index : int;  (** position of the job in its [map] input list *)
+  wall_sec : float;  (** host wall-clock seconds spent in the job *)
+}
+
+type stats = {
+  jobs_used : int;  (** largest worker count used since reset *)
+  timings : job_timing list;  (** completed jobs, in completion order *)
+  busy_sec : float;  (** sum of all job wall times *)
+}
+
+val reset_accounting : unit -> unit
+
+val accounting : unit -> stats

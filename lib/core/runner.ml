@@ -15,6 +15,7 @@ type vm_metrics = {
 
 type metrics = {
   vms : vm_metrics list;
+  by_name : (string, vm_metrics) Hashtbl.t;
   wall_sec : float;
   events_fired : int;
   ipis : int;
@@ -32,7 +33,7 @@ let collect (s : Scenario.t) ~round_times ~started ~marks_base ~events_base
       (fun (inst : Scenario.vm_instance) ->
         let name = inst.Scenario.spec.Scenario.vm_name in
         let times =
-          match List.assoc_opt name round_times with
+          match Hashtbl.find_opt round_times name with
           | Some l -> List.rev !l
           | None -> []
         in
@@ -50,7 +51,9 @@ let collect (s : Scenario.t) ~round_times ~started ~marks_base ~events_base
           | Some k ->
             let m = Sim_guest.Kernel.monitor k in
             ( Sim_guest.Kernel.total_marks k
-              - (try List.assoc name marks_base with Not_found -> 0),
+              - (match Hashtbl.find_opt marks_base name with
+                | Some base -> base
+                | None -> 0),
               Sim_guest.Monitor.over_threshold_count m,
               Sim_guest.Monitor.adjusting_events m,
               Sim_guest.Kernel.total_spin_cycles k )
@@ -69,8 +72,11 @@ let collect (s : Scenario.t) ~round_times ~started ~marks_base ~events_base
         })
       s.Scenario.vms
   in
+  let by_name = Hashtbl.create (List.length vms) in
+  List.iter (fun v -> Hashtbl.replace by_name v.vm_name v) vms;
   {
     vms;
+    by_name;
     wall_sec = Units.sec_of_cycles f (now - started);
     events_fired = Engine.events_fired s.Scenario.engine - events_base;
     ipis = Sim_hw.Machine.ipis_sent s.Scenario.machine - ipis_base;
@@ -80,12 +86,11 @@ let collect (s : Scenario.t) ~round_times ~started ~marks_base ~events_base
 (* Track VM-round completion times via the kernels' round hooks: VM
    round k completes when the slowest thread finishes its k-th pass. *)
 let install_round_tracking (s : Scenario.t) ~on_all_done ~target =
-  let round_times =
-    List.map
-      (fun (inst : Scenario.vm_instance) ->
-        (inst.Scenario.spec.Scenario.vm_name, ref []))
-      s.Scenario.vms
-  in
+  let round_times = Hashtbl.create (List.length s.Scenario.vms) in
+  List.iter
+    (fun (inst : Scenario.vm_instance) ->
+      Hashtbl.replace round_times inst.Scenario.spec.Scenario.vm_name (ref []))
+    s.Scenario.vms;
   let workload_vms =
     List.filter (fun (i : Scenario.vm_instance) -> i.Scenario.kernel <> None) s.Scenario.vms
   in
@@ -96,7 +101,7 @@ let install_round_tracking (s : Scenario.t) ~on_all_done ~target =
       | None -> ()
       | Some k ->
         let name = inst.Scenario.spec.Scenario.vm_name in
-        let times = List.assoc name round_times in
+        let times = Hashtbl.find round_times name in
         Sim_guest.Kernel.set_round_hook k (fun _ ~round:_ ~duration:_ ->
             let completed = Sim_guest.Kernel.min_rounds k in
             let recorded = List.length !times in
@@ -115,14 +120,16 @@ let install_round_tracking (s : Scenario.t) ~on_all_done ~target =
   round_times
 
 let marks_baseline (s : Scenario.t) =
-  List.filter_map
+  let tbl = Hashtbl.create (List.length s.Scenario.vms) in
+  List.iter
     (fun (inst : Scenario.vm_instance) ->
       match inst.Scenario.kernel with
-      | None -> None
+      | None -> ()
       | Some k ->
-        Some
-          (inst.Scenario.spec.Scenario.vm_name, Sim_guest.Kernel.total_marks k))
-    s.Scenario.vms
+        Hashtbl.replace tbl inst.Scenario.spec.Scenario.vm_name
+          (Sim_guest.Kernel.total_marks k))
+    s.Scenario.vms;
+  tbl
 
 let counter_baselines (s : Scenario.t) =
   ( Engine.events_fired s.Scenario.engine,
@@ -167,7 +174,7 @@ let run_window (s : Scenario.t) ~sec =
   collect s ~round_times ~started ~marks_base ~events_base ~ipis_base ~ctx_base
 
 let vm_metrics m ~vm =
-  match List.find_opt (fun v -> v.vm_name = vm) m.vms with
+  match Hashtbl.find_opt m.by_name vm with
   | Some v -> v
   | None -> invalid_arg (Printf.sprintf "Runner.vm_metrics: no VM %s" vm)
 

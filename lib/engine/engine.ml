@@ -1,18 +1,21 @@
-type handle = {
-  time : int;
-  mutable cancelled : bool;
-  mutable fired : bool;
-  action : unit -> unit;
-}
-
 type t = {
   mutable clock : int;
   mutable seq : int;
   queue : handle Heap.t;
+  (* live = scheduled - fired - cancelled: maintained so that
+     [pending_count] is O(1) instead of a fold over the heap. *)
   mutable live : int;
   mutable stop : bool;
   mutable fired_count : int;
   root_rng : Rng.t;
+}
+
+and handle = {
+  time : int;
+  mutable cancelled : bool;
+  mutable fired : bool;
+  action : unit -> unit;
+  owner : t;
 }
 
 let create ?(seed = 1L) () =
@@ -35,7 +38,7 @@ let schedule_at t ~time action =
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is before now %d" time
          t.clock);
-  let h = { time; cancelled = false; fired = false; action } in
+  let h = { time; cancelled = false; fired = false; action; owner = t } in
   Heap.add t.queue ~key:time ~seq:t.seq h;
   t.seq <- t.seq + 1;
   t.live <- t.live + 1;
@@ -46,7 +49,10 @@ let schedule_after t ~delay action =
   schedule_at t ~time:(t.clock + delay) action
 
 let cancel h =
-  if (not h.fired) && not h.cancelled then h.cancelled <- true
+  if (not h.fired) && not h.cancelled then begin
+    h.cancelled <- true;
+    h.owner.live <- h.owner.live - 1
+  end
 
 let is_pending h = (not h.fired) && not h.cancelled
 
@@ -59,10 +65,7 @@ let rec drop_cancelled t =
     drop_cancelled t
   | _ -> ()
 
-let pending_count t =
-  drop_cancelled t;
-  Heap.fold t.queue ~init:0 ~f:(fun acc h ->
-      if h.cancelled then acc else acc + 1)
+let pending_count t = t.live
 
 let step t =
   drop_cancelled t;

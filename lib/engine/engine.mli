@@ -40,7 +40,9 @@ val fire_time : handle -> int
 (** The virtual time the event was scheduled for. *)
 
 val pending_count : t -> int
-(** Number of live (non-cancelled) events in the queue. *)
+(** Number of live (non-cancelled) events in the queue. O(1): reads
+    a counter maintained on schedule/fire/cancel rather than folding
+    over the heap. *)
 
 val step : t -> bool
 (** [step t] fires the next event. [false] if the queue was empty. *)

@@ -1,27 +1,67 @@
-type t = { pcpu_id : int; mutable queue : Vcpu.t list (* FIFO: head = oldest *) }
+(* Singly-linked FIFO with a tail pointer and a length counter:
+   insert (append) and length are O(1) — they sit on the VMM's
+   wake/preempt hot path — while removal and the priority scans stay
+   O(n) over queues bounded by the total VCPU count. *)
 
-let create ~pcpu = { pcpu_id = pcpu; queue = [] }
+type node = { v : Vcpu.t; mutable next : node option }
+
+type t = {
+  pcpu_id : int;
+  mutable first : node option; (* FIFO: first = oldest *)
+  mutable last : node option;
+  mutable len : int;
+}
+
+let create ~pcpu = { pcpu_id = pcpu; first = None; last = None; len = 0 }
 
 let pcpu t = t.pcpu_id
 
-let length t = List.length t.queue
+let length t = t.len
 
-let is_empty t = t.queue = []
+let is_empty t = t.len = 0
 
-let mem t v = List.memq v t.queue
+let fold t ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f acc n.v) n.next
+  in
+  go init t.first
+
+let exists t ~f =
+  let rec go = function
+    | None -> false
+    | Some n -> f n.v || go n.next
+  in
+  go t.first
+
+let mem t v = exists t ~f:(fun x -> x == v)
 
 let insert t v =
   if not (Vcpu.is_ready v) then
     invalid_arg "Runqueue.insert: vcpu is not Ready";
   if mem t v then invalid_arg "Runqueue.insert: vcpu already queued";
   v.Vcpu.home <- t.pcpu_id;
-  t.queue <- t.queue @ [ v ]
+  let n = { v; next = None } in
+  (match t.last with
+  | None -> t.first <- Some n
+  | Some last -> last.next <- Some n);
+  t.last <- Some n;
+  t.len <- t.len + 1
 
 let remove t v =
-  if not (mem t v) then invalid_arg "Runqueue.remove: vcpu not in queue";
-  t.queue <- List.filter (fun x -> x != v) t.queue
+  let rec unlink prev = function
+    | None -> invalid_arg "Runqueue.remove: vcpu not in queue"
+    | Some n when n.v == v ->
+      (match prev with
+      | None -> t.first <- n.next
+      | Some p -> p.next <- n.next);
+      (match n.next with None -> t.last <- prev | Some _ -> ());
+      t.len <- t.len - 1
+    | Some n -> unlink (Some n) n.next
+  in
+  unlink None t.first
 
-let to_list t = t.queue
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc v -> v :: acc))
 
 (* Strictly better in (boosted, credit) order; FIFO ties resolved by
    scanning in queue order and replacing only on strict improvement. *)
@@ -32,31 +72,29 @@ let better (a : Vcpu.t) (b : Vcpu.t) =
   | true, true | false, false -> a.Vcpu.credit > b.Vcpu.credit
 
 let best ~f t =
-  List.fold_left
-    (fun acc v ->
+  fold t ~init:None ~f:(fun acc v ->
       if not (f v) then acc
       else
         match acc with
         | None -> Some v
         | Some cur -> if better v cur then Some v else acc)
-    None t.queue
 
 let head t = best ~f:Vcpu.eligible t
 
 let head_under t = best ~f:(fun v -> Vcpu.eligible v && v.Vcpu.credit > 0) t
 
 let best_by_credit t ~f =
-  List.fold_left
-    (fun acc v ->
+  fold t ~init:None ~f:(fun acc v ->
       if not (f v) then acc
       else
         match acc with
         | None -> Some v
         | Some cur -> if v.Vcpu.credit > cur.Vcpu.credit then Some v else acc)
-    None t.queue
 
 let has_domain t ~domain_id =
-  List.exists (fun v -> v.Vcpu.domain_id = domain_id) t.queue
+  exists t ~f:(fun v -> v.Vcpu.domain_id = domain_id)
 
 let find_domain t ~domain_id =
-  List.filter (fun v -> v.Vcpu.domain_id = domain_id) t.queue
+  List.rev
+    (fold t ~init:[] ~f:(fun acc v ->
+         if v.Vcpu.domain_id = domain_id then v :: acc else acc))

@@ -2,8 +2,10 @@
 
     Selection order follows the paper's Adaptive Scheduler: boosted
     VCPUs (raised by a coscheduling IPI) come first, then decreasing
-    unused credit, ties broken FIFO. Queues are small (at most the
-    total VCPU count), so O(n) scans are used for clarity. *)
+    unused credit, ties broken FIFO. The queue is a singly-linked
+    FIFO with a tail pointer: {!insert} and {!length} are O(1) (the
+    wake/preempt hot path); the priority scans and {!remove} stay
+    O(n) over queues bounded by the total VCPU count. *)
 
 type t
 

@@ -16,6 +16,7 @@ let () =
       ("scenario", Test_scenario.suite);
       ("sched", Test_sched.suite);
       ("integration", Test_integration.suite);
+      ("pool", Test_pool.suite);
       ("experiments", Test_experiments.suite);
       ("oov-ablations", Test_oov.suite);
       ("models", Test_models.suite);

@@ -1,0 +1,91 @@
+(* The domain worker pool: order preservation, exception propagation,
+   sequential/parallel equivalence, and the determinism argument for
+   the experiment fan-out — one representative figure must render a
+   byte-identical report sequentially and with 4 workers. *)
+
+open Asman
+
+let square x = x * x
+
+let test_order_preserved () =
+  let xs = List.init 100 Fun.id in
+  let expect = List.map square xs in
+  Alcotest.(check (list int)) "jobs=4" expect (Pool.map ~jobs:4 square xs);
+  Alcotest.(check (list int)) "jobs=1" expect (Pool.map ~jobs:1 square xs);
+  Alcotest.(check (list int))
+    "more workers than jobs" expect
+    (Pool.map ~jobs:13 square xs)
+
+let test_edge_cases () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 square []);
+  Alcotest.(check (list int)) "singleton" [ 49 ] (Pool.map ~jobs:4 square [ 7 ]);
+  Alcotest.(check (list int))
+    "jobs clamped to 1" [ 1; 4 ]
+    (Pool.map ~jobs:0 square [ 1; 2 ])
+
+let test_exception_propagates () =
+  Alcotest.check_raises "failure resurfaces" (Failure "job 37 boom") (fun () ->
+      ignore
+        (Pool.map ~jobs:4
+           (fun x -> if x = 37 then failwith "job 37 boom" else x)
+           (List.init 64 Fun.id)))
+
+let test_seq_par_equivalence () =
+  let f x = (x * 7919) mod 997 in
+  let xs = List.init 257 Fun.id in
+  Alcotest.(check (list int))
+    "j1 = j4"
+    (Pool.map ~jobs:1 f xs)
+    (Pool.map ~jobs:4 f xs)
+
+let test_jobs_knob () =
+  Alcotest.(check bool) "default positive" true (Pool.default_jobs () >= 1);
+  let saved = Pool.jobs () in
+  Pool.set_jobs 3;
+  Alcotest.(check int) "set_jobs" 3 (Pool.jobs ());
+  Pool.set_jobs (-5);
+  Alcotest.(check int) "clamped" 1 (Pool.jobs ());
+  Pool.set_jobs saved
+
+let test_accounting () =
+  Pool.reset_accounting ();
+  ignore (Pool.map ~jobs:2 square [ 1; 2; 3 ]);
+  let s = Pool.accounting () in
+  Alcotest.(check int) "three timings" 3 (List.length s.Pool.timings);
+  Alcotest.(check int) "workers recorded" 2 s.Pool.jobs_used;
+  Alcotest.(check bool) "busy non-negative" true (s.Pool.busy_sec >= 0.);
+  Alcotest.(check (list int))
+    "every job accounted" [ 0; 1; 2 ]
+    (List.sort compare
+       (List.map (fun (t : Pool.job_timing) -> t.Pool.index) s.Pool.timings))
+
+(* Determinism of the experiment fan-out: per-job engines built from a
+   fixed seed mean fig1a's full rendered report is byte-identical no
+   matter how many worker domains run it. *)
+let tiny = Config.with_scale (Config.with_seed Config.default 5L) 0.02
+
+let render_fig1a () =
+  match Experiments.find "fig1a" with
+  | Some e -> Report.outcome e (e.Experiments.run tiny)
+  | None -> Alcotest.fail "fig1a missing"
+
+let test_fig1a_deterministic () =
+  let saved = Pool.jobs () in
+  Pool.set_jobs 1;
+  let sequential = render_fig1a () in
+  Pool.set_jobs 4;
+  let parallel = render_fig1a () in
+  Pool.set_jobs saved;
+  Alcotest.(check string) "byte-identical report" sequential parallel
+
+let suite =
+  [
+    Alcotest.test_case "order preserved" `Quick test_order_preserved;
+    Alcotest.test_case "edge cases" `Quick test_edge_cases;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "seq/par equivalence" `Quick test_seq_par_equivalence;
+    Alcotest.test_case "jobs knob" `Quick test_jobs_knob;
+    Alcotest.test_case "accounting" `Quick test_accounting;
+    Alcotest.test_case "fig1a deterministic across workers" `Slow
+      test_fig1a_deterministic;
+  ]
