@@ -1,0 +1,35 @@
+# Convenience targets over dune. `make chaos` is the fault-injection
+# smoke: the resilience figure at a small scale plus one chaos run
+# that must demote and finish with zero invariant violations.
+
+DUNE ?= dune
+SCALE ?= 0.05
+SEED ?= 5
+JOBS ?= 4
+
+.PHONY: all build test bench figures chaos clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test: build
+	$(DUNE) runtest
+
+bench: build
+	$(DUNE) exec bench/main.exe -- -j $(JOBS)
+
+figures: build
+	$(DUNE) exec bin/asman_cli.exe -- experiment all --scale $(SCALE) \
+	  --seed $(SEED) --jobs $(JOBS)
+
+chaos: build
+	$(DUNE) exec bin/asman_cli.exe -- experiment resilience \
+	  --scale $(SCALE) --seed $(SEED) --jobs $(JOBS)
+	$(DUNE) exec bin/asman_cli.exe -- run --vm lu --vm lu --vm lu \
+	  --sched asman --rounds 6 --scale $(SCALE) --seed $(SEED) \
+	  --chaos ipi-loss-10 --invariants record
+
+clean:
+	$(DUNE) clean

@@ -274,7 +274,8 @@ type opts = { jobs : int option; json : string option; ids : string list }
 
 let usage () =
   prerr_endline
-    "usage: main.exe [-j N] [--json [FILE]] [micro|ablations|<figure ids>]";
+    "usage: main.exe [-j N] [--json [FILE]] [micro|ablations|chaos|<figure \
+     ids>]";
   exit 2
 
 let parse_args args =
@@ -306,6 +307,7 @@ let () =
     microbenchmarks ()
   | [ "micro" ] -> microbenchmarks ()
   | [ "ablations" ] -> run_ablations ()
+  | [ "chaos" ] -> run_figures [ "resilience" ]
   | ids ->
     List.iter
       (fun id ->

@@ -11,6 +11,11 @@
 open Cmdliner
 open Asman
 
+(* Exit codes: 0 success, 1 run failure (exception or invariant
+   violations), 2 usage error.  Raised for bad ids/arguments so the
+   driver at the bottom can map them uniformly. *)
+exception Usage_error of string
+
 let scale_arg =
   let doc = "Workload scale factor (fraction of the full benchmark size)." in
   Arg.(value & opt float Config.default.Config.scale & info [ "scale" ] ~doc)
@@ -43,8 +48,48 @@ let jobs_arg =
     & opt int (Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~doc ~docv:"N")
 
-let config_of ~scale ~seed =
-  Config.with_seed (Config.with_scale Config.default scale) seed
+let chaos_arg =
+  let doc =
+    Printf.sprintf
+      "Fault-injection profile: %s, or ipi-loss-<pct>, ipi-delay-<pct>, \
+       vcrd-loss-<pct>."
+      (String.concat ", " Sim_faults.Fault.known_names)
+  in
+  let parse s =
+    match Sim_faults.Fault.of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown chaos profile %S" s))
+  in
+  let print fmt p = Format.pp_print_string fmt p.Sim_faults.Fault.pname in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Sim_faults.Fault.none
+    & info [ "chaos" ] ~doc ~docv:"PROFILE")
+
+let invariants_arg =
+  let doc = "Runtime invariant checking: off, record or raise." in
+  let parse s =
+    match String.lowercase_ascii s with
+    | "off" -> Ok Sim_vmm.Vmm.Off
+    | "record" -> Ok Sim_vmm.Vmm.Record
+    | "raise" -> Ok Sim_vmm.Vmm.Raise
+    | _ -> Error (`Msg (Printf.sprintf "unknown invariant mode %S" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+      | Sim_vmm.Vmm.Off -> "off"
+      | Sim_vmm.Vmm.Record -> "record"
+      | Sim_vmm.Vmm.Raise -> "raise")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.default.Config.invariants
+    & info [ "invariants" ] ~doc ~docv:"MODE")
+
+let config_of ~scale ~seed ~chaos ~invariants =
+  let config = Config.with_seed (Config.with_scale Config.default scale) seed in
+  { config with Config.faults = chaos; invariants }
 
 (* ----- list ----- *)
 
@@ -57,7 +102,8 @@ let list_cmd =
     List.iter
       (fun (a : Ablations.t) ->
         Printf.printf "%-16s  %s\n" a.Ablations.id a.Ablations.title)
-      Ablations.all
+      Ablations.all;
+    0
   in
   Cmd.v (Cmd.info "list" ~doc:"List the figure experiments")
     Term.(const run $ const ())
@@ -73,9 +119,9 @@ let experiment_cmd =
     let doc = "Also print the measured series as CSV." in
     Arg.(value & flag & info [ "csv" ] ~doc)
   in
-  let run id csv scale seed jobs =
+  let run id csv scale seed jobs chaos invariants =
     Pool.set_jobs jobs;
-    let config = config_of ~scale ~seed in
+    let config = config_of ~scale ~seed ~chaos ~invariants in
     let run_one (e : Experiments.t) =
       let outcome = e.Experiments.run config in
       print_string (Report.outcome e outcome);
@@ -87,13 +133,16 @@ let experiment_cmd =
       match Experiments.find id with
       | Some e -> run_one e
       | None ->
-        Printf.eprintf "unknown experiment %S; try 'list'\n" id;
-        exit 1
-    end
+        raise
+          (Usage_error (Printf.sprintf "unknown experiment %S; try 'list'" id))
+    end;
+    0
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper")
-    Term.(const run $ id_arg $ csv_arg $ scale_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const run $ id_arg $ csv_arg $ scale_arg $ seed_arg $ jobs_arg
+      $ chaos_arg $ invariants_arg)
 
 (* ----- ablation ----- *)
 
@@ -104,7 +153,10 @@ let ablation_cmd =
   in
   let run id scale seed jobs =
     Pool.set_jobs jobs;
-    let config = config_of ~scale ~seed in
+    let config =
+      config_of ~scale ~seed ~chaos:Sim_faults.Fault.none
+        ~invariants:Config.default.Config.invariants
+    in
     let run_one (a : Ablations.t) =
       let outcome = a.Ablations.run config in
       let as_experiment =
@@ -123,10 +175,12 @@ let ablation_cmd =
       match Ablations.find id with
       | Some a -> run_one a
       | None ->
-        Printf.eprintf "unknown ablation %S; known: %s\n" id
-          (String.concat ", " (Ablations.ids ()));
-        exit 1
-    end
+        raise
+          (Usage_error
+             (Printf.sprintf "unknown ablation %S; known: %s" id
+                (String.concat ", " (Ablations.ids ()))))
+    end;
+    0
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run an ablation study of a design choice")
@@ -197,8 +251,8 @@ let run_cmd =
     let doc = "Simulated-time budget in seconds." in
     Arg.(value & opt float 120. & info [ "max-sec" ] ~doc)
   in
-  let run vms weight capped rounds max_sec sched scale seed =
-    let config = config_of ~scale ~seed in
+  let run vms weight capped rounds max_sec sched scale seed chaos invariants =
+    let config = config_of ~scale ~seed ~chaos ~invariants in
     let config = Config.with_work_conserving config (not capped) in
     let specs =
       List.mapi
@@ -243,13 +297,24 @@ let run_cmd =
           ])
         metrics.Runner.vms
     in
-    print_string (Sim_stats.Table.render ~headers rows)
+    print_string (Sim_stats.Table.render ~headers rows);
+    print_newline ();
+    print_string (Report.health_summary metrics);
+    let violations = Sim_vmm.Vmm.invariant_violations scenario.Scenario.vmm in
+    List.iteri
+      (fun i msg -> if i < 5 then Printf.printf "  violation: %s\n" msg)
+      violations;
+    (match violations with
+    | _ :: _ :: _ :: _ :: _ :: _ :: _ ->
+      Printf.printf "  ... and %d more\n" (List.length violations - 5)
+    | _ -> ());
+    if metrics.Runner.invariant_violations > 0 then 1 else 0
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an ad-hoc scenario")
     Term.(
       const run $ vms_arg $ weight_arg $ capped_arg $ rounds_arg $ max_sec_arg
-      $ sched_arg $ scale_arg $ seed_arg)
+      $ sched_arg $ scale_arg $ seed_arg $ chaos_arg $ invariants_arg)
 
 (* ----- trace ----- *)
 
@@ -262,13 +327,12 @@ let trace_cmd =
     let doc = "NAS benchmark to trace." in
     Arg.(value & opt string "lu" & info [ "bench" ] ~doc)
   in
-  let run weight bench sched scale seed =
+  let run weight bench sched scale seed chaos invariants =
     match Sim_workloads.Nas.of_name bench with
     | None ->
-      Printf.eprintf "unknown NAS benchmark %S\n" bench;
-      exit 1
+      raise (Usage_error (Printf.sprintf "unknown NAS benchmark %S" bench))
     | Some b ->
-      let config = config_of ~scale ~seed in
+      let config = config_of ~scale ~seed ~chaos ~invariants in
       let config = Config.with_work_conserving config false in
       let workload =
         Sim_workloads.Nas.workload
@@ -281,12 +345,15 @@ let trace_cmd =
       in
       let _ = Runner.run_rounds scenario ~rounds:1 ~max_sec:600. in
       let monitor = Runner.monitor_of scenario ~vm:"V1" in
-      print_string (Report.trace_csv (Sim_guest.Monitor.trace monitor))
+      print_string (Report.trace_csv (Sim_guest.Monitor.trace monitor));
+      0
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Dump the spinlock waiting-time trace (Fig 2/8 raw data) as CSV")
-    Term.(const run $ weight_arg $ bench_arg $ sched_arg $ scale_arg $ seed_arg)
+    Term.(
+      const run $ weight_arg $ bench_arg $ sched_arg $ scale_arg $ seed_arg
+      $ chaos_arg $ invariants_arg)
 
 (* ----- learn ----- *)
 
@@ -322,7 +389,8 @@ let learn_cmd =
         Printf.printf "  x = %6.1f ms   propensity %.4f\n"
           (Sim_engine.Units.ms_of_cycles freq c)
           props.(i))
-      candidates
+      candidates;
+    0
   in
   Cmd.v
     (Cmd.info "learn"
@@ -334,4 +402,21 @@ let main =
   Cmd.group (Cmd.info "asman_cli" ~doc)
     [ list_cmd; experiment_cmd; ablation_cmd; run_cmd; trace_cmd; learn_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Exit codes: 0 success, 1 run failure, 2 usage error. *)
+let () =
+  let code =
+    try
+      match Cmd.eval_value ~catch:false main with
+      | Ok (`Ok code) -> code
+      | Ok (`Help | `Version) -> 0
+      | Error (`Parse | `Term) -> 2
+      | Error `Exn -> 1
+    with
+    | Usage_error msg ->
+      Printf.eprintf "asman_cli: %s\n" msg;
+      2
+    | e ->
+      Printf.eprintf "asman_cli: run failed: %s\n" (Printexc.to_string e);
+      1
+  in
+  exit code

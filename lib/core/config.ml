@@ -37,6 +37,9 @@ type t = {
   guest_params : Sim_guest.Kernel.params option;
   monitor_report : bool;
   scale : float;
+  faults : Sim_faults.Fault.profile;
+  invariants : Sim_vmm.Vmm.invariant_mode;
+  watchdog : bool option;  (** [None] = armed iff faults are enabled *)
 }
 
 let default =
@@ -50,11 +53,20 @@ let default =
     guest_params = None;
     monitor_report = true;
     scale = 0.25;
+    faults = Sim_faults.Fault.none;
+    invariants = Sim_vmm.Vmm.Record;
+    watchdog = None;
   }
 
 let with_scale t scale = { t with scale }
 let with_seed t seed = { t with seed }
 let with_work_conserving t work_conserving = { t with work_conserving }
+let with_faults t faults = { t with faults }
+
+let watchdog_enabled t =
+  match t.watchdog with
+  | Some b -> b
+  | None -> not (Sim_faults.Fault.is_none t.faults)
 
 let guest_params t =
   match t.guest_params with

@@ -25,6 +25,15 @@ type t = {
   guest_params : Sim_guest.Kernel.params option;  (** [None] = defaults *)
   monitor_report : bool;  (** guests issue VCRD hypercalls *)
   scale : float;  (** global workload scale factor *)
+  faults : Sim_faults.Fault.profile;  (** chaos profile ([none] = clean run) *)
+  invariants : Sim_vmm.Vmm.invariant_mode;
+      (** runtime invariant checking (default [Record]: violations are
+          counted but never change scheduling, so clean runs stay
+          byte-identical to a checker-free build) *)
+  watchdog : bool option;
+      (** arm the gang coscheduling watchdog; [None] (default) arms it
+          exactly when [faults] is a real profile, so fault-free runs
+          carry no watchdog events *)
 }
 
 val default : t
@@ -36,6 +45,10 @@ val default : t
 val with_scale : t -> float -> t
 val with_seed : t -> int64 -> t
 val with_work_conserving : t -> bool -> t
+val with_faults : t -> Sim_faults.Fault.profile -> t
+
+val watchdog_enabled : t -> bool
+(** Resolve the [watchdog] option against the fault profile. *)
 
 val guest_params : t -> Sim_guest.Kernel.params
 (** The explicit guest params, or defaults derived from [cpu]. *)

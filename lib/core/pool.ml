@@ -2,7 +2,21 @@
    Mutex/Condition work queue; each result lands in the array slot of
    its input index, so [map] preserves order no matter which worker
    finishes first. Worker exceptions are captured per slot and the
-   first one (in input order) is re-raised after every domain joins. *)
+   first one (in input order) is re-raised after every domain joins.
+   The first failure also aborts the queue: jobs not yet started are
+   drained and never run (in-flight jobs finish normally). *)
+
+exception
+  Job_timeout of { index : int; elapsed_sec : float; limit_sec : float }
+
+let () =
+  Printexc.register_printer (function
+    | Job_timeout { index; elapsed_sec; limit_sec } ->
+      Some
+        (Printf.sprintf
+           "Pool.Job_timeout (job %d took %.1f s, limit %.1f s)" index
+           elapsed_sec limit_sec)
+    | _ -> None)
 
 (* ----- worker-count knob (-j / ASMAN_JOBS) ----- *)
 
@@ -94,6 +108,13 @@ module Jobq = struct
         t.closed <- true;
         Condition.broadcast t.nonempty)
 
+  (* Drop every job not yet started and wake all waiters. *)
+  let abort t =
+    Mutex.protect t.m (fun () ->
+        Queue.clear t.q;
+        t.closed <- true;
+        Condition.broadcast t.nonempty)
+
   (* Blocks until a job is available; [None] once closed and drained. *)
   let pop t =
     Mutex.protect t.m (fun () ->
@@ -107,15 +128,30 @@ end
 
 let now () = Unix.gettimeofday ()
 
-let run_job f results i x =
+(* Jobs are plain OCaml compute on a domain, so a stuck job cannot be
+   interrupted: the timeout is checked when the job returns, turning
+   an overlong (but completed) job into a [Job_timeout] error. *)
+let run_job ?timeout_sec ~on_error f results i x =
   let t0 = now () in
-  (results.(i) <-
-    (match f x with
-    | y -> Some (Ok y)
-    | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
-  record_timing i (now () -. t0)
+  let r =
+    match f x with
+    | y -> Ok y
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  let elapsed = now () -. t0 in
+  let r =
+    match (r, timeout_sec) with
+    | Ok _, Some limit when elapsed > limit ->
+      Error
+        ( Job_timeout { index = i; elapsed_sec = elapsed; limit_sec = limit },
+          Printexc.get_callstack 0 )
+    | _ -> r
+  in
+  results.(i) <- Some r;
+  record_timing i elapsed;
+  match r with Error _ -> on_error () | Ok _ -> ()
 
-let run_parallel ~workers f input results =
+let run_parallel ?timeout_sec ~workers f input results =
   let q = Jobq.create () in
   Array.iteri (fun i x -> Jobq.push q (i, x)) input;
   Jobq.close q;
@@ -124,7 +160,7 @@ let run_parallel ~workers f input results =
       match Jobq.pop q with
       | None -> ()
       | Some (i, x) ->
-        run_job f results i x;
+        run_job ?timeout_sec ~on_error:(fun () -> Jobq.abort q) f results i x;
         loop ()
     in
     loop ()
@@ -134,7 +170,7 @@ let run_parallel ~workers f input results =
   worker ();
   Array.iter Domain.join helpers
 
-let map ?jobs:requested f xs =
+let map ?jobs:requested ?timeout_sec f xs =
   match xs with
   | [] -> []
   | _ ->
@@ -146,8 +182,16 @@ let map ?jobs:requested f xs =
     note_jobs_used k;
     let input = Array.of_list xs in
     let results = Array.make n None in
-    if k = 1 then Array.iteri (fun i x -> run_job f results i x) input
-    else run_parallel ~workers:k f input results;
+    if k = 1 then begin
+      let stop = ref false in
+      Array.iteri
+        (fun i x ->
+          if not !stop then
+            run_job ?timeout_sec ~on_error:(fun () -> stop := true) f results
+              i x)
+        input
+    end
+    else run_parallel ?timeout_sec ~workers:k f input results;
     Array.iter
       (function
         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt

@@ -25,17 +25,26 @@ val jobs : unit -> int
 (** The current global worker count: the last {!set_jobs} value, or
     {!default_jobs} if never set. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+exception
+  Job_timeout of { index : int; elapsed_sec : float; limit_sec : float }
+(** A job exceeded [map]'s [timeout_sec]. Jobs are uninterruptible
+    domain compute, so the limit is enforced when the job returns:
+    the (completed) result is replaced by this exception. *)
+
+val map : ?jobs:int -> ?timeout_sec:float -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element of [xs] using at
     most [jobs] domains (default {!jobs}[ ()], never more than
     [List.length xs]) and returns the results in input order.
 
     Jobs are drawn from a shared Mutex/Condition FIFO; the calling
     domain participates as a worker, so [jobs = 1] spawns no domain
-    at all. If any job raises, the first exception in {e input}
-    order is re-raised (with its backtrace) after every worker has
-    joined. Each job's wall time is recorded in the global
-    accounting (see {!accounting}). *)
+    at all. The first failing job aborts the queue: jobs not yet
+    started are dropped, in-flight jobs finish, and the first
+    exception in {e input} order is re-raised (with its backtrace)
+    after every worker has joined. [timeout_sec] converts any job
+    whose wall time exceeds the limit into a {!Job_timeout} failure
+    (post-hoc — see {!Job_timeout}). Each job's wall time is
+    recorded in the global accounting (see {!accounting}). *)
 
 (** {2 Per-job wall-time accounting}
 

@@ -26,6 +26,23 @@ let summary_line (e : Experiments.t) (o : Experiments.outcome) =
     (List.length o.Experiments.series)
     (List.length o.Experiments.notes)
 
+let health_summary (m : Runner.metrics) =
+  let buf = Buffer.create 256 in
+  let section title l =
+    if l <> [] then begin
+      Buffer.add_string buf (title ^ ":\n");
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf "  %-24s %d\n" k v))
+        l
+    end
+  in
+  section "scheduler health" m.Runner.sched_counters;
+  section "fault injection" m.Runner.fault_stats;
+  Buffer.add_string buf
+    (Printf.sprintf "invariant violations: %d\n" m.Runner.invariant_violations);
+  Buffer.contents buf
+
 let series_csv series = Csv.to_string (Csv.of_series series)
 
 let trace_csv entries =

@@ -6,6 +6,10 @@ val outcome : Experiments.t -> Experiments.outcome -> string
 val summary_line : Experiments.t -> Experiments.outcome -> string
 (** One line: id, title, series count. *)
 
+val health_summary : Runner.metrics -> string
+(** Watchdog counters, fault-injector tallies and the invariant
+    violation count of one run (as printed by [asman_cli run]). *)
+
 val series_csv : Sim_stats.Series.t list -> string
 
 val trace_csv : Sim_guest.Monitor.trace_entry list -> string

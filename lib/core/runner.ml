@@ -20,12 +20,15 @@ type metrics = {
   events_fired : int;
   ipis : int;
   ctx_switches : int;
+  invariant_violations : int;
+  sched_counters : (string * int) list;
+  fault_stats : (string * int) list;
 }
 
 let freq (s : Scenario.t) = Config.freq s.Scenario.config
 
 let collect (s : Scenario.t) ~round_times ~started ~marks_base ~events_base
-    ~ipis_base ~ctx_base =
+    ~ipis_base ~ctx_base ~viol_base =
   let f = freq s in
   let now = Engine.now s.Scenario.engine in
   let vms =
@@ -81,6 +84,13 @@ let collect (s : Scenario.t) ~round_times ~started ~marks_base ~events_base
     events_fired = Engine.events_fired s.Scenario.engine - events_base;
     ipis = Sim_hw.Machine.ipis_sent s.Scenario.machine - ipis_base;
     ctx_switches = Sim_vmm.Vmm.ctx_switches s.Scenario.vmm - ctx_base;
+    invariant_violations =
+      Sim_vmm.Vmm.invariant_violation_count s.Scenario.vmm - viol_base;
+    sched_counters = Sim_vmm.Vmm.sched_counters s.Scenario.vmm;
+    fault_stats =
+      (match s.Scenario.injector with
+      | Some inj -> Sim_faults.Injector.stats inj
+      | None -> []);
   }
 
 (* Track VM-round completion times via the kernels' round hooks: VM
@@ -134,12 +144,13 @@ let marks_baseline (s : Scenario.t) =
 let counter_baselines (s : Scenario.t) =
   ( Engine.events_fired s.Scenario.engine,
     Sim_hw.Machine.ipis_sent s.Scenario.machine,
-    Sim_vmm.Vmm.ctx_switches s.Scenario.vmm )
+    Sim_vmm.Vmm.ctx_switches s.Scenario.vmm,
+    Sim_vmm.Vmm.invariant_violation_count s.Scenario.vmm )
 
 let run_rounds (s : Scenario.t) ~rounds ~max_sec =
   if rounds <= 0 then invalid_arg "Runner.run_rounds: rounds must be positive";
   let started = Engine.now s.Scenario.engine in
-  let events_base, ipis_base, ctx_base = counter_baselines s in
+  let events_base, ipis_base, ctx_base, viol_base = counter_baselines s in
   let marks_base = marks_baseline s in
   let round_times =
     install_round_tracking s ~target:rounds ~on_all_done:(fun () ->
@@ -148,6 +159,7 @@ let run_rounds (s : Scenario.t) ~rounds ~max_sec =
   let limit = started + Units.cycles_of_sec_f (freq s) max_sec in
   Engine.run ~until:limit s.Scenario.engine;
   collect s ~round_times ~started ~marks_base ~events_base ~ipis_base ~ctx_base
+    ~viol_base
 
 let reset_measurements (s : Scenario.t) =
   Sim_vmm.Vmm.reset_accounting s.Scenario.vmm;
@@ -164,7 +176,7 @@ let run_window (s : Scenario.t) ~sec =
   if sec <= 0. then invalid_arg "Runner.run_window: sec must be positive";
   reset_measurements s;
   let started = Engine.now s.Scenario.engine in
-  let events_base, ipis_base, ctx_base = counter_baselines s in
+  let events_base, ipis_base, ctx_base, viol_base = counter_baselines s in
   let marks_base = marks_baseline s in
   let round_times =
     install_round_tracking s ~target:max_int ~on_all_done:(fun () -> ())
@@ -172,6 +184,7 @@ let run_window (s : Scenario.t) ~sec =
   let limit = started + Units.cycles_of_sec_f (freq s) sec in
   Engine.run ~until:limit s.Scenario.engine;
   collect s ~round_times ~started ~marks_base ~events_base ~ipis_base ~ctx_base
+    ~viol_base
 
 let vm_metrics m ~vm =
   match Hashtbl.find_opt m.by_name vm with

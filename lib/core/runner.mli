@@ -29,6 +29,13 @@ type metrics = {
   events_fired : int;  (** engine events during the measurement *)
   ipis : int;  (** IPIs sent during the measurement *)
   ctx_switches : int;  (** context switches during the measurement *)
+  invariant_violations : int;
+      (** runtime invariant violations recorded during the measurement
+          (0 unless the config enables checking and something broke) *)
+  sched_counters : (string * int) list;
+      (** scheduler health counters (gang watchdog), cumulative *)
+  fault_stats : (string * int) list;
+      (** injector tallies, cumulative; [[]] on clean runs *)
 }
 
 val run_rounds : Scenario.t -> rounds:int -> max_sec:float -> metrics

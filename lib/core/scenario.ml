@@ -22,6 +22,7 @@ type t = {
   vmm : Sim_vmm.Vmm.t;
   dom0 : Sim_vmm.Domain.t;
   vms : vm_instance list;
+  injector : Sim_faults.Injector.t option;
 }
 
 let build config ~sched ~vms =
@@ -36,10 +37,24 @@ let build config ~sched ~vms =
     Sim_hw.Machine.create ~stagger:config.Config.stagger engine
       config.Config.cpu config.Config.topology
   in
+  let watchdog =
+    if Config.watchdog_enabled config then
+      Some (Sim_vmm.Watchdog.default config.Config.cpu)
+    else None
+  in
   let vmm =
     Sim_vmm.Vmm.create ~work_conserving:config.Config.work_conserving
-      ~credit_unit:config.Config.credit_unit machine
+      ~credit_unit:config.Config.credit_unit ?watchdog machine
       ~sched:(Config.sched_maker sched)
+  in
+  Sim_vmm.Vmm.set_invariant_mode vmm config.Config.invariants;
+  let injector =
+    if Sim_faults.Fault.is_none config.Config.faults then None
+    else
+      Some
+        (Sim_faults.Injector.install ~profile:config.Config.faults
+           ~seed:(Int64.to_int config.Config.seed)
+           machine vmm)
   in
   (* Dom0 first, as in Xen: one VCPU per PCPU, weight 256, idle. *)
   let dom0 =
@@ -76,7 +91,7 @@ let build config ~sched ~vms =
       | Some k -> Sim_guest.Kernel.launch k
       | None -> ())
     instances;
-  { config; engine; machine; vmm; dom0; vms = instances }
+  { config; engine; machine; vmm; dom0; vms = instances; injector }
 
 let expected_online_rate t inst =
   Sim_vmm.Domain.expected_online_rate inst.domain

@@ -36,6 +36,8 @@ type t = {
   vmm : Sim_vmm.Vmm.t;
   dom0 : Sim_vmm.Domain.t;
   vms : vm_instance list;  (** in [vm_spec] order; excludes Dom0 *)
+  injector : Sim_faults.Injector.t option;
+      (** present when [config.faults] is a real profile *)
 }
 
 val build : Config.t -> sched:Config.sched_kind -> vms:vm_spec list -> t

@@ -103,3 +103,29 @@ let run ?until t =
   | _ -> ()
 
 let events_fired t = t.fired_count
+
+(* Self-rescheduling event chains: the machine's slot/period clocks
+   and the fault injector's recurring chaos windows. The action runs
+   first and the next occurrence is scheduled after it returns, so a
+   chain created with no jitter hook fires at exactly [start + k *
+   period] with the same heap insertion order as a hand-rolled
+   recursive schedule. *)
+let periodic t ~start ~period ?jitter action =
+  if period <= 0 then invalid_arg "Engine.periodic: period must be positive";
+  let stopped = ref false in
+  let pending = ref None in
+  let rec fire () =
+    action ();
+    if not !stopped then begin
+      let extra = match jitter with None -> 0 | Some j -> max 0 (j ()) in
+      pending := Some (schedule_after t ~delay:(period + extra) fire)
+    end
+  in
+  pending := Some (schedule_at t ~time:start fire);
+  fun () ->
+    stopped := true;
+    match !pending with
+    | Some h ->
+      cancel h;
+      pending := None
+    | None -> ()

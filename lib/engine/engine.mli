@@ -59,3 +59,20 @@ val halted : t -> bool
 
 val events_fired : t -> int
 (** Total events executed since creation (simulation-cost metric). *)
+
+val periodic :
+  t ->
+  start:int ->
+  period:int ->
+  ?jitter:(unit -> int) ->
+  (unit -> unit) ->
+  unit ->
+  unit
+(** [periodic t ~start ~period ?jitter f] fires [f] at [start] and
+    then repeatedly [period + jitter ()] cycles after each firing
+    (jitter is clamped to be non-negative; default none). The action
+    runs before the next occurrence is inserted, so two chains created
+    in order keep their relative insertion order at shared instants.
+    Returns a stop function that cancels the pending occurrence and
+    ends the chain — the cancellation path used by fault windows.
+    Raises [Invalid_argument] if [period <= 0]. *)

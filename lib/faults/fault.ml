@@ -1,0 +1,122 @@
+type spec =
+  | Ipi_loss of { prob : float }
+  | Ipi_delay of { prob : float; max_ms : float }
+  | Timer_jitter of { max_ms : float }
+  | Pcpu_stall of { period_sec : float; for_sec : float }
+  | Pcpu_offline of { period_sec : float; for_sec : float }
+  | Vcrd_loss of { prob : float }
+  | Vcrd_corrupt of { prob : float }
+
+type profile = { pname : string; specs : spec list }
+
+let none = { pname = "none"; specs = [] }
+
+let is_none p = p.specs = []
+
+let ipi_loss rate =
+  if rate <= 0. then none
+  else
+    {
+      pname = Printf.sprintf "ipi-loss-%g" (rate *. 100.);
+      specs = [ Ipi_loss { prob = rate } ];
+    }
+
+let chaos_mild =
+  {
+    pname = "chaos-mild";
+    specs =
+      [
+        Ipi_loss { prob = 0.05 };
+        Timer_jitter { max_ms = 0.5 };
+        Vcrd_loss { prob = 0.05 };
+      ];
+  }
+
+let chaos_heavy =
+  {
+    pname = "chaos-heavy";
+    specs =
+      [
+        Ipi_loss { prob = 0.20 };
+        Ipi_delay { prob = 0.10; max_ms = 2.0 };
+        Timer_jitter { max_ms = 1.0 };
+        Pcpu_stall { period_sec = 0.7; for_sec = 0.2 };
+        Pcpu_offline { period_sec = 1.0; for_sec = 0.3 };
+        Vcrd_loss { prob = 0.10 };
+        Vcrd_corrupt { prob = 0.05 };
+      ];
+  }
+
+let stall_profile =
+  { pname = "stall"; specs = [ Pcpu_stall { period_sec = 0.7; for_sec = 0.2 } ] }
+
+let hotplug_profile =
+  {
+    pname = "hotplug";
+    specs = [ Pcpu_offline { period_sec = 1.0; for_sec = 0.3 } ];
+  }
+
+let spec_to_string = function
+  | Ipi_loss { prob } -> Printf.sprintf "ipi-loss %g%%" (prob *. 100.)
+  | Ipi_delay { prob; max_ms } ->
+    Printf.sprintf "ipi-delay %g%% up to %gms" (prob *. 100.) max_ms
+  | Timer_jitter { max_ms } -> Printf.sprintf "timer-jitter up to %gms" max_ms
+  | Pcpu_stall { period_sec; for_sec } ->
+    Printf.sprintf "pcpu-stall %gs every %gs" for_sec period_sec
+  | Pcpu_offline { period_sec; for_sec } ->
+    Printf.sprintf "pcpu-offline %gs every %gs" for_sec period_sec
+  | Vcrd_loss { prob } -> Printf.sprintf "vcrd-loss %g%%" (prob *. 100.)
+  | Vcrd_corrupt { prob } -> Printf.sprintf "vcrd-corrupt %g%%" (prob *. 100.)
+
+let to_string p =
+  if is_none p then "none"
+  else
+    Printf.sprintf "%s (%s)" p.pname
+      (String.concat ", " (List.map spec_to_string p.specs))
+
+(* "ipi-loss-10" style names: the suffix is a percentage. *)
+let percent_suffix ~prefix name =
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    float_of_string_opt (String.sub name pl (String.length name - pl))
+  else None
+
+let of_name name =
+  match name with
+  | "none" -> Some none
+  | "chaos-mild" -> Some chaos_mild
+  | "chaos-heavy" -> Some chaos_heavy
+  | "jitter" ->
+    Some { pname = "jitter"; specs = [ Timer_jitter { max_ms = 1.0 } ] }
+  | "stall" -> Some stall_profile
+  | "hotplug" -> Some hotplug_profile
+  | _ -> (
+    match percent_suffix ~prefix:"ipi-loss-" name with
+    | Some pct when pct >= 0. && pct <= 100. ->
+      Some { pname = name; specs = [ Ipi_loss { prob = pct /. 100. } ] }
+    | _ -> (
+      match percent_suffix ~prefix:"ipi-delay-" name with
+      | Some pct when pct >= 0. && pct <= 100. ->
+        Some
+          {
+            pname = name;
+            specs = [ Ipi_delay { prob = pct /. 100.; max_ms = 2.0 } ];
+          }
+      | _ -> (
+        match percent_suffix ~prefix:"vcrd-loss-" name with
+        | Some pct when pct >= 0. && pct <= 100. ->
+          Some { pname = name; specs = [ Vcrd_loss { prob = pct /. 100. } ] }
+        | _ -> None)))
+
+let known_names =
+  [
+    "none";
+    "chaos-mild";
+    "chaos-heavy";
+    "jitter";
+    "stall";
+    "hotplug";
+    "ipi-loss-<pct>";
+    "ipi-delay-<pct>";
+    "vcrd-loss-<pct>";
+  ]

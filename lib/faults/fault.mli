@@ -1,0 +1,48 @@
+(** Fault taxonomy for the chaos layer.
+
+    A {!spec} is one declarative fault source; a {!profile} is a named
+    bundle of them, carried in [Config] and realised against a
+    concrete machine/VMM by {!Injector.install}. Rates are
+    probabilities per event (IPI, VCRD report); windows are in
+    simulated seconds so profiles are independent of the CPU model. *)
+
+type spec =
+  | Ipi_loss of { prob : float }
+      (** Each coscheduling IPI is independently lost. *)
+  | Ipi_delay of { prob : float; max_ms : float }
+      (** Each IPI is independently delayed by up to [max_ms]. *)
+  | Timer_jitter of { max_ms : float }
+      (** Every per-PCPU slot tick slips by up to [max_ms]. *)
+  | Pcpu_stall of { period_sec : float; for_sec : float }
+      (** Recurringly stall one PCPU's slot timer for [for_sec]
+          (round-robin over PCPUs). *)
+  | Pcpu_offline of { period_sec : float; for_sec : float }
+      (** Recurringly hot-unplug one PCPU for [for_sec] (round-robin;
+          never the last online PCPU). *)
+  | Vcrd_loss of { prob : float }
+      (** Each guest VCRD report is independently dropped. *)
+  | Vcrd_corrupt of { prob : float }
+      (** Each guest VCRD report is independently inverted. *)
+
+type profile = { pname : string; specs : spec list }
+
+val none : profile
+
+val is_none : profile -> bool
+
+val ipi_loss : float -> profile
+(** [ipi_loss rate] is a single-spec profile; [rate <= 0] is {!none}.
+    Used by the resilience figure's loss-rate sweep. *)
+
+val chaos_mild : profile
+val chaos_heavy : profile
+
+val of_name : string -> profile option
+(** Parse a named profile: [none], [chaos-mild], [chaos-heavy],
+    [jitter], [stall], [hotplug], or the parameterized
+    [ipi-loss-<pct>], [ipi-delay-<pct>], [vcrd-loss-<pct>]. *)
+
+val known_names : string list
+(** For usage messages. *)
+
+val to_string : profile -> string

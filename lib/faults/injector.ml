@@ -1,0 +1,154 @@
+open Sim_engine
+open Sim_hw
+
+type t = {
+  machine : Machine.t;
+  mutable vcrd_reports_dropped : int;
+  mutable vcrd_reports_corrupted : int;
+  mutable pcpu_stalls : int;
+  mutable pcpu_offlines : int;
+}
+
+let flip = function Sim_vmm.Domain.High -> Sim_vmm.Domain.Low
+  | Sim_vmm.Domain.Low -> Sim_vmm.Domain.High
+
+(* One recurring stall/offline window chain. Targets rotate over the
+   PCPUs so the same victim is not hit every time; a window that finds
+   its target already degraded (or that would take down the last
+   online PCPU) is skipped rather than retargeted, keeping the event
+   stream independent of scheduler state. *)
+let recurring_window t ~period ~length ~count ~degrade ~restore =
+  let engine = Machine.engine t.machine in
+  let n = Machine.pcpu_count t.machine in
+  let k = ref 0 in
+  let (_ : unit -> unit) =
+    Engine.periodic engine ~start:period ~period (fun () ->
+        let pcpu = !k mod n in
+        incr k;
+        if degrade ~pcpu then begin
+          count ();
+          ignore
+            (Engine.schedule_after engine ~delay:length (fun () ->
+                 restore ~pcpu))
+        end)
+  in
+  ()
+
+let install ~profile ~seed machine vmm =
+  let t =
+    {
+      machine;
+      vcrd_reports_dropped = 0;
+      vcrd_reports_corrupted = 0;
+      pcpu_stalls = 0;
+      pcpu_offlines = 0;
+    }
+  in
+  let cpu = Machine.cpu_model machine in
+  let freq = cpu.Cpu_model.freq in
+  let cycles_of_ms_f ms = Units.cycles_of_sec_f freq (ms /. 1000.) in
+  (* Independent streams per fault channel, split in a fixed order so
+     e.g. adding timer jitter to a profile does not perturb the IPI
+     loss pattern of the same seed. *)
+  let root = Rng.create (Int64.of_int (0x6F41 + seed)) in
+  let ipi_rng = Rng.split root in
+  let vcrd_rng = Rng.split root in
+  let jitter_rng = Rng.split root in
+  (* Fold the specs into one decision per channel. *)
+  let ipi_loss_prob = ref 0. in
+  let ipi_delay = ref None in
+  let jitter_max = ref 0 in
+  let vcrd_loss_prob = ref 0. in
+  let vcrd_corrupt_prob = ref 0. in
+  List.iter
+    (fun spec ->
+      match spec with
+      | Fault.Ipi_loss { prob } -> ipi_loss_prob := prob
+      | Fault.Ipi_delay { prob; max_ms } ->
+        ipi_delay := Some (prob, cycles_of_ms_f max_ms)
+      | Fault.Timer_jitter { max_ms } -> jitter_max := cycles_of_ms_f max_ms
+      | Fault.Vcrd_loss { prob } -> vcrd_loss_prob := prob
+      | Fault.Vcrd_corrupt { prob } -> vcrd_corrupt_prob := prob
+      | Fault.Pcpu_stall _ | Fault.Pcpu_offline _ -> ())
+    profile.Fault.specs;
+  if !ipi_loss_prob > 0. || !ipi_delay <> None then
+    Machine.set_ipi_filter machine (fun ~src:_ ~dst:_ ->
+        (* Draw both channels unconditionally so the stream consumed
+           per IPI is fixed regardless of the loss outcome. *)
+        let lost =
+          let u = Rng.uniform ipi_rng in
+          !ipi_loss_prob > 0. && u < !ipi_loss_prob
+        in
+        let delay =
+          match !ipi_delay with
+          | None -> 0
+          | Some (prob, max_cycles) ->
+            let u = Rng.uniform ipi_rng in
+            if u < prob then 1 + Rng.int ipi_rng (max 1 max_cycles) else 0
+        in
+        if lost then Machine.Drop
+        else if delay > 0 then Machine.Delay delay
+        else Machine.Deliver);
+  if !jitter_max > 0 then
+    Machine.set_tick_jitter machine (fun ~pcpu:_ ->
+        Rng.int jitter_rng (!jitter_max + 1));
+  if !vcrd_loss_prob > 0. || !vcrd_corrupt_prob > 0. then
+    Sim_vmm.Vmm.set_vcrd_filter vmm (fun _dom vcrd ->
+        let u = Rng.uniform vcrd_rng in
+        let v = Rng.uniform vcrd_rng in
+        if !vcrd_loss_prob > 0. && u < !vcrd_loss_prob then begin
+          t.vcrd_reports_dropped <- t.vcrd_reports_dropped + 1;
+          None
+        end
+        else if !vcrd_corrupt_prob > 0. && v < !vcrd_corrupt_prob then begin
+          t.vcrd_reports_corrupted <- t.vcrd_reports_corrupted + 1;
+          Some (flip vcrd)
+        end
+        else Some vcrd);
+  List.iter
+    (fun spec ->
+      match spec with
+      | Fault.Pcpu_stall { period_sec; for_sec } ->
+        recurring_window t
+          ~period:(Units.cycles_of_sec_f freq period_sec)
+          ~length:(Units.cycles_of_sec_f freq for_sec)
+          ~count:(fun () -> t.pcpu_stalls <- t.pcpu_stalls + 1)
+          ~degrade:(fun ~pcpu ->
+            if Machine.pcpu_stalled machine pcpu || not (Machine.pcpu_online machine pcpu)
+            then false
+            else begin
+              Machine.set_pcpu_stalled machine ~pcpu true;
+              true
+            end)
+          ~restore:(fun ~pcpu -> Machine.set_pcpu_stalled machine ~pcpu false)
+      | Fault.Pcpu_offline { period_sec; for_sec } ->
+        recurring_window t
+          ~period:(Units.cycles_of_sec_f freq period_sec)
+          ~length:(Units.cycles_of_sec_f freq for_sec)
+          ~count:(fun () -> t.pcpu_offlines <- t.pcpu_offlines + 1)
+          ~degrade:(fun ~pcpu ->
+            if
+              (not (Machine.pcpu_online machine pcpu))
+              || Machine.pcpu_stalled machine pcpu
+              || Machine.online_count machine <= 1
+            then false
+            else begin
+              Machine.set_pcpu_online machine ~pcpu false;
+              true
+            end)
+          ~restore:(fun ~pcpu -> Machine.set_pcpu_online machine ~pcpu true)
+      | Fault.Ipi_loss _ | Fault.Ipi_delay _ | Fault.Timer_jitter _
+      | Fault.Vcrd_loss _ | Fault.Vcrd_corrupt _ -> ())
+    profile.Fault.specs;
+  t
+
+let stats t =
+  [
+    ("ipis_dropped", Machine.ipis_dropped t.machine);
+    ("ipis_delayed", Machine.ipis_delayed t.machine);
+    ("ticks_suppressed", Machine.ticks_suppressed t.machine);
+    ("vcrd_reports_dropped", t.vcrd_reports_dropped);
+    ("vcrd_reports_corrupted", t.vcrd_reports_corrupted);
+    ("pcpu_stalls", t.pcpu_stalls);
+    ("pcpu_offlines", t.pcpu_offlines);
+  ]

@@ -1,0 +1,20 @@
+(** Realize a fault {!Fault.profile} against a machine/VMM pair.
+
+    The injector draws every stochastic decision from its own seeded
+    RNG streams (split per fault channel in a fixed order), so a given
+    [(profile, seed)] produces the same fault schedule on every run —
+    chaos runs are as reproducible as clean ones. *)
+
+type t
+
+val install : profile:Fault.profile -> seed:int -> Sim_hw.Machine.t ->
+  Sim_vmm.Vmm.t -> t
+(** Install the profile's hooks (IPI filter, tick jitter, VCRD filter)
+    and recurring stall/offline windows. Must be called after
+    [Vmm.create] and before [Vmm.start] (tick jitter cannot be armed
+    on a started machine). *)
+
+val stats : t -> (string * int) list
+(** Injection tallies under stable names: [ipis_dropped],
+    [ipis_delayed], [ticks_suppressed], [vcrd_reports_dropped],
+    [vcrd_reports_corrupted], [pcpu_stalls], [pcpu_offlines]. *)

@@ -1,5 +1,7 @@
 open Sim_engine
 
+type ipi_fate = Deliver | Drop | Delay of int
+
 type t = {
   engine : Engine.t;
   cpu_model : Cpu_model.t;
@@ -10,6 +12,17 @@ type t = {
   mutable started : bool;
   mutable ipis : int;
   mutable ipis_cross_socket : int;
+  (* fault-injection surface: all hooks default to the fault-free
+     identity so a machine with no injector behaves byte-identically
+     to one built before this surface existed *)
+  online : bool array;  (** offline PCPUs tick silently and drop IPIs *)
+  stalled : bool array;  (** stalled PCPUs tick silently (lost timer) *)
+  mutable ipi_filter : (src:int -> dst:int -> ipi_fate) option;
+  mutable tick_jitter : (pcpu:int -> int) option;
+  mutable hotplug_handler : (pcpu:int -> online:bool -> unit) option;
+  mutable ipis_dropped : int;
+  mutable ipis_delayed : int;
+  mutable ticks_suppressed : int;
 }
 
 let create ?(stagger = true) engine cpu_model topology =
@@ -31,6 +44,14 @@ let create ?(stagger = true) engine cpu_model topology =
     started = false;
     ipis = 0;
     ipis_cross_socket = 0;
+    online = Array.make n true;
+    stalled = Array.make n false;
+    ipi_filter = None;
+    tick_jitter = None;
+    hotplug_handler = None;
+    ipis_dropped = 0;
+    ipis_delayed = 0;
+    ticks_suppressed = 0;
   }
 
 let engine t = t.engine
@@ -65,22 +86,63 @@ let start t =
   let period_slots = t.cpu_model.Cpu_model.slots_per_period in
   (* Period events are anchored to the bootstrap PCPU's clock and fire
      before its slot handler at the shared instant, so freshly assigned
-     credits are visible to that boundary's decisions. *)
-  let rec period_tick () =
-    (match t.period_handler with Some f -> f () | None -> ());
-    ignore
-      (Engine.schedule_after t.engine ~delay:(slot * period_slots) period_tick)
+     credits are visible to that boundary's decisions. The accounting
+     timer is a VMM software clock: it keeps firing even when PCPU 0's
+     slot timer is stalled or the PCPU is offlined by a fault. *)
+  let (_ : unit -> unit) =
+    Engine.periodic t.engine ~start:t.phases.(0) ~period:(slot * period_slots)
+      (fun () -> match t.period_handler with Some f -> f () | None -> ())
   in
-  ignore (Engine.schedule_at t.engine ~time:t.phases.(0) period_tick);
   for pcpu = 0 to pcpu_count t - 1 do
-    let rec tick () =
-      slot_handler pcpu;
-      ignore (Engine.schedule_after t.engine ~delay:slot tick)
+    let jitter =
+      match t.tick_jitter with
+      | None -> None
+      | Some j -> Some (fun () -> j ~pcpu)
     in
-    ignore (Engine.schedule_at t.engine ~time:t.phases.(pcpu) tick)
+    let (_ : unit -> unit) =
+      Engine.periodic t.engine ~start:t.phases.(pcpu) ~period:slot ?jitter
+        (fun () ->
+          if t.online.(pcpu) && not t.stalled.(pcpu) then slot_handler pcpu
+          else t.ticks_suppressed <- t.ticks_suppressed + 1)
+    in
+    ()
   done
 
 let started t = t.started
+
+(* ----- fault-injection surface ----- *)
+
+let set_ipi_filter t f = t.ipi_filter <- Some f
+
+let set_tick_jitter t f =
+  if t.started then failwith "Machine.set_tick_jitter: machine already started";
+  t.tick_jitter <- Some f
+
+let set_hotplug_handler t f = t.hotplug_handler <- Some f
+
+let pcpu_online t pcpu = t.online.(pcpu)
+
+let pcpu_stalled t pcpu = t.stalled.(pcpu)
+
+let online_count t =
+  Array.fold_left (fun acc up -> if up then acc + 1 else acc) 0 t.online
+
+let set_pcpu_stalled t ~pcpu stalled =
+  if pcpu < 0 || pcpu >= pcpu_count t then
+    invalid_arg "Machine.set_pcpu_stalled: bad pcpu";
+  t.stalled.(pcpu) <- stalled
+
+let set_pcpu_online t ~pcpu online =
+  if pcpu < 0 || pcpu >= pcpu_count t then
+    invalid_arg "Machine.set_pcpu_online: bad pcpu";
+  if t.online.(pcpu) <> online then begin
+    if (not online) && online_count t <= 1 then
+      invalid_arg "Machine.set_pcpu_online: cannot offline the last PCPU";
+    t.online.(pcpu) <- online;
+    match t.hotplug_handler with
+    | Some f -> f ~pcpu ~online
+    | None -> ()
+  end
 
 let send_ipi t ~src ~dst callback =
   if dst < 0 || dst >= pcpu_count t then invalid_arg "Machine.send_ipi: bad dst";
@@ -92,8 +154,27 @@ let send_ipi t ~src ~dst callback =
   let latency =
     t.cpu_model.Cpu_model.ipi_latency_cycles * if cross then 2 else 1
   in
-  ignore (Engine.schedule_after t.engine ~delay:latency callback)
+  let fate =
+    if not t.online.(dst) then Drop
+    else
+      match t.ipi_filter with
+      | None -> Deliver
+      | Some f -> f ~src ~dst
+  in
+  match fate with
+  | Drop -> t.ipis_dropped <- t.ipis_dropped + 1
+  | Deliver -> ignore (Engine.schedule_after t.engine ~delay:latency callback)
+  | Delay extra ->
+    t.ipis_delayed <- t.ipis_delayed + 1;
+    ignore
+      (Engine.schedule_after t.engine ~delay:(latency + max 0 extra) callback)
 
 let ipis_sent t = t.ipis
 
 let ipis_cross_socket t = t.ipis_cross_socket
+
+let ipis_dropped t = t.ipis_dropped
+
+let ipis_delayed t = t.ipis_delayed
+
+let ticks_suppressed t = t.ticks_suppressed

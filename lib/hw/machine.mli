@@ -10,6 +10,11 @@
 
 type t
 
+type ipi_fate = Deliver | Drop | Delay of int
+(** Decision of an installed IPI filter: deliver normally, silently
+    lose the interrupt, or add [Delay] extra cycles on top of the
+    model latency. *)
+
 val create :
   ?stagger:bool ->
   Sim_engine.Engine.t ->
@@ -56,3 +61,47 @@ val ipis_sent : t -> int
 
 val ipis_cross_socket : t -> int
 (** How many of them crossed a socket boundary. *)
+
+(** {1 Fault-injection surface}
+
+    Hooks used by [Sim_faults.Injector]. None are installed by
+    default, and with none installed the machine's event stream is
+    byte-identical to a build without this surface. *)
+
+val set_ipi_filter : t -> (src:int -> dst:int -> ipi_fate) -> unit
+(** Intercept every IPI before delivery. IPIs to an offline
+    destination are dropped before the filter is consulted. *)
+
+val set_tick_jitter : t -> (pcpu:int -> int) -> unit
+(** [set_tick_jitter t f] adds [max 0 (f ~pcpu)] cycles of skew to
+    each slot-tick interval of [pcpu] (the period/accounting timer is
+    not jittered — it models the VMM's software clock). Must be
+    called before {!start}; raises [Failure] afterwards. *)
+
+val set_hotplug_handler : t -> (pcpu:int -> online:bool -> unit) -> unit
+(** Called from {!set_pcpu_online} after the state flips, so the VMM
+    can evacuate (offline) or re-integrate (online) the PCPU. *)
+
+val pcpu_online : t -> int -> bool
+
+val pcpu_stalled : t -> int -> bool
+
+val online_count : t -> int
+
+val set_pcpu_stalled : t -> pcpu:int -> bool -> unit
+(** A stalled PCPU's slot timer stops calling the scheduler (ticks
+    are counted in {!ticks_suppressed}) but it still receives IPIs —
+    the lost-timer fault, distinct from being offline. *)
+
+val set_pcpu_online : t -> pcpu:int -> bool -> unit
+(** Offline: ticks suppressed and inbound IPIs dropped. No-op if the
+    state already matches. Raises [Invalid_argument] when asked to
+    offline the last online PCPU. *)
+
+val ipis_dropped : t -> int
+(** IPIs lost to the filter or to an offline destination. *)
+
+val ipis_delayed : t -> int
+
+val ticks_suppressed : t -> int
+(** Slot ticks swallowed on stalled/offline PCPUs. *)

@@ -94,6 +94,34 @@ let best_by_credit t ~f =
 let has_domain t ~domain_id =
   exists t ~f:(fun v -> v.Vcpu.domain_id = domain_id)
 
+(* Internal-consistency audit for the runtime invariant checker: the
+   length counter, tail pointer and per-node state can silently rot if
+   a fault path requeues without going through insert/remove. *)
+let check t =
+  let rec walk prev count = function
+    | Some n ->
+      if not (Vcpu.is_ready n.v) then
+        Error
+          (Printf.sprintf "rq %d holds non-Ready vcpu %d" t.pcpu_id n.v.Vcpu.id)
+      else if n.v.Vcpu.home <> t.pcpu_id then
+        Error
+          (Printf.sprintf "rq %d holds vcpu %d homed on %d" t.pcpu_id
+             n.v.Vcpu.id n.v.Vcpu.home)
+      else walk (Some n) (count + 1) n.next
+    | None ->
+      if count <> t.len then
+        Error
+          (Printf.sprintf "rq %d len %d but %d nodes linked" t.pcpu_id t.len
+             count)
+      else begin
+        match (t.last, prev) with
+        | None, None -> Ok ()
+        | Some l, Some p when l == p -> Ok ()
+        | _ -> Error (Printf.sprintf "rq %d tail pointer mismatch" t.pcpu_id)
+      end
+  in
+  walk None 0 t.first
+
 let find_domain t ~domain_id =
   List.rev
     (fold t ~init:[] ~f:(fun acc v ->

@@ -46,3 +46,9 @@ val has_domain : t -> domain_id:int -> bool
 (** Is any VCPU of the given domain queued here? *)
 
 val find_domain : t -> domain_id:int -> Vcpu.t list
+
+val check : t -> (unit, string) result
+(** Audit internal consistency: the node count matches {!length}, the
+    tail pointer is the last node, and every queued VCPU is [Ready]
+    with this queue as its home. Used by the runtime invariant
+    checker. *)

@@ -53,6 +53,7 @@ let kick_idle api ~pick =
   let n = Array.length api.runqueues in
   for pcpu = 0 to n - 1 do
     match api.current pcpu with
+    | None when not (api.pcpu_online pcpu) -> ()
     | None -> begin
       match pick ~pcpu with
       | Some v -> api.run_on ~pcpu v

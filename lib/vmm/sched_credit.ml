@@ -25,7 +25,10 @@ let make (api : api) : t =
     (* Xen fast-tracks only UNDER wakeups (BOOST); an OVER VCPU waits
        for its queue turn. *)
     if Vcpu.eligible v && v.Vcpu.credit >= 0 then begin
-      let idle p = match api.current p with None -> true | Some _ -> false in
+      let idle p =
+        api.pcpu_online p
+        && match api.current p with None -> true | Some _ -> false
+      in
       let n = Array.length api.runqueues in
       let target =
         if idle home then Some home
@@ -44,4 +47,4 @@ let make (api : api) : t =
   let on_vcrd_change _dom = () in
   let on_ple _v = () in
   { name = "credit"; on_slot; on_period; on_wake; on_block; on_vcrd_change;
-    on_ple }
+    on_ple; counters = (fun () -> []) }

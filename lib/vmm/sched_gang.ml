@@ -16,12 +16,25 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
   (* Mutex of Algorithm 4: only one PCPU launches the coscheduling IPIs
      for a domain at any given instant. *)
   let last_launch : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let engine = Sim_hw.Machine.engine api.machine in
+
+  (* Self-healing: when a watchdog is armed, a domain whose
+     coscheduling launches repeatedly stall (IPIs lost to faults) is
+     demoted — [cosched] goes false and every gang mechanism below
+     falls back to plain Credit behavior until probation expires. *)
+  let wd = Option.map Watchdog.create api.watchdog in
+  let demoted (dom : Domain.t) =
+    match wd with
+    | None -> false
+    | Some w -> Watchdog.is_demoted w ~now:(api.now ()) dom.Domain.id
+  in
+  let cosched dom = should_cosched dom && not (demoted dom) in
 
   (* A VCPU of a coscheduled domain must not be migrated onto a PCPU
      whose run queue already holds a sibling (Algorithm 4, line 3). *)
   let allowed (v : Vcpu.t) ~dst =
     let dom = domain_of v in
-    (not (should_cosched dom))
+    (not (cosched dom))
     || not (Runqueue.has_domain api.runqueues.(dst) ~domain_id:dom.Domain.id)
   in
 
@@ -34,7 +47,8 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
   let topology = Sim_hw.Machine.topology api.machine in
   let spread (dom : Domain.t) =
     let n = Array.length api.runqueues in
-    let taken = Array.make n false in
+    (* Offline PCPUs count as taken: never a relocation target. *)
+    let taken = Array.init n (fun p -> not (api.pcpu_online p)) in
     let anchor_socket = ref None in
     let note_socket p =
       if llc_aware && !anchor_socket = None then
@@ -93,16 +107,45 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
     Array.iter claim_or_move dom.Domain.vcpus
   in
 
+  (* Some running VCPU of the domain, to relaunch a coschedule from. *)
+  let running_leader (dom : Domain.t) =
+    Array.fold_left
+      (fun acc (v : Vcpu.t) ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match Vcpu.running_on v with Some p -> Some (p, v) | None -> None))
+      None dom.Domain.vcpus
+  in
+
   (* Coschedule the siblings of [leader] (Algorithm 4, lines 5-7):
      IPI every PCPU holding a Ready sibling; the handler boosts the
      sibling and preempts the victim unless it is itself part of a
-     coscheduled gang. *)
-  let launch_cosched ~pcpu (leader : Vcpu.t) =
+     coscheduled gang. With a watchdog armed, each launch (at most one
+     tracked per domain at a time) counts its IPIs and is audited
+     [ack_timeout] later by [arm_check]; IPI delivery doubles as the
+     ack. [retry] relaunches bypass the per-instant mutex and keep the
+     in-flight retry budget instead of resetting it. *)
+  let rec launch_cosched ?(retry = false) ~pcpu (leader : Vcpu.t) =
     let dom = domain_of leader in
     let now = api.now () in
     let already = Hashtbl.find_opt last_launch dom.Domain.id in
-    if ipi && already <> Some now then begin
+    if ipi && (retry || already <> Some now) then begin
       Hashtbl.replace last_launch dom.Domain.id now;
+      let st = Option.map (fun w -> Watchdog.dom_state w dom.Domain.id) wd in
+      let track =
+        match st with
+        | Some s -> retry || not s.Watchdog.check_pending
+        | None -> false
+      in
+      let gen =
+        match st with
+        | Some s when track ->
+          s.Watchdog.gen <- s.Watchdog.gen + 1;
+          s.Watchdog.gen
+        | Some _ | None -> 0
+      in
+      let sent = ref 0 in
       Array.iter
         (fun (sib : Vcpu.t) ->
           if sib != leader && Vcpu.is_ready sib then begin
@@ -115,9 +158,15 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
                 sib.Vcpu.home
               end
             in
-            if dst <> pcpu then
+            if dst <> pcpu then begin
+              incr sent;
               Sim_hw.Machine.send_ipi api.machine ~src:pcpu ~dst (fun () ->
-                  if Vcpu.is_ready sib && should_cosched dom then begin
+                  (match (wd, st) with
+                  | Some w, Some s when track && s.Watchdog.gen = gen ->
+                    s.Watchdog.acks <- s.Watchdog.acks + 1;
+                    Watchdog.note_ack w
+                  | _ -> ());
+                  if Vcpu.is_ready sib && cosched dom then begin
                     sib.Vcpu.boosted <- true;
                     match api.current dst with
                     | None -> api.run_on ~pcpu:dst sib
@@ -127,14 +176,71 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
                         && not cur.Vcpu.boosted
                       then api.run_on ~pcpu:dst sib
                   end)
+            end
           end)
-        dom.Domain.vcpus
+        dom.Domain.vcpus;
+      match (wd, st) with
+      | Some w, Some s when track && !sent > 0 ->
+        (* IPI latency is strictly positive, so no ack can land before
+           these counters are (re)armed. *)
+        s.Watchdog.expected <- !sent;
+        s.Watchdog.acks <- 0;
+        if not retry then begin
+          s.Watchdog.retries_left <- (Watchdog.params w).Watchdog.max_retries;
+          s.Watchdog.backoff <- (Watchdog.params w).Watchdog.backoff_base
+        end;
+        s.Watchdog.check_pending <- true;
+        Watchdog.note_launch w;
+        arm_check w s dom
+      | _ -> ()
     end
+
+  and arm_check w (s : Watchdog.dom_state) (dom : Domain.t) =
+    let p = Watchdog.params w in
+    ignore
+      (Sim_engine.Engine.schedule_after engine ~delay:p.Watchdog.ack_timeout
+         (fun () ->
+           if s.Watchdog.acks >= s.Watchdog.expected then
+             (* Strikes are cumulative since the last demotion (not
+                reset on success): under sustained low-rate IPI loss
+                the domain still reaches the threshold and falls back
+                to Credit; a clean environment accrues none. *)
+             s.Watchdog.check_pending <- false
+           else begin
+             Watchdog.note_timeout w;
+             s.Watchdog.strikes <- s.Watchdog.strikes + 1;
+             if s.Watchdog.strikes >= p.Watchdog.fail_threshold then begin
+               (* Demote: the gang falls back to plain Credit until
+                  probation ends, then coscheduling is re-attempted. *)
+               s.Watchdog.demoted_until <- api.now () + p.Watchdog.probation;
+               s.Watchdog.strikes <- 0;
+               s.Watchdog.check_pending <- false;
+               Watchdog.note_demotion w;
+               Array.iter
+                 (fun (v : Vcpu.t) -> v.Vcpu.boosted <- false)
+                 dom.Domain.vcpus
+             end
+             else if s.Watchdog.retries_left > 0 then begin
+               s.Watchdog.retries_left <- s.Watchdog.retries_left - 1;
+               let delay = s.Watchdog.backoff in
+               s.Watchdog.backoff <- s.Watchdog.backoff * 2;
+               Watchdog.note_retry w;
+               ignore
+                 (Sim_engine.Engine.schedule_after engine ~delay (fun () ->
+                      if cosched dom then begin
+                        match running_leader dom with
+                        | Some (p, v) -> launch_cosched ~retry:true ~pcpu:p v
+                        | None -> s.Watchdog.check_pending <- false
+                      end
+                      else s.Watchdog.check_pending <- false))
+             end
+             else s.Watchdog.check_pending <- false
+           end))
   in
 
   let run ~pcpu (v : Vcpu.t) =
     api.run_on ~pcpu v;
-    if should_cosched (domain_of v) then launch_cosched ~pcpu v
+    if cosched (domain_of v) then launch_cosched ~pcpu v
   in
 
   (* Gang solidarity: while any sibling still holds entitled credit,
@@ -168,7 +274,7 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
         head.Vcpu.credit < 0
         &&
         let dom = domain_of head in
-        should_cosched dom && gang_anchor dom
+        cosched dom && gang_anchor dom
       in
       if head.Vcpu.credit >= 0 || head.Vcpu.boosted || solidarity then
         run ~pcpu head
@@ -192,7 +298,7 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
       match api.current pcpu with
       | Some cur ->
         let dom = domain_of cur in
-        if should_cosched dom && gang_anchor dom then begin
+        if cosched dom && gang_anchor dom then begin
           launch_cosched ~pcpu cur;
           true
         end
@@ -206,7 +312,7 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
   in
   let on_period () =
     Sched_common.assign_credit api;
-    List.iter (fun d -> if should_cosched d then spread d) (api.domains ());
+    List.iter (fun d -> if cosched d then spread d) (api.domains ());
     Sched_common.preempt_parked api ~refill:(fun ~pcpu -> decide ~pcpu)
   in
   let on_wake (v : Vcpu.t) =
@@ -214,14 +320,18 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
     (* Respect the distinct-PCPU invariant for coscheduled domains. *)
     let home =
       if
-        should_cosched dom
+        cosched dom
         && Runqueue.has_domain api.runqueues.(v.Vcpu.home)
              ~domain_id:dom.Domain.id
       then begin
         let n = Array.length api.runqueues in
         let rec scan p =
           if p >= n then v.Vcpu.home
-          else if not (Runqueue.has_domain api.runqueues.(p) ~domain_id:dom.Domain.id)
+          else if
+            api.pcpu_online p
+            && not
+                 (Runqueue.has_domain api.runqueues.(p)
+                    ~domain_id:dom.Domain.id)
           then p
           else scan (p + 1)
         in
@@ -233,7 +343,10 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
     (* Xen fast-tracks only UNDER wakeups (BOOST); an OVER VCPU waits
        for its queue turn. *)
     if Vcpu.eligible v && v.Vcpu.credit >= 0 then begin
-      let idle p = match api.current p with None -> true | Some _ -> false in
+      let idle p =
+        api.pcpu_online p
+        && match api.current p with None -> true | Some _ -> false
+      in
       let n = Array.length api.runqueues in
       let target =
         if idle home then Some home
@@ -249,22 +362,11 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
   let on_vcrd_change (dom : Domain.t) =
     match dom.Domain.vcrd with
     | Domain.High ->
-      spread dom;
+      if not (demoted dom) then spread dom;
       (* Start coscheduling right away from the PCPU running one of
          the domain's VCPUs (or at the next boundary otherwise). *)
-      let leader =
-        Array.fold_left
-          (fun acc (v : Vcpu.t) ->
-            match acc with
-            | Some _ -> acc
-            | None -> ( match Vcpu.running_on v with Some _ -> Some v | None -> None))
-          None dom.Domain.vcpus
-      in
-      (match leader with
-      | Some v -> (
-        match Vcpu.running_on v with
-        | Some p -> if should_cosched dom then launch_cosched ~pcpu:p v
-        | None -> ())
+      (match running_leader dom with
+      | Some (p, v) -> if cosched dom then launch_cosched ~pcpu:p v
       | None -> ())
     | Domain.Low ->
       Array.iter (fun (v : Vcpu.t) -> v.Vcpu.boosted <- false) dom.Domain.vcpus
@@ -276,7 +378,6 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
      event: a per-domain Roth-Erev estimator (clocked in guest online
      time, like the in-VM monitor) picks the coscheduling duration and
      the scheduler drives the domain's VCRD itself. *)
-  let engine = Sim_hw.Machine.engine api.machine in
   let slot_cycles =
     Sim_hw.Cpu_model.slot_cycles (Sim_hw.Machine.cpu_model api.machine)
   in
@@ -336,7 +437,11 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
       arm_oov_window dom st
     end
   in
-  { name; on_slot; on_period; on_wake; on_block; on_vcrd_change; on_ple }
+  let counters () =
+    match wd with Some w -> Watchdog.counter_list w | None -> []
+  in
+  { name; on_slot; on_period; on_wake; on_block; on_vcrd_change; on_ple;
+    counters }
 
 let make_asman api =
   make ~name:"asman"

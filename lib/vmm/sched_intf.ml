@@ -10,6 +10,8 @@ type api = {
   make_idle : pcpu:int -> unit;
   migrate : Vcpu.t -> dst:int -> unit;
   domain_online : Domain.t -> int;
+  pcpu_online : int -> bool;
+  watchdog : Watchdog.params option;
 }
 
 type t = {
@@ -20,6 +22,7 @@ type t = {
   on_block : Vcpu.t -> unit;
   on_vcrd_change : Domain.t -> unit;
   on_ple : Vcpu.t -> unit;
+  counters : unit -> (string * int) list;
 }
 
 type maker = api -> t

@@ -27,6 +27,14 @@ type api = {
   domain_online : Domain.t -> int;
       (** Cumulative guest online cycles (for VMM-side window
           metering, e.g. out-of-VM VCRD detection). *)
+  pcpu_online : int -> bool;
+      (** Whether the PCPU is online (hotplug fault injection);
+          schedulers must not dispatch onto offline PCPUs. *)
+  watchdog : Watchdog.params option;
+      (** When set, the gang scheduler tracks coscheduling launches
+          and demotes stalling domains to plain Credit. [None] (the
+          default) leaves behavior identical to a watchdog-free
+          build. *)
 }
 
 type t = {
@@ -50,6 +58,9 @@ type t = {
           full PLE window. The basis for out-of-VM VCRD detection (the
           paper's stated future work); ignored by the other
           schedulers. *)
+  counters : unit -> (string * int) list;
+      (** Scheduler-specific health counters (e.g. the gang watchdog's
+          launch/timeout/demotion tallies); [[]] when none. *)
 }
 
 type maker = api -> t

@@ -1,6 +1,13 @@
 open Sim_engine
 open Sim_hw
 
+type invariant_mode = Off | Record | Raise
+
+exception Invariant_violation of string
+
+(* Keep at most this many violation messages; the count keeps going. *)
+let max_recorded_violations = 1000
+
 type t = {
   engine : Engine.t;
   machine : Machine.t;
@@ -22,6 +29,13 @@ type t = {
   mutable acct_start : int;
   acct_online_base : (int, int) Hashtbl.t;  (** domain id -> online at reset *)
   mutable started : bool;
+  (* resilience *)
+  watchdog : Watchdog.params option;
+  mutable vcrd_filter : (Domain.t -> Domain.vcrd -> Domain.vcrd option) option;
+  mutable invariant_mode : invariant_mode;
+  mutable violations_rev : string list;  (** bounded; newest first *)
+  mutable violations_count : int;
+  mutable last_credit_sum : int option;  (** at the previous period check *)
 }
 
 let engine t = t.engine
@@ -88,6 +102,8 @@ let run_on t ~pcpu (v : Vcpu.t) =
   | _ ->
     if not (Vcpu.is_ready v) then
       invalid_arg "Vmm.run_on: vcpu is not Ready";
+    if not (Machine.pcpu_online t.machine pcpu) then
+      invalid_arg "Vmm.run_on: pcpu is offline";
     preempt_current t pcpu;
     (* The preemption above may have re-entered the scheduler via
        guest hooks only in block paths, which cannot happen here; the
@@ -137,10 +153,12 @@ let api t : Sched_intf.api =
     make_idle = (fun ~pcpu -> make_idle t ~pcpu);
     migrate = (fun v ~dst -> migrate t v ~dst);
     domain_online = (fun dom -> domain_online_cycles t dom);
+    pcpu_online = (fun pcpu -> Machine.pcpu_online t.machine pcpu);
+    watchdog = t.watchdog;
   }
 
 let create ?(work_conserving = true) ?(credit_unit = Credit.default_credit_unit)
-    machine ~sched =
+    ?watchdog machine ~sched =
   let n = Machine.pcpu_count machine in
   let t =
     {
@@ -163,6 +181,12 @@ let create ?(work_conserving = true) ?(credit_unit = Credit.default_credit_unit)
       acct_start = 0;
       acct_online_base = Hashtbl.create 8;
       started = false;
+      watchdog;
+      vcrd_filter = None;
+      invariant_mode = Off;
+      violations_rev = [];
+      violations_count = 0;
+      last_credit_sum = None;
     }
   in
   t.sched <- Some (sched (api t));
@@ -192,6 +216,31 @@ let create_domain t ?(concurrent_type = false) ~name ~weight ~vcpus () =
   t.domains_rev <- dom :: t.domains_rev;
   dom
 
+(* Least-loaded online PCPU (ties broken towards the lowest index, so
+   evacuation targets are deterministic). [excluding] lets the hotplug
+   path skip the PCPU being taken down before its flag flips. *)
+let least_loaded_online t ?(excluding = -1) () =
+  let n = pcpu_count t in
+  let best = ref (-1) in
+  for p = 0 to n - 1 do
+    if p <> excluding && Machine.pcpu_online t.machine p then
+      if
+        !best = -1
+        || Runqueue.length t.runqueues.(p) < Runqueue.length t.runqueues.(!best)
+      then best := p
+  done;
+  if !best = -1 then failwith "Vmm: no online pcpu" else !best
+
+(* PCPU-offline fault: kick the occupant off and re-home every VCPU
+   stranded on the dead PCPU's queue, so no Ready VCPU waits on a
+   queue that will never be polled again. *)
+let evacuate_pcpu t pcpu =
+  preempt_current t pcpu;
+  List.iter
+    (fun (v : Vcpu.t) ->
+      migrate t v ~dst:(least_loaded_online t ~excluding:pcpu ()))
+    (Runqueue.to_list t.runqueues.(pcpu))
+
 (* Burn credit for the running VCPU without descheduling it: Xen's
    10 ms credit tick, as opposed to the 30 ms slice decision. *)
 let charge_current t pcpu =
@@ -200,6 +249,114 @@ let charge_current t pcpu =
   | Some v ->
     charge t v;
     v.Vcpu.last_dispatch <- now t
+
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* Running VCPUs match the current array; offline PCPUs run nothing. *)
+  Array.iteri
+    (fun pcpu cur ->
+      match cur with
+      | Some (v : Vcpu.t) ->
+        if v.Vcpu.state <> Vcpu.Running pcpu then
+          err "pcpu %d holds vcpu %d whose state disagrees" pcpu v.Vcpu.id;
+        if not (Machine.pcpu_online t.machine pcpu) then
+          err "offline pcpu %d is running vcpu %d" pcpu v.Vcpu.id
+      | None -> ())
+    t.current;
+  List.iter
+    (fun dom ->
+      Array.iter
+        (fun (v : Vcpu.t) ->
+          let queued =
+            Array.fold_left
+              (fun acc rq -> acc + if Runqueue.mem rq v then 1 else 0)
+              0 t.runqueues
+          in
+          match v.Vcpu.state with
+          | Vcpu.Ready ->
+            if queued <> 1 then
+              err "ready vcpu %d is in %d queues" v.Vcpu.id queued
+            else if not (Runqueue.mem t.runqueues.(v.Vcpu.home) v) then
+              err "ready vcpu %d not in its home queue" v.Vcpu.id
+          | Vcpu.Running pcpu ->
+            if queued <> 0 then err "running vcpu %d is queued" v.Vcpu.id;
+            (match t.current.(pcpu) with
+            | Some cur when cur == v -> ()
+            | Some _ | None -> err "vcpu %d not current on pcpu %d" v.Vcpu.id pcpu)
+          | Vcpu.Blocked ->
+            if queued <> 0 then err "blocked vcpu %d is queued" v.Vcpu.id)
+        dom.Domain.vcpus)
+    t.domains_rev;
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " es)
+
+(* ----- runtime invariant checking ----- *)
+
+let set_invariant_mode t mode = t.invariant_mode <- mode
+
+let invariant_mode t = t.invariant_mode
+
+let set_vcrd_filter t f = t.vcrd_filter <- Some f
+
+let record_violation t msg =
+  t.violations_count <- t.violations_count + 1;
+  if t.violations_count <= max_recorded_violations then
+    t.violations_rev <- msg :: t.violations_rev;
+  if t.invariant_mode = Raise then raise (Invariant_violation msg)
+
+let credit_sum t =
+  List.fold_left
+    (fun acc dom ->
+      Array.fold_left (fun acc (v : Vcpu.t) -> acc + v.Vcpu.credit) acc
+        dom.Domain.vcpus)
+    0 t.domains_rev
+
+(* Fired every accounting period (after credit assignment) when the
+   invariant mode is on. The conservation check is one-sided: credit
+   only leaves the system through burning, the floor and the cap, so
+   the sum may grow by at most one period's issue (plus one unit of
+   rounding slack per domain) between two checks. *)
+let run_invariant_checks t =
+  let at = now t in
+  (match check_invariants t with
+  | Ok () -> ()
+  | Error e -> record_violation t (Printf.sprintf "[%d] structural: %s" at e));
+  let slots_per_period = t.cpu_model.Cpu_model.slots_per_period in
+  let floor = -(t.credit_unit * slots_per_period) in
+  let cap = Credit.cap ~credit_unit:t.credit_unit ~slots_per_period in
+  List.iter
+    (fun dom ->
+      Array.iter
+        (fun (v : Vcpu.t) ->
+          if v.Vcpu.credit < floor || v.Vcpu.credit > cap then
+            record_violation t
+              (Printf.sprintf "[%d] credit bound: vcpu %d has %d not in [%d, %d]"
+                 at v.Vcpu.id v.Vcpu.credit floor cap))
+        dom.Domain.vcpus)
+    t.domains_rev;
+  let sum = credit_sum t in
+  (match t.last_credit_sum with
+  | Some prev ->
+    let total =
+      Credit.total_per_period ~pcpus:(pcpu_count t) ~slots_per_period
+        ~credit_unit:t.credit_unit
+    in
+    let slack = List.length t.domains_rev in
+    if sum - prev > total + slack then
+      record_violation t
+        (Printf.sprintf
+           "[%d] credit conservation: sum grew by %d > issue %d (+%d slack)" at
+           (sum - prev) total slack)
+  | None -> ());
+  t.last_credit_sum <- Some sum;
+  Array.iter
+    (fun rq ->
+      match Runqueue.check rq with
+      | Ok () -> ()
+      | Error e -> record_violation t (Printf.sprintf "[%d] runqueue: %s" at e))
+    t.runqueues
 
 let start t =
   if t.started then failwith "Vmm.start: already started";
@@ -215,12 +372,18 @@ let start t =
       if count mod slice = 0 || t.current.(pcpu) = None then
         (sched t).Sched_intf.on_slot ~pcpu);
   Machine.set_period_handler t.machine (fun () ->
-      (sched t).Sched_intf.on_period ());
+      (sched t).Sched_intf.on_period ();
+      if t.invariant_mode <> Off then run_invariant_checks t);
+  Machine.set_hotplug_handler t.machine (fun ~pcpu ~online ->
+      if not online then evacuate_pcpu t pcpu);
   Machine.start t.machine
 
 let vcpu_wake t (v : Vcpu.t) =
   match v.Vcpu.state with
   | Vcpu.Blocked ->
+    (* A fault may have offlined the VCPU's home while it slept. *)
+    if not (Machine.pcpu_online t.machine v.Vcpu.home) then
+      v.Vcpu.home <- least_loaded_online t ();
     v.Vcpu.state <- Vcpu.Ready;
     (sched t).Sched_intf.on_wake v
   | Vcpu.Ready | Vcpu.Running _ -> ()
@@ -238,8 +401,16 @@ let vcpu_block t (v : Vcpu.t) =
     invalid_arg "Vmm.vcpu_block: vcpu is not Running"
 
 let do_vcrd_op t dom vcrd =
-  if Domain.set_vcrd dom ~now:(now t) vcrd then
-    (sched t).Sched_intf.on_vcrd_change dom
+  (* The filter models a lossy/corrupting guest-to-VMM channel:
+     [None] = the report never arrived. *)
+  let delivered =
+    match t.vcrd_filter with None -> Some vcrd | Some f -> f dom vcrd
+  in
+  match delivered with
+  | None -> ()
+  | Some vcrd ->
+    if Domain.set_vcrd dom ~now:(now t) vcrd then
+      (sched t).Sched_intf.on_vcrd_change dom
 
 let pause_loop_exit t v =
   t.ple_count <- t.ple_count + 1;
@@ -296,42 +467,10 @@ let ctx_switches t = t.ctx_switches
 
 let ple_exits t = t.ple_count
 
-let check_invariants t =
-  let errors = ref [] in
-  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
-  (* Running VCPUs match the current array. *)
-  Array.iteri
-    (fun pcpu cur ->
-      match cur with
-      | Some (v : Vcpu.t) ->
-        if v.Vcpu.state <> Vcpu.Running pcpu then
-          err "pcpu %d holds vcpu %d whose state disagrees" pcpu v.Vcpu.id
-      | None -> ())
-    t.current;
-  List.iter
-    (fun dom ->
-      Array.iter
-        (fun (v : Vcpu.t) ->
-          let queued =
-            Array.fold_left
-              (fun acc rq -> acc + if Runqueue.mem rq v then 1 else 0)
-              0 t.runqueues
-          in
-          match v.Vcpu.state with
-          | Vcpu.Ready ->
-            if queued <> 1 then
-              err "ready vcpu %d is in %d queues" v.Vcpu.id queued
-            else if not (Runqueue.mem t.runqueues.(v.Vcpu.home) v) then
-              err "ready vcpu %d not in its home queue" v.Vcpu.id
-          | Vcpu.Running pcpu ->
-            if queued <> 0 then err "running vcpu %d is queued" v.Vcpu.id;
-            (match t.current.(pcpu) with
-            | Some cur when cur == v -> ()
-            | Some _ | None -> err "vcpu %d not current on pcpu %d" v.Vcpu.id pcpu)
-          | Vcpu.Blocked ->
-            if queued <> 0 then err "blocked vcpu %d is queued" v.Vcpu.id)
-        dom.Domain.vcpus)
-    t.domains_rev;
-  match !errors with
-  | [] -> Ok ()
-  | es -> Error (String.concat "; " es)
+let invariant_violation_count t = t.violations_count
+
+let invariant_violations t = List.rev t.violations_rev
+
+let sched_counters t = (sched t).Sched_intf.counters ()
+
+let watchdog_params t = t.watchdog

@@ -10,14 +10,23 @@
 
 type t
 
+type invariant_mode =
+  | Off  (** no runtime checking (the default) *)
+  | Record  (** log violations, keep running *)
+  | Raise  (** raise {!Invariant_violation} on the first violation *)
+
+exception Invariant_violation of string
+
 val create :
   ?work_conserving:bool ->
   ?credit_unit:int ->
+  ?watchdog:Watchdog.params ->
   Sim_hw.Machine.t ->
   sched:Sched_intf.maker ->
   t
 (** [work_conserving] defaults to [true]; [credit_unit] to
-    {!Credit.default_credit_unit}. *)
+    {!Credit.default_credit_unit}. [watchdog] (default off) arms the
+    gang scheduler's coscheduling watchdog — see {!Watchdog}. *)
 
 val engine : t -> Sim_engine.Engine.t
 val machine : t -> Sim_hw.Machine.t
@@ -92,5 +101,34 @@ val ple_exits : t -> int
 (** Total pause-loop exits delivered. *)
 
 val check_invariants : t -> (unit, string) result
-(** Verify the Running/Ready/Blocked structural invariants; used by
-    tests and property checks. *)
+(** Verify the Running/Ready/Blocked structural invariants (plus
+    nothing-runs-on-an-offline-PCPU); used by tests and property
+    checks, and by the periodic runtime checker. *)
+
+(** {2 Resilience} *)
+
+val set_invariant_mode : t -> invariant_mode -> unit
+(** When not [Off], every accounting period (after credit assignment)
+    the VMM audits: the structural invariants, per-VCPU credit bounds
+    (floor to cap), credit conservation (the system-wide credit sum
+    may grow by at most one period's issue plus rounding slack between
+    periods), and each run queue's internal consistency. *)
+
+val invariant_mode : t -> invariant_mode
+
+val invariant_violation_count : t -> int
+
+val invariant_violations : t -> string list
+(** Recorded violation messages, oldest first (bounded to the first
+    1000; the count keeps going). *)
+
+val set_vcrd_filter : t -> (Domain.t -> Domain.vcrd -> Domain.vcrd option) -> unit
+(** Fault-injection hook on the VCRD hypercall channel: the filter
+    sees each report before it lands and may rewrite it (corruption)
+    or return [None] (report lost in transit). *)
+
+val sched_counters : t -> (string * int) list
+(** The active scheduler's health counters (the gang watchdog's
+    launches/timeouts/demotions); [[]] for schedulers without any. *)
+
+val watchdog_params : t -> Watchdog.params option

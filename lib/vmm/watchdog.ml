@@ -1,0 +1,99 @@
+type params = {
+  ack_timeout : int;
+  max_retries : int;
+  backoff_base : int;
+  fail_threshold : int;
+  probation : int;
+}
+
+let default cpu =
+  let slot = Sim_hw.Cpu_model.slot_cycles cpu in
+  let ipi = cpu.Sim_hw.Cpu_model.ipi_latency_cycles in
+  {
+    (* Generous vs the ~2x worst-case cross-socket latency, tiny vs a
+       slot: an ack window the fault-free simulator never misses. *)
+    ack_timeout = max (32 * ipi) (slot / 64);
+    max_retries = 3;
+    backoff_base = max (16 * ipi) (slot / 128);
+    fail_threshold = 3;
+    probation = 10 * slot;
+  }
+
+type dom_state = {
+  mutable expected : int;  (** IPIs sent by the tracked launch *)
+  mutable acks : int;
+  mutable gen : int;  (** launch generation; stale acks are ignored *)
+  mutable retries_left : int;
+  mutable backoff : int;
+  mutable check_pending : bool;  (** a launch is being tracked *)
+  mutable strikes : int;  (** timed-out checks since the last demotion *)
+  mutable demoted_until : int;  (** absolute cycle; -1 = never demoted *)
+}
+
+type t = {
+  params : params;
+  states : (int, dom_state) Hashtbl.t;  (** domain id -> state *)
+  mutable launches : int;
+  mutable acks_total : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable demotions : int;
+}
+
+let create params =
+  {
+    params;
+    states = Hashtbl.create 8;
+    launches = 0;
+    acks_total = 0;
+    timeouts = 0;
+    retries = 0;
+    demotions = 0;
+  }
+
+let params t = t.params
+
+let dom_state t dom_id =
+  match Hashtbl.find_opt t.states dom_id with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        expected = 0;
+        acks = 0;
+        gen = 0;
+        retries_left = 0;
+        backoff = 0;
+        check_pending = false;
+        strikes = 0;
+        demoted_until = -1;
+      }
+    in
+    Hashtbl.replace t.states dom_id s;
+    s
+
+let is_demoted t ~now dom_id =
+  match Hashtbl.find_opt t.states dom_id with
+  | None -> false
+  | Some s -> now < s.demoted_until
+
+let note_launch t = t.launches <- t.launches + 1
+
+let note_ack t = t.acks_total <- t.acks_total + 1
+
+let note_timeout t = t.timeouts <- t.timeouts + 1
+
+let note_retry t = t.retries <- t.retries + 1
+
+let note_demotion t = t.demotions <- t.demotions + 1
+
+let demotions t = t.demotions
+
+let counter_list t =
+  [
+    ("cosched_launches", t.launches);
+    ("ipi_acks", t.acks_total);
+    ("watchdog_timeouts", t.timeouts);
+    ("watchdog_retries", t.retries);
+    ("watchdog_demotions", t.demotions);
+  ]

@@ -1,0 +1,204 @@
+(* The chaos layer end-to-end: named profiles parse, fault runs
+   complete with the runtime invariant checker clean (credit
+   conserved, no VCPU lost or duplicated), the coscheduling watchdog
+   demotes under sustained IPI loss, and a (profile, seed) pair
+   reproduces the same numbers at any worker count. *)
+
+open Asman
+module Fault = Sim_faults.Fault
+
+(* Three LU VMs over-commit the 8 PCPUs, so the gang scheduler sends
+   coscheduling IPIs every period — the traffic the faults attack. *)
+let contended config ~sched =
+  let lu () =
+    Sim_workloads.Nas.workload
+      (Sim_workloads.Nas.params Sim_workloads.Nas.LU ~freq:(Config.freq config)
+         ~scale:config.Config.scale)
+  in
+  Scenario.build config ~sched
+    ~vms:
+      (List.map
+         (fun i ->
+           {
+             Scenario.vm_name = Printf.sprintf "V%d" i;
+             weight = 256;
+             vcpus = 4;
+             workload = Some (lu ());
+           })
+         [ 1; 2; 3 ])
+
+let run_chaos ?(rounds = 2) ~seed ~sched chaos =
+  let config = Config.with_scale (Config.with_seed Config.default seed) 0.02 in
+  let config =
+    { config with Config.faults = chaos; invariants = Sim_vmm.Vmm.Record }
+  in
+  let s = contended config ~sched in
+  let m = Runner.run_rounds s ~rounds ~max_sec:120. in
+  (s, m)
+
+let counter m name =
+  match List.assoc_opt name m.Runner.sched_counters with
+  | Some v -> v
+  | None -> 0
+
+let fault_stat m name =
+  match List.assoc_opt name m.Runner.fault_stats with Some v -> v | None -> 0
+
+let assert_healthy ~what (s, m) =
+  Alcotest.(check int)
+    (what ^ ": zero invariant violations")
+    0 m.Runner.invariant_violations;
+  (match Sim_vmm.Vmm.check_invariants s.Scenario.vmm with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: structural invariants broken: %s" what msg);
+  List.iter
+    (fun (vm : Runner.vm_metrics) ->
+      if vm.Runner.rounds < 1 then
+        Alcotest.failf "%s: VM %s never completed a round" what
+          vm.Runner.vm_name)
+    m.Runner.vms
+
+(* ----- profile naming ----- *)
+
+let test_profile_names () =
+  List.iter
+    (fun name ->
+      (* [known_names] mixes concrete names with <pct> templates. *)
+      if not (String.contains name '<') then
+        match Fault.of_name name with
+        | Some p ->
+          Alcotest.(check string) "name round-trips" name p.Fault.pname
+        | None -> Alcotest.failf "known name %S does not parse" name)
+    Fault.known_names;
+  List.iter
+    (fun name ->
+      match Fault.of_name name with
+      | Some p -> Alcotest.(check string) "parametrized" name p.Fault.pname
+      | None -> Alcotest.failf "parametrized name %S does not parse" name)
+    [ "ipi-loss-10"; "ipi-delay-25"; "vcrd-loss-5" ];
+  Alcotest.(check bool) "unknown rejected" true (Fault.of_name "gamma-rays" = None);
+  Alcotest.(check bool) "overrange rejected" true (Fault.of_name "ipi-loss-250" = None);
+  Alcotest.(check bool) "zero rate is none" true (Fault.is_none (Fault.ipi_loss 0.));
+  Alcotest.(check bool) "real rate is a profile" false
+    (Fault.is_none (Fault.ipi_loss 0.1));
+  Alcotest.(check bool) "to_string non-empty" true
+    (String.length (Fault.to_string Fault.chaos_heavy) > 0)
+
+(* ----- every profile completes with invariants intact ----- *)
+
+let test_chaos_profiles_run_clean () =
+  List.iter
+    (fun name ->
+      match Fault.of_name name with
+      | None -> Alcotest.failf "profile %S missing" name
+      | Some chaos ->
+        assert_healthy ~what:name
+          (run_chaos ~seed:7L ~sched:Config.Asman chaos))
+    [ "ipi-loss-10"; "ipi-delay-25"; "vcrd-loss-20"; "jitter"; "chaos-mild" ];
+  (* Credit under the heavy profile: the fault surface minus IPIs. *)
+  assert_healthy ~what:"chaos-heavy/credit"
+    (run_chaos ~seed:7L ~sched:Config.Credit Fault.chaos_heavy)
+
+(* Stall and hotplug windows first open at 0.7 s / 1.0 s of simulated
+   time, so these runs need enough rounds to get there. *)
+let named name =
+  match Fault.of_name name with
+  | Some p -> p
+  | None -> Alcotest.failf "profile %S missing" name
+
+let test_stall_and_hotplug () =
+  let _, m_stall =
+    let r = run_chaos ~rounds:12 ~seed:7L ~sched:Config.Asman (named "stall") in
+    assert_healthy ~what:"stall" r;
+    r
+  in
+  Alcotest.(check bool) "a stall window fired" true
+    (fault_stat m_stall "pcpu_stalls" >= 1);
+  Alcotest.(check bool) "stalled ticks suppressed" true
+    (fault_stat m_stall "ticks_suppressed" >= 1);
+  let _, m_plug =
+    let r =
+      run_chaos ~rounds:12 ~seed:7L ~sched:Config.Asman (named "hotplug")
+    in
+    assert_healthy ~what:"hotplug" r;
+    r
+  in
+  Alcotest.(check bool) "an offline window fired" true
+    (fault_stat m_plug "pcpu_offlines" >= 1)
+
+(* ----- self-healing: sustained IPI loss demotes to Credit ----- *)
+
+let test_watchdog_demotes () =
+  let ((_, m) as r) =
+    run_chaos ~rounds:6 ~seed:5L ~sched:Config.Asman (Fault.ipi_loss 0.10)
+  in
+  assert_healthy ~what:"ipi-loss-10" r;
+  Alcotest.(check bool) "IPIs were dropped" true
+    (fault_stat m "ipis_dropped" >= 1);
+  Alcotest.(check bool) "launches were tracked" true
+    (counter m "cosched_launches" >= 1);
+  Alcotest.(check bool) "watchdog demoted at least once" true
+    (counter m "watchdog_demotions" >= 1)
+
+let test_clean_run_has_no_watchdog_noise () =
+  let _, m = run_chaos ~seed:5L ~sched:Config.Asman Fault.none in
+  Alcotest.(check (list (pair string int))) "no fault stats" [] m.Runner.fault_stats;
+  Alcotest.(check (list (pair string int)))
+    "no watchdog counters" [] m.Runner.sched_counters;
+  Alcotest.(check int) "no violations" 0 m.Runner.invariant_violations
+
+(* ----- property: randomized fault schedules hold the invariants ----- *)
+
+let prop_fault_runs_hold_invariants =
+  QCheck.Test.make ~count:5
+    ~name:"credit conserved and no VCPU lost under random fault seeds"
+    QCheck.(pair (int_range 1 10_000) (int_range 0 3))
+    (fun (seed, pick) ->
+      let chaos =
+        match pick with
+        | 0 -> Fault.ipi_loss 0.20
+        | 1 -> Fault.chaos_mild
+        | 2 -> Fault.chaos_heavy
+        | _ -> named "stall"
+      in
+      let s, m = run_chaos ~seed:(Int64.of_int seed) ~sched:Config.Asman chaos in
+      m.Runner.invariant_violations = 0
+      && Sim_vmm.Vmm.check_invariants s.Scenario.vmm = Ok ())
+
+(* ----- chaos runs are deterministic at any worker count ----- *)
+
+let test_deterministic_across_workers () =
+  let grid =
+    [
+      (Config.Asman, 0.0); (Config.Asman, 0.1); (Config.Asman, 0.2);
+      (Config.Credit, 0.2);
+    ]
+  in
+  let measure (sched, rate) =
+    let _, m = run_chaos ~seed:5L ~sched (Fault.ipi_loss rate) in
+    ( m.Runner.events_fired,
+      m.Runner.ipis,
+      counter m "watchdog_demotions",
+      fault_stat m "ipis_dropped",
+      List.map (fun (v : Runner.vm_metrics) -> v.Runner.round_sec) m.Runner.vms
+    )
+  in
+  let sequential = Pool.map ~jobs:1 measure grid in
+  let parallel = Pool.map ~jobs:4 measure grid in
+  if sequential <> parallel then
+    Alcotest.fail "chaos runs differ between -j1 and -j4"
+
+let suite =
+  [
+    Alcotest.test_case "profile names" `Quick test_profile_names;
+    Alcotest.test_case "chaos profiles run clean" `Slow
+      test_chaos_profiles_run_clean;
+    Alcotest.test_case "stall and hotplug windows" `Slow test_stall_and_hotplug;
+    Alcotest.test_case "watchdog demotes under IPI loss" `Slow
+      test_watchdog_demotes;
+    Alcotest.test_case "clean run has no watchdog noise" `Quick
+      test_clean_run_has_no_watchdog_noise;
+    QCheck_alcotest.to_alcotest prop_fault_runs_hold_invariants;
+    Alcotest.test_case "deterministic across workers" `Slow
+      test_deterministic_across_workers;
+  ]

@@ -17,6 +17,7 @@ let () =
       ("sched", Test_sched.suite);
       ("integration", Test_integration.suite);
       ("pool", Test_pool.suite);
+      ("faults", Test_faults.suite);
       ("experiments", Test_experiments.suite);
       ("oov-ablations", Test_oov.suite);
       ("models", Test_models.suite);

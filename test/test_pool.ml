@@ -30,6 +30,48 @@ let test_exception_propagates () =
            (fun x -> if x = 37 then failwith "job 37 boom" else x)
            (List.init 64 Fun.id)))
 
+(* The first failure aborts the queue: unstarted jobs are dropped. In
+   the sequential path the cut is exact (nothing after the failing
+   index runs); in the parallel path only in-flight jobs may finish,
+   so with the failure first not all 256 can have started. *)
+let test_abort_on_first_error () =
+  let ran = Atomic.make 0 in
+  let job fail_at x =
+    Atomic.incr ran;
+    if x = fail_at then failwith "abort";
+    x
+  in
+  Atomic.set ran 0;
+  (try ignore (Pool.map ~jobs:1 (job 3) (List.init 64 Fun.id))
+   with Failure _ -> ());
+  Alcotest.(check int) "sequential stops at the failure" 4 (Atomic.get ran);
+  Atomic.set ran 0;
+  (try
+     ignore
+       (Pool.map ~jobs:4
+          (fun x ->
+            let y = job 0 x in
+            Unix.sleepf 0.001;
+            y)
+          (List.init 256 Fun.id))
+   with Failure _ -> ());
+  Alcotest.(check bool) "parallel drains the queue" true (Atomic.get ran < 256)
+
+let test_job_timeout () =
+  let xs = [ 0; 1; 2 ] in
+  let f x =
+    if x = 1 then Unix.sleepf 0.05;
+    x * 10
+  in
+  Alcotest.(check (list int))
+    "generous limit passes" [ 0; 10; 20 ]
+    (Pool.map ~jobs:2 ~timeout_sec:30. f xs);
+  match Pool.map ~jobs:2 ~timeout_sec:0.01 f xs with
+  | _ -> Alcotest.fail "timeout not raised"
+  | exception Pool.Job_timeout { index; elapsed_sec; limit_sec } ->
+    Alcotest.(check int) "offending index" 1 index;
+    Alcotest.(check bool) "elapsed over limit" true (elapsed_sec > limit_sec)
+
 let test_seq_par_equivalence () =
   let f x = (x * 7919) mod 997 in
   let xs = List.init 257 Fun.id in
@@ -83,6 +125,8 @@ let suite =
     Alcotest.test_case "order preserved" `Quick test_order_preserved;
     Alcotest.test_case "edge cases" `Quick test_edge_cases;
     Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "abort on first error" `Quick test_abort_on_first_error;
+    Alcotest.test_case "job timeout" `Quick test_job_timeout;
     Alcotest.test_case "seq/par equivalence" `Quick test_seq_par_equivalence;
     Alcotest.test_case "jobs knob" `Quick test_jobs_knob;
     Alcotest.test_case "accounting" `Quick test_accounting;
