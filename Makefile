@@ -7,7 +7,7 @@ SCALE ?= 0.05
 SEED ?= 5
 JOBS ?= 4
 
-.PHONY: all build test bench figures chaos clean
+.PHONY: all build test bench figures chaos trace clean
 
 all: build
 
@@ -30,6 +30,14 @@ chaos: build
 	$(DUNE) exec bin/asman_cli.exe -- run --vm lu --vm lu --vm lu \
 	  --sched asman --rounds 6 --scale $(SCALE) --seed $(SEED) \
 	  --chaos ipi-loss-10 --invariants record
+
+# Trace smoke: fig1a with tracing and metrics on, then validate that
+# both exports parse (the trace loads in Perfetto / chrome://tracing).
+trace: build
+	$(DUNE) exec bin/asman_cli.exe -- experiment fig1a --scale $(SCALE) \
+	  --seed $(SEED) --jobs $(JOBS) --trace=trace.json --metrics=metrics.json
+	$(DUNE) exec bin/asman_cli.exe -- validate-json trace.json
+	$(DUNE) exec bin/asman_cli.exe -- validate-json metrics.json
 
 clean:
 	$(DUNE) clean

@@ -27,7 +27,18 @@ let scale =
     | Some _ | None -> Config.default.Config.scale)
   | None -> Config.default.Config.scale
 
-let config = Config.with_scale Config.default scale
+(* Every run in this harness charges the runner's phases
+   (engine.run/collect, summed across Pool workers) to one shared
+   self-profiler; the sections land in the --json dump next to the
+   wall-clock timings. Profiling does not perturb simulation results —
+   only trace/metrics flags stay off. *)
+let prof = Sim_obs.Prof.create ~clock:Unix.gettimeofday ()
+
+let config =
+  {
+    (Config.with_scale Config.default scale) with
+    Config.obs = { Config.obs_off with Config.profile = Some prof };
+  }
 
 (* ----- per-run timing records (for the report and --json) ----- *)
 
@@ -47,6 +58,7 @@ let timed id f =
   let wall_sec = Unix.gettimeofday () -. t0 in
   let stats = Pool.accounting () in
   recorded := { entry_id = id; wall_sec; stats } :: !recorded;
+  Sim_obs.Prof.add prof ("run." ^ id) wall_sec;
   (result, wall_sec, stats)
 
 let speedup ~wall_sec (stats : Pool.stats) =
@@ -153,10 +165,12 @@ let write_json path =
      \  \"workers\": %d,\n\
      \  \"total_wall_sec\": %.6f,\n\
      \  \"runs\": [\n%s\n\
-     \  ]\n\
+     \  ],\n\
+     \  \"profile\": [%s]\n\
      }\n"
     (date_string ()) scale config.Config.seed (Pool.jobs ()) total_wall
-    (String.concat ",\n" (List.map entry_json entries));
+    (String.concat ",\n" (List.map entry_json entries))
+    (Sim_obs.Prof.to_json_fragment prof);
   close_out oc;
   Printf.printf "timings written to %s\n%!" path
 

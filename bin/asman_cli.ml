@@ -5,8 +5,15 @@
      experiment <id> [...]     regenerate one figure (or all)
      run [...]                 run one ad-hoc scenario and print metrics
      trace [...]               dump a spinlock-wait trace as CSV (Fig 2/8 data)
+     lhp [...]                 lock-holder-preemption diagnosis, Credit vs ASMan
+     validate-json <file>      check an exported trace/metrics file parses
      learn                     demonstrate the Roth-Erev estimator on a
-                               synthetic locality trace *)
+                               synthetic locality trace
+
+   run/experiment accept --trace[=FILE] --trace-cats CATS
+   --metrics[=FILE] --profile; all default off, and with them off the
+   simulation results are byte-identical to a build without the
+   observability layer. *)
 
 open Cmdliner
 open Asman
@@ -91,6 +98,94 @@ let config_of ~scale ~seed ~chaos ~invariants =
   let config = Config.with_seed (Config.with_scale Config.default scale) seed in
   { config with Config.faults = chaos; invariants }
 
+(* ----- observability flags (shared by run/experiment/ablation) ----- *)
+
+let trace_arg =
+  let doc =
+    "Record a scheduler/guest event trace and write it as Chrome \
+     trace_event JSON (open in Perfetto or chrome://tracing). $(docv) \
+     defaults to trace.json."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "trace.json") (some string) None
+    & info [ "trace" ] ~doc ~docv:"FILE")
+
+let trace_cats_arg =
+  let doc =
+    "Comma-separated trace categories (sched, credit, vcrd, gang, ipi, \
+     spin, fault, invariant) or 'all'."
+  in
+  Arg.(value & opt string "all" & info [ "trace-cats" ] ~doc ~docv:"CATS")
+
+let metrics_arg =
+  let doc =
+    "Print a metrics-registry snapshot after the run ('-', the default \
+     $(docv)) or write it as JSON to a file."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~doc ~docv:"FILE")
+
+let profile_arg =
+  let doc = "Print a wall-clock self-profile of the run's phases." in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let write_file file s =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+(* Resolve the obs flags into a [Config.obs] plus an export hook to
+   call once the runs are done (scenarios register themselves in
+   [Obs_hub] as they are built, including those constructed deep
+   inside experiment jobs). *)
+let obs_setup ~trace ~trace_cats ~metrics ~profile =
+  let trace_mask =
+    match trace with
+    | None -> 0
+    | Some _ -> (
+      match Sim_obs.Trace.mask_of_string trace_cats with
+      | Ok m -> m
+      | Error e -> raise (Usage_error e))
+  in
+  let prof =
+    if profile then Some (Sim_obs.Prof.create ~clock:Unix.gettimeofday ())
+    else None
+  in
+  let obs =
+    {
+      Config.trace_mask;
+      trace_cap = Sim_obs.Trace.default_cap;
+      metrics = metrics <> None;
+      profile = prof;
+    }
+  in
+  let export () =
+    let entries = Obs_hub.drain () in
+    (match trace with
+    | None -> ()
+    | Some file ->
+      write_file file (Obs_hub.chrome_json entries);
+      let events =
+        List.fold_left
+          (fun n (e : Obs_hub.entry) -> n + Sim_obs.Trace.length e.Obs_hub.trace)
+          0 entries
+      in
+      Printf.eprintf "trace: wrote %s (%d scenarios, %d events)\n" file
+        (List.length entries) events);
+    (match metrics with
+    | None -> ()
+    | Some "-" -> print_string (Obs_hub.metrics_text entries)
+    | Some file -> write_file file (Obs_hub.metrics_json entries));
+    match prof with
+    | None -> ()
+    | Some p ->
+      print_string "self-profile:\n";
+      print_string (Sim_obs.Prof.to_text p)
+  in
+  (obs, export)
+
 (* ----- list ----- *)
 
 let list_cmd =
@@ -119,9 +214,11 @@ let experiment_cmd =
     let doc = "Also print the measured series as CSV." in
     Arg.(value & flag & info [ "csv" ] ~doc)
   in
-  let run id csv scale seed jobs chaos invariants =
+  let run id csv scale seed jobs chaos invariants trace trace_cats metrics
+      profile =
     Pool.set_jobs jobs;
-    let config = config_of ~scale ~seed ~chaos ~invariants in
+    let obs, export = obs_setup ~trace ~trace_cats ~metrics ~profile in
+    let config = { (config_of ~scale ~seed ~chaos ~invariants) with Config.obs } in
     let run_one (e : Experiments.t) =
       let outcome = e.Experiments.run config in
       print_string (Report.outcome e outcome);
@@ -136,13 +233,15 @@ let experiment_cmd =
         raise
           (Usage_error (Printf.sprintf "unknown experiment %S; try 'list'" id))
     end;
+    export ();
     0
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper")
     Term.(
       const run $ id_arg $ csv_arg $ scale_arg $ seed_arg $ jobs_arg
-      $ chaos_arg $ invariants_arg)
+      $ chaos_arg $ invariants_arg $ trace_arg $ trace_cats_arg $ metrics_arg
+      $ profile_arg)
 
 (* ----- ablation ----- *)
 
@@ -251,8 +350,10 @@ let run_cmd =
     let doc = "Simulated-time budget in seconds." in
     Arg.(value & opt float 120. & info [ "max-sec" ] ~doc)
   in
-  let run vms weight capped rounds max_sec sched scale seed chaos invariants =
-    let config = config_of ~scale ~seed ~chaos ~invariants in
+  let run vms weight capped rounds max_sec sched scale seed chaos invariants
+      trace trace_cats metrics profile =
+    let obs, export = obs_setup ~trace ~trace_cats ~metrics ~profile in
+    let config = { (config_of ~scale ~seed ~chaos ~invariants) with Config.obs } in
     let config = Config.with_work_conserving config (not capped) in
     let specs =
       List.mapi
@@ -308,13 +409,15 @@ let run_cmd =
     | _ :: _ :: _ :: _ :: _ :: _ :: _ ->
       Printf.printf "  ... and %d more\n" (List.length violations - 5)
     | _ -> ());
+    export ();
     if metrics.Runner.invariant_violations > 0 then 1 else 0
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an ad-hoc scenario")
     Term.(
       const run $ vms_arg $ weight_arg $ capped_arg $ rounds_arg $ max_sec_arg
-      $ sched_arg $ scale_arg $ seed_arg $ chaos_arg $ invariants_arg)
+      $ sched_arg $ scale_arg $ seed_arg $ chaos_arg $ invariants_arg
+      $ trace_arg $ trace_cats_arg $ metrics_arg $ profile_arg)
 
 (* ----- trace ----- *)
 
@@ -354,6 +457,122 @@ let trace_cmd =
     Term.(
       const run $ weight_arg $ bench_arg $ sched_arg $ scale_arg $ seed_arg
       $ chaos_arg $ invariants_arg)
+
+(* ----- lhp ----- *)
+
+let lhp_cmd =
+  let sec_arg =
+    let doc = "Simulated observation window in seconds." in
+    Arg.(value & opt float 5. & info [ "sec" ] ~doc)
+  in
+  let vms_count_arg =
+    let doc = "Number of identical concurrent (LU) VMs." in
+    Arg.(value & opt int 3 & info [ "vms" ] ~doc)
+  in
+  (* One diagnosis: run the same overcommitted concurrent workload
+     under a scheduler with Sched+Spin tracing on, then join the
+     spinlock waits against the scheduling timeline. *)
+  let diagnose ~base ~sec ~nvms sched =
+    let mask =
+      Sim_obs.Trace.(cat_bit Sched lor cat_bit Spin lor cat_bit Gang)
+    in
+    let config =
+      {
+        base with
+        Config.obs = { Config.obs_off with Config.trace_mask = mask };
+      }
+    in
+    let specs =
+      List.init nvms (fun i ->
+          let workload =
+            Sim_workloads.Nas.workload
+              (Sim_workloads.Nas.params Sim_workloads.Nas.LU
+                 ~freq:(Config.freq config) ~scale:config.Config.scale)
+          in
+          {
+            Scenario.vm_name = Printf.sprintf "V%d:lu" (i + 1);
+            weight = 256;
+            vcpus = 4;
+            workload = Some workload;
+          })
+    in
+    let scenario = Scenario.build config ~sched ~vms:specs in
+    let (_ : Runner.metrics) = Runner.run_window scenario ~sec in
+    let entries =
+      Sim_obs.Trace.entries (Sim_engine.Engine.trace scenario.Scenario.engine)
+    in
+    let timeline =
+      Sim_obs.Timeline.of_entries ~pcpus:(Config.pcpus config) entries
+    in
+    let vm_names =
+      (scenario.Scenario.dom0.Sim_vmm.Domain.id, "Domain-0")
+      :: List.map
+           (fun (i : Scenario.vm_instance) ->
+             (i.Scenario.domain.Sim_vmm.Domain.id, i.Scenario.spec.Scenario.vm_name))
+           scenario.Scenario.vms
+    in
+    (Sim_obs.Lhp.classify ~timeline entries, vm_names)
+  in
+  let run sec nvms scale seed =
+    if nvms <= 0 then raise (Usage_error "lhp: --vms must be positive");
+    let base = Config.with_seed (Config.with_scale Config.default scale) seed in
+    let schedulers = [ Config.Credit; Config.Asman ] in
+    let reports =
+      List.map
+        (fun sched ->
+          let report, vm_names = diagnose ~base ~sec ~nvms sched in
+          (sched, report, vm_names))
+        schedulers
+    in
+    Obs_hub.clear ();
+    List.iter
+      (fun (sched, report, vm_names) ->
+        Printf.printf "== %s ==\n%s\n" (Config.sched_name sched)
+          (Sim_obs.Lhp.to_text ~vm_names report))
+      reports;
+    (match reports with
+    | [ (_, credit, _); (_, asman, _) ] ->
+      Printf.printf
+        "preempted-holder share: credit %.3f -> asman %.3f (%s)\n"
+        credit.Sim_obs.Lhp.preempted_share asman.Sim_obs.Lhp.preempted_share
+        (if asman.Sim_obs.Lhp.preempted_share
+            <= credit.Sim_obs.Lhp.preempted_share
+         then "coscheduling removes lock-holder preemption"
+         else "unexpected: share grew under coscheduling")
+    | _ -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "lhp"
+       ~doc:
+         "Diagnose lock-holder preemption: classify over-threshold spinlock \
+          waits against the scheduling timeline, Credit vs ASMan")
+    Term.(const run $ sec_arg $ vms_count_arg $ scale_arg $ seed_arg)
+
+(* ----- validate-json ----- *)
+
+let validate_json_cmd =
+  let file_arg =
+    let doc = "JSON file to validate ('-' = stdin)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let contents =
+      if file = "-" then In_channel.input_all stdin
+      else In_channel.with_open_bin file In_channel.input_all
+    in
+    match Sim_obs.Json.validate contents with
+    | Ok () ->
+      Printf.printf "%s: valid JSON\n" file;
+      0
+    | Error msg ->
+      Printf.eprintf "%s: invalid JSON: %s\n" file msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "validate-json"
+       ~doc:"Check that a file (e.g. an exported trace) is well-formed JSON")
+    Term.(const run $ file_arg)
 
 (* ----- learn ----- *)
 
@@ -400,7 +619,10 @@ let learn_cmd =
 let main =
   let doc = "ASMan: dynamic adaptive scheduling for virtual machines (HPDC'11)" in
   Cmd.group (Cmd.info "asman_cli" ~doc)
-    [ list_cmd; experiment_cmd; ablation_cmd; run_cmd; trace_cmd; learn_cmd ]
+    [
+      list_cmd; experiment_cmd; ablation_cmd; run_cmd; trace_cmd; lhp_cmd;
+      validate_json_cmd; learn_cmd;
+    ]
 
 (* Exit codes: 0 success, 1 run failure, 2 usage error. *)
 let () =

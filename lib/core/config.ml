@@ -27,6 +27,21 @@ let sched_maker = function
   | Asman_oov -> Sim_vmm.Sched_gang.make_oov
   | Custom (_, maker) -> maker
 
+type obs = {
+  trace_mask : int;
+  trace_cap : int;
+  metrics : bool;
+  profile : Sim_obs.Prof.t option;
+}
+
+let obs_off =
+  {
+    trace_mask = 0;
+    trace_cap = Sim_obs.Trace.default_cap;
+    metrics = false;
+    profile = None;
+  }
+
 type t = {
   seed : int64;
   cpu : Sim_hw.Cpu_model.t;
@@ -40,6 +55,7 @@ type t = {
   faults : Sim_faults.Fault.profile;
   invariants : Sim_vmm.Vmm.invariant_mode;
   watchdog : bool option;  (** [None] = armed iff faults are enabled *)
+  obs : obs;
 }
 
 let default =
@@ -56,7 +72,10 @@ let default =
     faults = Sim_faults.Fault.none;
     invariants = Sim_vmm.Vmm.Record;
     watchdog = None;
+    obs = obs_off;
   }
+
+let obs_wanted t = t.obs.trace_mask <> 0 || t.obs.metrics
 
 let with_scale t scale = { t with scale }
 let with_seed t seed = { t with seed }

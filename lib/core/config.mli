@@ -15,6 +15,21 @@ val sched_name : sched_kind -> string
 val sched_of_name : string -> sched_kind option
 val sched_maker : sched_kind -> Sim_vmm.Sched_intf.maker
 
+type obs = {
+  trace_mask : int;
+      (** {!Sim_obs.Trace} category mask armed on the scenario's
+          engine trace; 0 = tracing off (the default; no events are
+          allocated, figure outputs stay byte-identical) *)
+  trace_cap : int;  (** trace ring capacity when armed *)
+  metrics : bool;  (** collect/export a metrics snapshot after runs *)
+  profile : Sim_obs.Prof.t option;
+      (** wall-clock self-profiler charged by {!Runner} sections *)
+}
+
+val obs_off : obs
+(** Everything off — the default; simulation results are identical
+    to a build without the observability layer. *)
+
 type t = {
   seed : int64;
   cpu : Sim_hw.Cpu_model.t;
@@ -34,6 +49,7 @@ type t = {
       (** arm the gang coscheduling watchdog; [None] (default) arms it
           exactly when [faults] is a real profile, so fault-free runs
           carry no watchdog events *)
+  obs : obs;  (** observability options (default {!obs_off}) *)
 }
 
 val default : t
@@ -49,6 +65,9 @@ val with_faults : t -> Sim_faults.Fault.profile -> t
 
 val watchdog_enabled : t -> bool
 (** Resolve the [watchdog] option against the fault profile. *)
+
+val obs_wanted : t -> bool
+(** Tracing armed or metrics collection requested. *)
 
 val guest_params : t -> Sim_guest.Kernel.params
 (** The explicit guest params, or defaults derived from [cpu]. *)

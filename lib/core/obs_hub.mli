@@ -1,0 +1,39 @@
+(** Cross-scenario observability registry.
+
+    Experiment figures construct scenarios deep inside their job
+    functions; when a scenario is built with observability enabled
+    ({!Config.obs_wanted}), {!Scenario.build} registers its trace and
+    metrics registry here, labelled, so the CLI can export everything
+    after the run. Mutex-protected: parallel {!Pool} jobs register
+    from their own domains. Listing order is sorted by label, keeping
+    exports deterministic at any worker count. *)
+
+type entry = {
+  label : string;  (** scheduler, VM list and seed of the scenario *)
+  freq_khz : int;
+  pcpus : int;
+  vm_names : (int * string) list;  (** domain id -> VM name *)
+  trace : Sim_obs.Trace.t;
+  metrics : Sim_obs.Metrics.t;
+}
+
+val register : entry -> unit
+
+val entries : unit -> entry list
+(** Registered entries, sorted by label (does not clear). *)
+
+val drain : unit -> entry list
+(** Like {!entries} but also empties the registry. *)
+
+val clear : unit -> unit
+
+(** {1 Combined exporters} *)
+
+val chrome_json : entry list -> string
+(** One Chrome [trace_event] document; each entry becomes its own
+    process ([pid] = position + 1) named by its label. *)
+
+val metrics_text : entry list -> string
+
+val metrics_json : entry list -> string
+(** [{"label": {...}, ...}] — one metrics snapshot object per entry. *)

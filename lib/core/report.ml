@@ -41,6 +41,15 @@ let health_summary (m : Runner.metrics) =
   section "fault injection" m.Runner.fault_stats;
   Buffer.add_string buf
     (Printf.sprintf "invariant violations: %d\n" m.Runner.invariant_violations);
+  List.iter
+    (fun (v : Runner.vm_metrics) ->
+      if v.Runner.watchdog_demotions > 0 || v.Runner.invariant_violations > 0
+      then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-24s demotions=%d violations=%d\n"
+             v.Runner.vm_name v.Runner.watchdog_demotions
+             v.Runner.invariant_violations))
+    m.Runner.vms;
   Buffer.contents buf
 
 let series_csv series = Csv.to_string (Csv.of_series series)

@@ -8,7 +8,9 @@ val summary_line : Experiments.t -> Experiments.outcome -> string
 
 val health_summary : Runner.metrics -> string
 (** Watchdog counters, fault-injector tallies and the invariant
-    violation count of one run (as printed by [asman_cli run]). *)
+    violation count of one run (as printed by [asman_cli run]),
+    with a per-VM demotion/violation breakdown for any VM the
+    watchdog demoted or the invariant checker flagged. *)
 
 val series_csv : Sim_stats.Series.t list -> string
 

@@ -1,4 +1,5 @@
 open Sim_engine
+module Metrics = Sim_obs.Metrics
 
 type vm_metrics = {
   vm_name : string;
@@ -11,6 +12,8 @@ type vm_metrics = {
   adjusting_events : int;
   vcrd_transitions : int;
   total_spin_sec : float;
+  watchdog_demotions : int;
+  invariant_violations : int;
 }
 
 type metrics = {
@@ -27,10 +30,17 @@ type metrics = {
 
 let freq (s : Scenario.t) = Config.freq s.Scenario.config
 
-let collect (s : Scenario.t) ~round_times ~started ~marks_base ~events_base
-    ~ipis_base ~ctx_base ~viol_base =
+(* Everything countable now flows through the VMM's metrics registry:
+   the measurement baseline is one snapshot, and window values are a
+   pointwise diff — no per-counter side tables. Cumulative-by-design
+   quantities (over-threshold detections, adjusting events, VCRD
+   transitions, spin time) read the absolute snapshot, matching the
+   pre-registry semantics exactly. *)
+let collect (s : Scenario.t) ~round_times ~started ~base =
   let f = freq s in
   let now = Engine.now s.Scenario.engine in
+  let snap = Metrics.snapshot (Sim_vmm.Vmm.metrics s.Scenario.vmm) in
+  let d = Metrics.diff ~base snap in
   let vms =
     List.map
       (fun (inst : Scenario.vm_instance) ->
@@ -48,30 +58,23 @@ let collect (s : Scenario.t) ~round_times ~started ~marks_base ~events_base
           in
           durations started times
         in
-        let marks, over, adj, spin_cycles =
-          match inst.Scenario.kernel with
-          | None -> (0, 0, 0, 0)
-          | Some k ->
-            let m = Sim_guest.Kernel.monitor k in
-            ( Sim_guest.Kernel.total_marks k
-              - (match Hashtbl.find_opt marks_base name with
-                | Some base -> base
-                | None -> 0),
-              Sim_guest.Monitor.over_threshold_count m,
-              Sim_guest.Monitor.adjusting_events m,
-              Sim_guest.Kernel.total_spin_cycles k )
-        in
+        let guest of_ n = Metrics.get of_ ~subsystem:"guest" ~vm:name ~name:n () in
         {
           vm_name = name;
           rounds = List.length times;
           round_sec;
-          marks;
+          marks = guest d "marks";
           online_rate = Sim_vmm.Vmm.online_rate s.Scenario.vmm inst.Scenario.domain;
           expected_online = Scenario.expected_online_rate s inst;
-          spin_over_threshold = over;
-          adjusting_events = adj;
-          vcrd_transitions = inst.Scenario.domain.Sim_vmm.Domain.vcrd_transitions;
-          total_spin_sec = Units.sec_of_cycles f spin_cycles;
+          spin_over_threshold = guest snap "over_threshold";
+          adjusting_events = guest snap "adjusting_events";
+          vcrd_transitions =
+            Metrics.get snap ~subsystem:"vmm" ~vm:name ~name:"vcrd_transitions" ();
+          total_spin_sec = Units.sec_of_cycles f (guest snap "total_spin_cycles");
+          watchdog_demotions =
+            Metrics.get d ~subsystem:"watchdog" ~vm:name ~name:"demotions" ();
+          invariant_violations =
+            Metrics.get d ~subsystem:"vmm" ~vm:name ~name:"invariant_violations" ();
         })
       s.Scenario.vms
   in
@@ -81,11 +84,11 @@ let collect (s : Scenario.t) ~round_times ~started ~marks_base ~events_base
     vms;
     by_name;
     wall_sec = Units.sec_of_cycles f (now - started);
-    events_fired = Engine.events_fired s.Scenario.engine - events_base;
-    ipis = Sim_hw.Machine.ipis_sent s.Scenario.machine - ipis_base;
-    ctx_switches = Sim_vmm.Vmm.ctx_switches s.Scenario.vmm - ctx_base;
+    events_fired = Metrics.get d ~subsystem:"engine" ~name:"events_fired" ();
+    ipis = Metrics.get d ~subsystem:"hw" ~name:"ipis_sent" ();
+    ctx_switches = Metrics.get d ~subsystem:"vmm" ~name:"ctx_switches" ();
     invariant_violations =
-      Sim_vmm.Vmm.invariant_violation_count s.Scenario.vmm - viol_base;
+      Metrics.get d ~subsystem:"vmm" ~name:"invariant_violations" ();
     sched_counters = Sim_vmm.Vmm.sched_counters s.Scenario.vmm;
     fault_stats =
       (match s.Scenario.injector with
@@ -129,37 +132,27 @@ let install_round_tracking (s : Scenario.t) ~on_all_done ~target =
     s.Scenario.vms;
   round_times
 
-let marks_baseline (s : Scenario.t) =
-  let tbl = Hashtbl.create (List.length s.Scenario.vms) in
-  List.iter
-    (fun (inst : Scenario.vm_instance) ->
-      match inst.Scenario.kernel with
-      | None -> ()
-      | Some k ->
-        Hashtbl.replace tbl inst.Scenario.spec.Scenario.vm_name
-          (Sim_guest.Kernel.total_marks k))
-    s.Scenario.vms;
-  tbl
+let baseline (s : Scenario.t) =
+  Metrics.snapshot (Sim_vmm.Vmm.metrics s.Scenario.vmm)
 
-let counter_baselines (s : Scenario.t) =
-  ( Engine.events_fired s.Scenario.engine,
-    Sim_hw.Machine.ipis_sent s.Scenario.machine,
-    Sim_vmm.Vmm.ctx_switches s.Scenario.vmm,
-    Sim_vmm.Vmm.invariant_violation_count s.Scenario.vmm )
+(* Charge the run's phases to the configured self-profiler, when one
+   is installed; a no-op wrapper otherwise. *)
+let timed (s : Scenario.t) label f =
+  match s.Scenario.config.Config.obs.Config.profile with
+  | None -> f ()
+  | Some p -> Sim_obs.Prof.time p label f
 
 let run_rounds (s : Scenario.t) ~rounds ~max_sec =
   if rounds <= 0 then invalid_arg "Runner.run_rounds: rounds must be positive";
   let started = Engine.now s.Scenario.engine in
-  let events_base, ipis_base, ctx_base, viol_base = counter_baselines s in
-  let marks_base = marks_baseline s in
+  let base = baseline s in
   let round_times =
     install_round_tracking s ~target:rounds ~on_all_done:(fun () ->
         Engine.halt s.Scenario.engine)
   in
   let limit = started + Units.cycles_of_sec_f (freq s) max_sec in
-  Engine.run ~until:limit s.Scenario.engine;
-  collect s ~round_times ~started ~marks_base ~events_base ~ipis_base ~ctx_base
-    ~viol_base
+  timed s "engine.run" (fun () -> Engine.run ~until:limit s.Scenario.engine);
+  timed s "collect" (fun () -> collect s ~round_times ~started ~base)
 
 let reset_measurements (s : Scenario.t) =
   Sim_vmm.Vmm.reset_accounting s.Scenario.vmm;
@@ -176,15 +169,13 @@ let run_window (s : Scenario.t) ~sec =
   if sec <= 0. then invalid_arg "Runner.run_window: sec must be positive";
   reset_measurements s;
   let started = Engine.now s.Scenario.engine in
-  let events_base, ipis_base, ctx_base, viol_base = counter_baselines s in
-  let marks_base = marks_baseline s in
+  let base = baseline s in
   let round_times =
     install_round_tracking s ~target:max_int ~on_all_done:(fun () -> ())
   in
   let limit = started + Units.cycles_of_sec_f (freq s) sec in
-  Engine.run ~until:limit s.Scenario.engine;
-  collect s ~round_times ~started ~marks_base ~events_base ~ipis_base ~ctx_base
-    ~viol_base
+  timed s "engine.run" (fun () -> Engine.run ~until:limit s.Scenario.engine);
+  timed s "collect" (fun () -> collect s ~round_times ~started ~base)
 
 let vm_metrics m ~vm =
   match Hashtbl.find_opt m.by_name vm with

@@ -6,7 +6,13 @@
       "VM round k" completes when the slowest thread finishes pass k).
     - {!run_window}: advance for a fixed simulated wall window
       (throughput and spinlock-trace experiments — the paper's
-      30-second observation). *)
+      30-second observation).
+
+    Counters are read through the scenario's {!Sim_obs.Metrics}
+    registry: the baseline is one snapshot taken at measurement
+    start and windowed values are a snapshot diff (no per-counter
+    side tables). When [config.obs.profile] installs a profiler,
+    the [engine.run] and [collect] phases are charged to it. *)
 
 type vm_metrics = {
   vm_name : string;
@@ -19,6 +25,11 @@ type vm_metrics = {
   adjusting_events : int;
   vcrd_transitions : int;
   total_spin_sec : float;
+  watchdog_demotions : int;
+      (** gang-watchdog demotions of this VM during the measurement *)
+  invariant_violations : int;
+      (** runtime invariant violations attributed to this VM during
+          the measurement *)
 }
 
 type metrics = {

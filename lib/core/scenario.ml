@@ -33,6 +33,13 @@ let build config ~sched ~vms =
       if spec.vcpus <= 0 then invalid_arg "Scenario.build: non-positive vcpus")
     vms;
   let engine = Sim_engine.Engine.create ~seed:config.Config.seed () in
+  (* Arm tracing before the machine exists so boot-time events (tick
+     programming, first switches) land in the ring too. *)
+  if config.Config.obs.Config.trace_mask <> 0 then
+    Sim_obs.Trace.enable
+      ~cap:config.Config.obs.Config.trace_cap
+      (Sim_engine.Engine.trace engine)
+      ~mask:config.Config.obs.Config.trace_mask;
   let machine =
     Sim_hw.Machine.create ~stagger:config.Config.stagger engine
       config.Config.cpu config.Config.topology
@@ -62,6 +69,42 @@ let build config ~sched ~vms =
       ~vcpus:(Config.pcpus config) ()
   in
   let guest_params = Config.guest_params config in
+  let registry = Sim_vmm.Vmm.metrics vmm in
+  (* A clean run still reports the faults subsystem (as zeros) so a
+     snapshot always distinguishes "no faults occurred" from "faults
+     were not measured"; the injector re-registers these over live
+     tallies when a profile is active. *)
+  if injector = None then
+    List.iter
+      (fun n -> Sim_obs.Metrics.gauge registry ~subsystem:"faults" ~name:n (fun () -> 0))
+      [
+        "vcrd_reports_dropped"; "vcrd_reports_corrupted"; "pcpu_stalls";
+        "pcpu_offlines";
+      ];
+  (* Per-VM guest/domain gauges: closures over the live kernel and
+     monitor state, evaluated only at snapshot time. *)
+  let register_vm_gauges ~name ~domain ~kernel =
+    Sim_obs.Metrics.gauge registry ~subsystem:"vmm" ~vm:name
+      ~name:"vcrd_transitions" (fun () ->
+        domain.Sim_vmm.Domain.vcrd_transitions);
+    match kernel with
+    | None -> ()
+    | Some k ->
+      let m = Sim_guest.Kernel.monitor k in
+      Sim_obs.Metrics.gauge registry ~subsystem:"guest" ~vm:name ~name:"marks"
+        (fun () -> Sim_guest.Kernel.total_marks k);
+      Sim_obs.Metrics.gauge registry ~subsystem:"guest" ~vm:name
+        ~name:"total_spin_cycles" (fun () ->
+          Sim_guest.Kernel.total_spin_cycles k);
+      Sim_obs.Metrics.gauge registry ~subsystem:"guest" ~vm:name
+        ~name:"over_threshold" (fun () ->
+          Sim_guest.Monitor.over_threshold_count m);
+      Sim_obs.Metrics.gauge registry ~subsystem:"guest" ~vm:name
+        ~name:"adjusting_events" (fun () ->
+          Sim_guest.Monitor.adjusting_events m);
+      Sim_obs.Metrics.gauge registry ~subsystem:"guest" ~vm:name
+        ~name:"trace_dropped" (fun () -> Sim_guest.Monitor.trace_dropped m)
+  in
   let instances =
     List.map
       (fun spec ->
@@ -75,15 +118,36 @@ let build config ~sched ~vms =
             ~weight:spec.weight ~vcpus:spec.vcpus ()
         in
         match spec.workload with
-        | None -> { spec; domain; kernel = None; threads = [] }
+        | None ->
+          register_vm_gauges ~name:spec.vm_name ~domain ~kernel:None;
+          { spec; domain; kernel = None; threads = [] }
         | Some workload ->
           let kernel =
             Sim_guest.Kernel.create ~params:guest_params vmm domain ()
           in
           let threads = Sim_workloads.Workload.install workload kernel in
+          register_vm_gauges ~name:spec.vm_name ~domain ~kernel:(Some kernel);
           { spec; domain; kernel = Some kernel; threads })
       vms
   in
+  if Config.obs_wanted config then
+    Obs_hub.register
+      {
+        Obs_hub.label =
+          Printf.sprintf "%s/%s/seed%Ld" (Config.sched_name sched)
+            (String.concat "+" (List.map (fun s -> s.vm_name) vms))
+            config.Config.seed;
+        freq_khz = Sim_engine.Units.freq_to_khz (Config.freq config);
+        pcpus = Config.pcpus config;
+        vm_names =
+          (dom0.Sim_vmm.Domain.id, "Domain-0")
+          :: List.map
+               (fun (i : vm_instance) ->
+                 (i.domain.Sim_vmm.Domain.id, i.spec.vm_name))
+               instances;
+        trace = Sim_engine.Engine.trace engine;
+        metrics = Sim_vmm.Vmm.metrics vmm;
+      };
   Sim_vmm.Vmm.start vmm;
   List.iter
     (fun inst ->

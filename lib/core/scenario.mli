@@ -44,7 +44,13 @@ val build : Config.t -> sched:Config.sched_kind -> vms:vm_spec list -> t
 (** Raises [Invalid_argument] on an empty or ill-formed VM list.
     VMs whose workload is {!Sim_workloads.Workload.Concurrent} are
     marked [concurrent_type] (the static CON classification an
-    administrator would apply). *)
+    administrator would apply).
+
+    Observability: per-VM guest gauges always join the VMM's metrics
+    registry (snapshot-time closures, no run-time cost); when
+    [config.obs] asks for tracing the engine trace is armed before
+    the machine boots, and when {!Config.obs_wanted} the scenario
+    registers its trace + registry in {!Obs_hub} for export. *)
 
 val expected_online_rate : t -> vm_instance -> float
 (** Equation (2) for the instance's domain. *)

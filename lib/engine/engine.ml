@@ -8,6 +8,7 @@ type t = {
   mutable stop : bool;
   mutable fired_count : int;
   root_rng : Rng.t;
+  trace : Sim_obs.Trace.t;
 }
 
 and handle = {
@@ -27,9 +28,12 @@ let create ?(seed = 1L) () =
     stop = false;
     fired_count = 0;
     root_rng = Rng.create seed;
+    trace = Sim_obs.Trace.create ();
   }
 
 let now t = t.clock
+
+let trace t = t.trace
 
 let rng t = t.root_rng
 

@@ -20,6 +20,11 @@ val now : t -> int
 val rng : t -> Rng.t
 (** The engine's root RNG. Subsystems should {!Rng.split} it. *)
 
+val trace : t -> Sim_obs.Trace.t
+(** The engine's event-trace sink. Created disabled (category mask 0,
+    zero-capacity ring) so instrumented subsystems pay one branch per
+    potential event; arm it with {!Sim_obs.Trace.enable}. *)
+
 val schedule_at : t -> time:int -> (unit -> unit) -> handle
 (** [schedule_at t ~time f] fires [f] when the clock reaches [time].
     Raises [Invalid_argument] if [time] is in the past. *)

@@ -1,5 +1,6 @@
 open Sim_engine
 open Sim_hw
+module Trace = Sim_obs.Trace
 
 type t = {
   machine : Machine.t;
@@ -44,6 +45,24 @@ let install ~profile ~seed machine vmm =
       pcpu_offlines = 0;
     }
   in
+  let trace = Engine.trace (Machine.engine machine) in
+  let emit_fault ~kind ~pcpu ~info =
+    if Trace.on trace Trace.Fault then
+      Trace.emit trace
+        ~now:(Engine.now (Machine.engine machine))
+        (Trace.Fault_injected { kind; pcpu; info })
+  in
+  (* The injector's own tallies join the simulation registry so one
+     snapshot covers the faults subsystem alongside engine/VMM/guest. *)
+  let m = Sim_vmm.Vmm.metrics vmm in
+  Sim_obs.Metrics.gauge m ~subsystem:"faults" ~name:"vcrd_reports_dropped"
+    (fun () -> t.vcrd_reports_dropped);
+  Sim_obs.Metrics.gauge m ~subsystem:"faults" ~name:"vcrd_reports_corrupted"
+    (fun () -> t.vcrd_reports_corrupted);
+  Sim_obs.Metrics.gauge m ~subsystem:"faults" ~name:"pcpu_stalls" (fun () ->
+      t.pcpu_stalls);
+  Sim_obs.Metrics.gauge m ~subsystem:"faults" ~name:"pcpu_offlines" (fun () ->
+      t.pcpu_offlines);
   let cpu = Machine.cpu_model machine in
   let freq = cpu.Cpu_model.freq in
   let cycles_of_ms_f ms = Units.cycles_of_sec_f freq (ms /. 1000.) in
@@ -93,15 +112,19 @@ let install ~profile ~seed machine vmm =
     Machine.set_tick_jitter machine (fun ~pcpu:_ ->
         Rng.int jitter_rng (!jitter_max + 1));
   if !vcrd_loss_prob > 0. || !vcrd_corrupt_prob > 0. then
-    Sim_vmm.Vmm.set_vcrd_filter vmm (fun _dom vcrd ->
+    Sim_vmm.Vmm.set_vcrd_filter vmm (fun dom vcrd ->
         let u = Rng.uniform vcrd_rng in
         let v = Rng.uniform vcrd_rng in
         if !vcrd_loss_prob > 0. && u < !vcrd_loss_prob then begin
           t.vcrd_reports_dropped <- t.vcrd_reports_dropped + 1;
+          emit_fault ~kind:Trace.fault_vcrd_dropped ~pcpu:(-1)
+            ~info:dom.Sim_vmm.Domain.id;
           None
         end
         else if !vcrd_corrupt_prob > 0. && v < !vcrd_corrupt_prob then begin
           t.vcrd_reports_corrupted <- t.vcrd_reports_corrupted + 1;
+          emit_fault ~kind:Trace.fault_vcrd_corrupted ~pcpu:(-1)
+            ~info:dom.Sim_vmm.Domain.id;
           Some (flip vcrd)
         end
         else Some vcrd);
@@ -118,9 +141,12 @@ let install ~profile ~seed machine vmm =
             then false
             else begin
               Machine.set_pcpu_stalled machine ~pcpu true;
+              emit_fault ~kind:Trace.fault_pcpu_stall ~pcpu ~info:1;
               true
             end)
-          ~restore:(fun ~pcpu -> Machine.set_pcpu_stalled machine ~pcpu false)
+          ~restore:(fun ~pcpu ->
+            Machine.set_pcpu_stalled machine ~pcpu false;
+            emit_fault ~kind:Trace.fault_pcpu_stall ~pcpu ~info:0)
       | Fault.Pcpu_offline { period_sec; for_sec } ->
         recurring_window t
           ~period:(Units.cycles_of_sec_f freq period_sec)
@@ -134,9 +160,12 @@ let install ~profile ~seed machine vmm =
             then false
             else begin
               Machine.set_pcpu_online machine ~pcpu false;
+              emit_fault ~kind:Trace.fault_pcpu_offline ~pcpu ~info:0;
               true
             end)
-          ~restore:(fun ~pcpu -> Machine.set_pcpu_online machine ~pcpu true)
+          ~restore:(fun ~pcpu ->
+            Machine.set_pcpu_online machine ~pcpu true;
+            emit_fault ~kind:Trace.fault_pcpu_restore ~pcpu ~info:0)
       | Fault.Ipi_loss _ | Fault.Ipi_delay _ | Fault.Timer_jitter _
       | Fault.Vcrd_loss _ | Fault.Vcrd_corrupt _ -> ())
     profile.Fault.specs;

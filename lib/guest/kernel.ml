@@ -107,6 +107,12 @@ let barrier_stats t =
 
 let vctx_of t (thread : Thread.t) = t.vcpus.(thread.Thread.affinity)
 
+(* System-wide VCPU id of the thread's (fixed-affinity) VCPU — the
+   identity scheduling trace events use, so spin waits recorded with
+   it can be joined against the VMM timeline. *)
+let vcpu_id_of t (thread : Thread.t) =
+  (vctx_of t thread).vcpu.Sim_vmm.Vcpu.id
+
 (* A thread "occupies" its VCPU when it is the active guest thread and
    the VCPU is online: only then does it actually execute (or spin). *)
 let occupying t thread =
@@ -216,7 +222,10 @@ and do_resume t vc (thread : Thread.t) =
     let barrier = get_barrier t barrier_id in
     let wait = now t - thread.Thread.spin_request in
     thread.Thread.total_spin_cycles <- thread.Thread.total_spin_cycles + wait;
-    Monitor.record_spin_wait t.monitor ~lock_id:(flag_id barrier) ~wait;
+    (* Barrier flag spins have no lock holder: the classifier falls
+       back to a sibling-descheduled heuristic for these. *)
+    Monitor.record_spin_wait t.monitor ~vcpu:(vcpu_id_of t thread)
+      ~lock_id:(flag_id barrier) ~wait;
     thread.Thread.resume <- Thread.R_fetch;
     fetch t vc thread
 
@@ -271,6 +280,14 @@ and acquire_lock t vc (thread : Thread.t) lock ~cs ~next =
     start_work t vc thread ~cycles:cs ~next
   end
   else begin
+    (* Capture who holds the lock as the wait begins: with fixed
+       thread affinity this VCPU is the holder for the whole wait, so
+       the monitor can attribute an over-threshold wait to holder
+       preemption (or not) when it ends. *)
+    thread.Thread.spin_holder <-
+      (match Spinlock.owner lock with
+      | Some o -> vcpu_id_of t o
+      | None -> -1);
     Spinlock.enqueue_waiter lock thread ~now:(now t);
     thread.Thread.status <- Thread.Spinning (Spinlock.id lock);
     thread.Thread.spin_request <- now t;
@@ -319,7 +336,9 @@ and grant t lock (waiter : Thread.t) =
     waiter.Thread.total_spin_cycles <- waiter.Thread.total_spin_cycles + wait;
     waiter.Thread.locks_held <- waiter.Thread.locks_held + 1;
     waiter.Thread.status <- Thread.Runnable;
-    Monitor.record_spin_wait t.monitor ~lock_id:(Spinlock.id lock) ~wait;
+    Monitor.record_spin_wait t.monitor ~vcpu:(vcpu_id_of t waiter)
+      ~holder:waiter.Thread.spin_holder ~lock_id:(Spinlock.id lock) ~wait;
+    waiter.Thread.spin_holder <- -1;
     continue_thread t (vctx_of t waiter) waiter
   end
   else begin

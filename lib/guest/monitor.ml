@@ -4,6 +4,7 @@ type params = {
   delta_exp : int;
   trace_exp : int;
   report_vcrd : bool;
+  trace_cap : int;
   estimator : Sim_learn.Estimator.params;
 }
 
@@ -12,15 +13,14 @@ let default_params ~slot_cycles =
     delta_exp = 20;
     trace_exp = 10;
     report_vcrd = true;
+    (* Bounds the spinlock trace (ring, oldest overwritten): generous
+       for any figure window; prevents unbounded growth on very long
+       simulations. *)
+    trace_cap = 1_000_000;
     estimator = Sim_learn.Estimator.default_params ~slot_cycles;
   }
 
 type trace_entry = { time : int; wait : int; lock_id : int }
-
-(* Keep the trace bounded: beyond this many entries the oldest half is
-   dropped. Generous for any figure window; prevents unbounded growth
-   on very long simulations. *)
-let trace_cap = 1_000_000
 
 type t = {
   params : params;
@@ -30,9 +30,7 @@ type t = {
   estimator : Sim_learn.Estimator.t;
   mutable spin_hist : Sim_stats.Histogram.t;
   mutable sem_hist : Sim_stats.Histogram.t;
-  mutable trace_rev : trace_entry list;
-  mutable trace_len : int;
-  mutable trace_dropped : int;
+  trace_ring : trace_entry Sim_obs.Ring.t;
   mutable over_threshold : int;
   mutable adjusting_events : int;
   mutable window_end : Engine.handle option;
@@ -49,9 +47,7 @@ let create params ~engine ~hypercall ~domain ~rng =
     estimator = Sim_learn.Estimator.create params.estimator rng;
     spin_hist = Sim_stats.Histogram.create ();
     sem_hist = Sim_stats.Histogram.create ();
-    trace_rev = [];
-    trace_len = 0;
-    trace_dropped = 0;
+    trace_ring = Sim_obs.Ring.create ~cap:params.trace_cap;
     over_threshold = 0;
     adjusting_events = 0;
     window_end = None;
@@ -113,20 +109,19 @@ let adjusting_event t =
   t.window_anchor <- domain_online t;
   arm_window t
 
-let record_spin_wait t ~lock_id ~wait =
+let record_spin_wait ?(vcpu = -1) ?(holder = -1) t ~lock_id ~wait =
   Sim_stats.Histogram.add t.spin_hist wait;
-  if wait >= Units.pow2 t.params.trace_exp then begin
-    t.trace_rev <- { time = Engine.now t.engine; wait; lock_id } :: t.trace_rev;
-    t.trace_len <- t.trace_len + 1;
-    if t.trace_len > trace_cap then begin
-      let keep = trace_cap / 2 in
-      t.trace_rev <- List.filteri (fun i _ -> i < keep) t.trace_rev;
-      t.trace_dropped <- t.trace_dropped + (t.trace_len - keep);
-      t.trace_len <- keep
-    end
-  end;
+  if wait >= Units.pow2 t.params.trace_exp then
+    Sim_obs.Ring.push t.trace_ring
+      { time = Engine.now t.engine; wait; lock_id };
   if wait > threshold_cycles t then begin
     t.over_threshold <- t.over_threshold + 1;
+    let tr = Engine.trace t.engine in
+    if Sim_obs.Trace.on tr Sim_obs.Trace.Spin then
+      Sim_obs.Trace.emit tr ~now:(Engine.now t.engine)
+        (Sim_obs.Trace.Spin_overthreshold
+           { domain = t.domain.Sim_vmm.Domain.id; vcpu; lock_id; wait;
+             holder });
     adjusting_event t
   end
 
@@ -136,7 +131,7 @@ let spin_histogram t = t.spin_hist
 
 let sem_histogram t = t.sem_hist
 
-let trace t = List.rev t.trace_rev
+let trace t = Sim_obs.Ring.to_list t.trace_ring
 
 let trace_in_window t ~from_ ~until =
   List.filter (fun e -> e.time >= from_ && e.time <= until) (trace t)
@@ -150,8 +145,9 @@ let estimator t = t.estimator
 let reset_window t =
   t.spin_hist <- Sim_stats.Histogram.create ();
   t.sem_hist <- Sim_stats.Histogram.create ();
-  t.trace_rev <- [];
-  t.trace_len <- 0;
+  (* Ring.clear keeps the lifetime drop count — the semantics
+     [trace_dropped] has always had across window resets. *)
+  Sim_obs.Ring.clear t.trace_ring;
   t.over_threshold <- 0
 
-let trace_dropped t = t.trace_dropped
+let trace_dropped t = Sim_obs.Ring.dropped t.trace_ring

@@ -18,11 +18,15 @@ type params = {
       (** issue hypercalls (off when the module only observes, e.g.
           under the plain Credit scheduler one can disable reporting —
           the scheduler would ignore it anyway) *)
+  trace_cap : int;
+      (** spinlock-trace ring capacity; oldest entries are overwritten
+          beyond it (see {!trace_dropped}) *)
   estimator : Sim_learn.Estimator.params;
 }
 
 val default_params : slot_cycles:int -> params
-(** δ = 20, trace threshold 2^10, reporting on. *)
+(** δ = 20, trace threshold 2^10, reporting on, trace capacity one
+    million entries. *)
 
 type trace_entry = { time : int; wait : int; lock_id : int }
 
@@ -41,10 +45,15 @@ val params : t -> params
 val threshold_cycles : t -> int
 (** [2^delta_exp]. *)
 
-val record_spin_wait : t -> lock_id:int -> wait:int -> unit
+val record_spin_wait :
+  ?vcpu:int -> ?holder:int -> t -> lock_id:int -> wait:int -> unit
 (** Called by the kernel at every spinlock acquisition with the
     measured wall-clock waiting time (0 for the uncontended fast
-    path). May trigger an adjusting event. *)
+    path). May trigger an adjusting event. [vcpu] is the waiter's
+    VCPU and [holder] the VCPU holding the lock when the wait began
+    (both -1 = unknown, e.g. barrier flag spins); over-threshold
+    waits are emitted as [Spin_overthreshold] trace events carrying
+    them, the join key for LHP classification. *)
 
 val record_sem_wait : t -> wait:int -> unit
 
@@ -52,9 +61,10 @@ val spin_histogram : t -> Sim_stats.Histogram.t
 val sem_histogram : t -> Sim_stats.Histogram.t
 
 val trace : t -> trace_entry list
-(** Chronological trace of waits above the trace threshold. Bounded:
-    beyond one million entries the oldest half is discarded (see
-    {!trace_dropped}). *)
+(** Chronological trace of waits above the trace threshold. Bounded
+    by a [trace_cap]-entry ring ({!Sim_obs.Ring}, the same type the
+    VMM event trace uses): beyond capacity the oldest entry is
+    overwritten (see {!trace_dropped}). *)
 
 val trace_in_window : t -> from_:int -> until:int -> trace_entry list
 
@@ -65,8 +75,10 @@ val adjusting_events : t -> int
 val estimator : t -> Sim_learn.Estimator.t
 
 val trace_dropped : t -> int
-(** Entries discarded by the bound (0 in any normal run). *)
+(** Entries discarded by the bound over the monitor's lifetime
+    (0 in any normal run); not reset by {!reset_window}. *)
 
 val reset_window : t -> unit
-(** Clear histograms and trace (not the learner): starts a fresh
-    measurement window, e.g. the paper's 30-second observation. *)
+(** Clear histograms and trace (not the learner, nor the
+    {!trace_dropped} tally): starts a fresh measurement window, e.g.
+    the paper's 30-second observation. *)

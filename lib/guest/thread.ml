@@ -28,6 +28,7 @@ type t = {
   mutable pending_compute : int;
   mutable compute_started : int;
   mutable spin_request : int;
+  mutable spin_holder : int;
   mutable locks_held : int;
   mutable rounds : int;
   mutable round_started : int;
@@ -48,6 +49,7 @@ let make ~id ~affinity ~restart ~rng program =
     pending_compute = 0;
     compute_started = 0;
     spin_request = 0;
+    spin_holder = -1;
     locks_held = 0;
     rounds = 0;
     round_started = 0;

@@ -41,6 +41,9 @@ type t = {
   mutable pending_compute : int;  (** cycles left before [resume] runs *)
   mutable compute_started : int;  (** engine time the open span began *)
   mutable spin_request : int;  (** timestamp of the outstanding lock request *)
+  mutable spin_holder : int;
+      (** VCPU id holding the awaited lock when the wait began; -1 =
+          none/unknown (LHP attribution for the spin trace) *)
   mutable locks_held : int;
   mutable rounds : int;  (** completed program rounds *)
   mutable round_started : int;

@@ -103,7 +103,15 @@ let start t =
       Engine.periodic t.engine ~start:t.phases.(pcpu) ~period:slot ?jitter
         (fun () ->
           if t.online.(pcpu) && not t.stalled.(pcpu) then slot_handler pcpu
-          else t.ticks_suppressed <- t.ticks_suppressed + 1)
+          else begin
+            t.ticks_suppressed <- t.ticks_suppressed + 1;
+            let tr = Engine.trace t.engine in
+            if Sim_obs.Trace.on tr Sim_obs.Trace.Fault then
+              Sim_obs.Trace.emit tr ~now:(Engine.now t.engine)
+                (Sim_obs.Trace.Fault_injected
+                   { kind = Sim_obs.Trace.fault_tick_suppressed; pcpu;
+                     info = 0 })
+          end)
     in
     ()
   done
@@ -161,11 +169,23 @@ let send_ipi t ~src ~dst callback =
       | None -> Deliver
       | Some f -> f ~src ~dst
   in
+  let tr = Engine.trace t.engine in
+  if Sim_obs.Trace.on tr Sim_obs.Trace.Ipi then
+    Sim_obs.Trace.emit tr ~now:(Engine.now t.engine)
+      (Sim_obs.Trace.Ipi_sent { src; dst; cross });
+  let emit_fault kind info =
+    if Sim_obs.Trace.on tr Sim_obs.Trace.Fault then
+      Sim_obs.Trace.emit tr ~now:(Engine.now t.engine)
+        (Sim_obs.Trace.Fault_injected { kind; pcpu = dst; info })
+  in
   match fate with
-  | Drop -> t.ipis_dropped <- t.ipis_dropped + 1
+  | Drop ->
+    t.ipis_dropped <- t.ipis_dropped + 1;
+    emit_fault Sim_obs.Trace.fault_ipi_dropped src
   | Deliver -> ignore (Engine.schedule_after t.engine ~delay:latency callback)
   | Delay extra ->
     t.ipis_delayed <- t.ipis_delayed + 1;
+    emit_fault Sim_obs.Trace.fault_ipi_delayed (max 0 extra);
     ignore
       (Engine.schedule_after t.engine ~delay:(latency + max 0 extra) callback)
 

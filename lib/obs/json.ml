@@ -1,0 +1,143 @@
+(* Minimal JSON syntax validator — enough for tests and the CI trace
+   smoke job to check that exported traces/metrics parse, without
+   pulling in a JSON library. Validates structure only; numbers are
+   accepted liberally (any [-+0-9.eE]+ run that float_of_string
+   accepts). *)
+
+type state = { s : string; mutable pos : int }
+
+exception Bad of int * string
+
+let error st msg = raise (Bad (st.pos, msg))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> error st (Printf.sprintf "expected %c, got %c" c c')
+  | None -> error st (Printf.sprintf "expected %c, got end of input" c)
+
+let literal st word =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.s
+    && String.sub st.s st.pos n = word
+  then st.pos <- st.pos + n
+  else error st (Printf.sprintf "expected %s" word)
+
+let string_lit st =
+  expect st '"';
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+        advance st;
+        go ()
+      | Some 'u' ->
+        advance st;
+        for _ = 1 to 4 do
+          match peek st with
+          | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance st
+          | _ -> error st "bad \\u escape"
+        done;
+        go ()
+      | _ -> error st "bad escape")
+    | Some c when Char.code c < 0x20 -> error st "control char in string"
+    | Some _ ->
+      advance st;
+      go ()
+  in
+  go ()
+
+let number st =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  if st.pos = start then error st "expected a value";
+  let tok = String.sub st.s start (st.pos - start) in
+  if float_of_string_opt tok = None then
+    error st (Printf.sprintf "bad number %S" tok)
+
+let rec value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' -> obj st
+  | Some '[' -> arr st
+  | Some '"' -> string_lit st
+  | Some 't' -> literal st "true"
+  | Some 'f' -> literal st "false"
+  | Some 'n' -> literal st "null"
+  | Some _ -> number st
+  | None -> error st "expected a value"
+
+and obj st =
+  expect st '{';
+  skip_ws st;
+  match peek st with
+  | Some '}' -> advance st
+  | _ ->
+    let rec members () =
+      skip_ws st;
+      string_lit st;
+      skip_ws st;
+      expect st ':';
+      value st;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        members ()
+      | Some '}' -> advance st
+      | _ -> error st "expected , or } in object"
+    in
+    members ()
+
+and arr st =
+  expect st '[';
+  skip_ws st;
+  match peek st with
+  | Some ']' -> advance st
+  | _ ->
+    let rec elements () =
+      value st;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        elements ()
+      | Some ']' -> advance st
+      | _ -> error st "expected , or ] in array"
+    in
+    elements ()
+
+let validate s =
+  let st = { s; pos = 0 } in
+  match
+    value st;
+    skip_ws st;
+    peek st
+  with
+  | None -> Ok ()
+  | Some c -> Error (Printf.sprintf "trailing %c at offset %d" c st.pos)
+  | exception Bad (pos, msg) ->
+    Error (Printf.sprintf "%s at offset %d" msg pos)

@@ -1,0 +1,7 @@
+(** Minimal JSON syntax validator — lets tests and the CI trace smoke
+    job check that exported traces and metrics snapshots parse,
+    without a JSON library dependency. *)
+
+val validate : string -> (unit, string) result
+(** [Ok ()] iff the whole string is one well-formed JSON value
+    (ignoring surrounding whitespace). *)

@@ -1,0 +1,39 @@
+(** Lock-holder-preemption diagnostics.
+
+    Joins [Spin_overthreshold] trace events against the scheduling
+    {!Timeline} and classifies each over-threshold wait as
+    [Preempted_holder] (the lock-holding VCPU was descheduled for a
+    meaningful share of the wait — the pathology coscheduling
+    removes) or [Contended] (the holder kept running). *)
+
+type classification = Preempted_holder | Contended
+
+type wait = {
+  at : int;  (** wait end timestamp, cycles *)
+  domain : int;
+  vcpu : int;
+  lock_id : int;
+  wait_cycles : int;
+  holder : int;  (** -1 = unknown (barrier flag spins) *)
+  descheduled : int;  (** holder cycles off-CPU during the wait span *)
+  cls : classification;
+}
+
+type report = {
+  total : int;
+  preempted : int;
+  contended : int;
+  preempted_share : float;  (** preempted / total, 0 if no waits *)
+  by_domain : (int * int * int) list;  (** domain, preempted, contended *)
+  waits : wait list;
+}
+
+val classify :
+  ?frac:float -> timeline:Timeline.t -> Trace.entry list -> report
+(** A wait of [w] cycles ending at [at] spans [[at-w, at]]; it is
+    [Preempted_holder] when the holder was descheduled for at least
+    [frac] (default 0.1) of the span. When the holder is unknown
+    (-1), the most-descheduled sibling VCPU of the same domain stands
+    in. *)
+
+val to_text : ?vm_names:(int * string) list -> report -> string

@@ -17,12 +17,19 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
      for a domain at any given instant. *)
   let last_launch : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let engine = Sim_hw.Machine.engine api.machine in
+  let trace = Sim_engine.Engine.trace engine in
+  let emit_gang ev =
+    if Sim_obs.Trace.on trace Sim_obs.Trace.Gang then
+      Sim_obs.Trace.emit trace ~now:(api.now ()) ev
+  in
 
   (* Self-healing: when a watchdog is armed, a domain whose
      coscheduling launches repeatedly stall (IPIs lost to faults) is
      demoted — [cosched] goes false and every gang mechanism below
      falls back to plain Credit behavior until probation expires. *)
-  let wd = Option.map Watchdog.create api.watchdog in
+  let wd =
+    Option.map (fun p -> Watchdog.create ~metrics:api.metrics p) api.watchdog
+  in
   let demoted (dom : Domain.t) =
     match wd with
     | None -> false
@@ -164,7 +171,10 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
                   (match (wd, st) with
                   | Some w, Some s when track && s.Watchdog.gen = gen ->
                     s.Watchdog.acks <- s.Watchdog.acks + 1;
-                    Watchdog.note_ack w
+                    Watchdog.note_ack w;
+                    emit_gang
+                      (Sim_obs.Trace.Gang_ack
+                         { domain = dom.Domain.id; pcpu = dst })
                   | _ -> ());
                   if Vcpu.is_ready sib && cosched dom then begin
                     sib.Vcpu.boosted <- true;
@@ -179,6 +189,10 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
             end
           end)
         dom.Domain.vcpus;
+      if !sent > 0 then
+        emit_gang
+          (Sim_obs.Trace.Gang_launch
+             { domain = dom.Domain.id; pcpu; ipis = !sent; retry });
       match (wd, st) with
       | Some w, Some s when track && !sent > 0 ->
         (* IPI latency is strictly positive, so no ack can land before
@@ -209,13 +223,20 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
            else begin
              Watchdog.note_timeout w;
              s.Watchdog.strikes <- s.Watchdog.strikes + 1;
+             emit_gang
+               (Sim_obs.Trace.Gang_timeout
+                  { domain = dom.Domain.id; strikes = s.Watchdog.strikes });
              if s.Watchdog.strikes >= p.Watchdog.fail_threshold then begin
                (* Demote: the gang falls back to plain Credit until
                   probation ends, then coscheduling is re-attempted. *)
                s.Watchdog.demoted_until <- api.now () + p.Watchdog.probation;
                s.Watchdog.strikes <- 0;
                s.Watchdog.check_pending <- false;
-               Watchdog.note_demotion w;
+               Watchdog.note_demotion w ~vm:dom.Domain.name;
+               emit_gang
+                 (Sim_obs.Trace.Gang_demote
+                    { domain = dom.Domain.id;
+                      until = s.Watchdog.demoted_until });
                Array.iter
                  (fun (v : Vcpu.t) -> v.Vcpu.boosted <- false)
                  dom.Domain.vcpus
@@ -225,6 +246,9 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
                let delay = s.Watchdog.backoff in
                s.Watchdog.backoff <- s.Watchdog.backoff * 2;
                Watchdog.note_retry w;
+               emit_gang
+                 (Sim_obs.Trace.Gang_retry
+                    { domain = dom.Domain.id; delay });
                ignore
                  (Sim_engine.Engine.schedule_after engine ~delay (fun () ->
                       if cosched dom then begin

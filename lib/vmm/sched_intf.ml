@@ -12,6 +12,7 @@ type api = {
   domain_online : Domain.t -> int;
   pcpu_online : int -> bool;
   watchdog : Watchdog.params option;
+  metrics : Sim_obs.Metrics.t;
 }
 
 type t = {

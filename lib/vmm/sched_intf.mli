@@ -35,6 +35,9 @@ type api = {
           and demotes stalling domains to plain Credit. [None] (the
           default) leaves behavior identical to a watchdog-free
           build. *)
+  metrics : Sim_obs.Metrics.t;
+      (** The simulation's metrics registry, for scheduler-owned
+          counters (e.g. the gang watchdog's tallies). *)
 }
 
 type t = {

@@ -1,5 +1,7 @@
 open Sim_engine
 open Sim_hw
+module Trace = Sim_obs.Trace
+module Metrics = Sim_obs.Metrics
 
 type invariant_mode = Off | Record | Raise
 
@@ -36,6 +38,9 @@ type t = {
   mutable violations_rev : string list;  (** bounded; newest first *)
   mutable violations_count : int;
   mutable last_credit_sum : int option;  (** at the previous period check *)
+  (* observability *)
+  metrics : Metrics.t;
+  viol_by_domain : (int, Metrics.counter) Hashtbl.t;
 }
 
 let engine t = t.engine
@@ -55,6 +60,8 @@ let find_domain t id =
 
 let now t = Engine.now t.engine
 
+let metrics t = t.metrics
+
 let slot_cycles t = Cpu_model.slot_cycles t.cpu_model
 
 (* Charge the VCPU for the span it has been online and accumulate its
@@ -72,7 +79,13 @@ let charge t (v : Vcpu.t) =
       ~run_cycles:ran_capped
   in
   v.Vcpu.credit <- max floor (v.Vcpu.credit - burned);
-  v.Vcpu.online_cycles <- v.Vcpu.online_cycles + ran
+  v.Vcpu.online_cycles <- v.Vcpu.online_cycles + ran;
+  let tr = Engine.trace t.engine in
+  if Trace.on tr Trace.Credit then
+    Trace.emit tr ~now:(now t)
+      (Trace.Credit_account
+         { vcpu = v.Vcpu.id; domain = v.Vcpu.domain_id;
+           credit = v.Vcpu.credit; burned })
 
 let begin_idle t pcpu = t.idle_since.(pcpu) <- now t
 
@@ -94,6 +107,9 @@ let preempt_current t pcpu =
     t.current.(pcpu) <- None;
     begin_idle t pcpu;
     Runqueue.insert t.runqueues.(pcpu) cur;
+    let tr = Engine.trace t.engine in
+    if Trace.on tr Trace.Sched then
+      Trace.emit tr ~now:(now t) (Trace.Sched_idle { pcpu });
     cur.Vcpu.hooks.Vcpu.on_preempted ()
 
 let run_on t ~pcpu (v : Vcpu.t) =
@@ -117,6 +133,11 @@ let run_on t ~pcpu (v : Vcpu.t) =
     v.Vcpu.dispatches <- v.Vcpu.dispatches + 1;
     t.current.(pcpu) <- Some v;
     t.ctx_switches <- t.ctx_switches + 1;
+    let tr = Engine.trace t.engine in
+    if Trace.on tr Trace.Sched then
+      Trace.emit tr ~now:(now t)
+        (Trace.Sched_switch
+           { pcpu; vcpu = v.Vcpu.id; domain = v.Vcpu.domain_id });
     v.Vcpu.hooks.Vcpu.on_scheduled ()
 
 let make_idle t ~pcpu = preempt_current t pcpu
@@ -140,6 +161,38 @@ let domain_online_cycles t dom =
 
 let domain_online_now = domain_online_cycles
 
+(* Register the standing gauges: closures over counters the
+   subsystems already keep, evaluated only at snapshot time so the
+   hot paths are untouched. One registry per Vmm (never global) keeps
+   parallel Pool jobs deterministic at any worker count. *)
+let register_gauges t =
+  let m = t.metrics in
+  Metrics.gauge m ~subsystem:"engine" ~name:"events_fired" (fun () ->
+      Engine.events_fired t.engine);
+  Metrics.gauge m ~subsystem:"engine" ~name:"pending_events" (fun () ->
+      Engine.pending_count t.engine);
+  Metrics.gauge m ~subsystem:"hw" ~name:"ipis_sent" (fun () ->
+      Machine.ipis_sent t.machine);
+  Metrics.gauge m ~subsystem:"hw" ~name:"ipis_cross_socket" (fun () ->
+      Machine.ipis_cross_socket t.machine);
+  Metrics.gauge m ~subsystem:"hw" ~name:"ipis_dropped" (fun () ->
+      Machine.ipis_dropped t.machine);
+  Metrics.gauge m ~subsystem:"hw" ~name:"ipis_delayed" (fun () ->
+      Machine.ipis_delayed t.machine);
+  Metrics.gauge m ~subsystem:"hw" ~name:"ticks_suppressed" (fun () ->
+      Machine.ticks_suppressed t.machine);
+  Metrics.gauge m ~subsystem:"vmm" ~name:"ctx_switches" (fun () ->
+      t.ctx_switches);
+  Metrics.gauge m ~subsystem:"vmm" ~name:"ple_exits" (fun () -> t.ple_count);
+  Metrics.gauge m ~subsystem:"vmm" ~name:"invariant_violations" (fun () ->
+      t.violations_count);
+  Array.iteri
+    (fun p rq ->
+      Metrics.gauge m ~subsystem:"vmm"
+        ~name:(Printf.sprintf "runqueue_depth_p%d" p)
+        (fun () -> Runqueue.length rq))
+    t.runqueues
+
 let api t : Sched_intf.api =
   {
     Sched_intf.machine = t.machine;
@@ -155,6 +208,7 @@ let api t : Sched_intf.api =
     domain_online = (fun dom -> domain_online_cycles t dom);
     pcpu_online = (fun pcpu -> Machine.pcpu_online t.machine pcpu);
     watchdog = t.watchdog;
+    metrics = t.metrics;
   }
 
 let create ?(work_conserving = true) ?(credit_unit = Credit.default_credit_unit)
@@ -187,8 +241,11 @@ let create ?(work_conserving = true) ?(credit_unit = Credit.default_credit_unit)
       violations_rev = [];
       violations_count = 0;
       last_credit_sum = None;
+      metrics = Metrics.create ();
+      viol_by_domain = Hashtbl.create 8;
     }
   in
+  register_gauges t;
   t.sched <- Some (sched (api t));
   t
 
@@ -300,11 +357,42 @@ let invariant_mode t = t.invariant_mode
 
 let set_vcrd_filter t f = t.vcrd_filter <- Some f
 
-let record_violation t msg =
+(* [domain = -1] means the violation has no single owning domain
+   (structural, conservation or runqueue checks). *)
+let record_violation ?(domain = -1) t msg =
   t.violations_count <- t.violations_count + 1;
   if t.violations_count <= max_recorded_violations then
     t.violations_rev <- msg :: t.violations_rev;
+  if domain >= 0 then begin
+    let c =
+      match Hashtbl.find_opt t.viol_by_domain domain with
+      | Some c -> c
+      | None ->
+        let vm =
+          match
+            List.find_opt (fun d -> d.Domain.id = domain) t.domains_rev
+          with
+          | Some d -> d.Domain.name
+          | None -> Printf.sprintf "dom%d" domain
+        in
+        let c =
+          Metrics.counter t.metrics ~subsystem:"vmm" ~vm
+            ~name:"invariant_violations" ()
+        in
+        Hashtbl.replace t.viol_by_domain domain c;
+        c
+    in
+    Metrics.incr c
+  end;
+  let tr = Engine.trace t.engine in
+  if Trace.on tr Trace.Invariant then
+    Trace.emit tr ~now:(now t) (Trace.Invariant_violation { domain });
   if t.invariant_mode = Raise then raise (Invariant_violation msg)
+
+let domain_violation_count t dom =
+  match Hashtbl.find_opt t.viol_by_domain dom.Domain.id with
+  | Some c -> Metrics.value c
+  | None -> 0
 
 let credit_sum t =
   List.fold_left
@@ -331,7 +419,7 @@ let run_invariant_checks t =
       Array.iter
         (fun (v : Vcpu.t) ->
           if v.Vcpu.credit < floor || v.Vcpu.credit > cap then
-            record_violation t
+            record_violation ~domain:dom.Domain.id t
               (Printf.sprintf "[%d] credit bound: vcpu %d has %d not in [%d, %d]"
                  at v.Vcpu.id v.Vcpu.credit floor cap))
         dom.Domain.vcpus)
@@ -396,6 +484,11 @@ let vcpu_block t (v : Vcpu.t) =
     v.Vcpu.boosted <- false;
     t.current.(pcpu) <- None;
     begin_idle t pcpu;
+    let tr = Engine.trace t.engine in
+    if Trace.on tr Trace.Sched then
+      Trace.emit tr ~now:(now t)
+        (Trace.Sched_block
+           { pcpu; vcpu = v.Vcpu.id; domain = v.Vcpu.domain_id });
     (sched t).Sched_intf.on_block v
   | Vcpu.Ready | Vcpu.Blocked ->
     invalid_arg "Vmm.vcpu_block: vcpu is not Running"
@@ -409,11 +502,21 @@ let do_vcrd_op t dom vcrd =
   match delivered with
   | None -> ()
   | Some vcrd ->
-    if Domain.set_vcrd dom ~now:(now t) vcrd then
+    if Domain.set_vcrd dom ~now:(now t) vcrd then begin
+      let tr = Engine.trace t.engine in
+      if Trace.on tr Trace.Vcrd then
+        Trace.emit tr ~now:(now t)
+          (Trace.Vcrd_change
+             { domain = dom.Domain.id; high = dom.Domain.vcrd = Domain.High });
       (sched t).Sched_intf.on_vcrd_change dom
+    end
 
 let pause_loop_exit t v =
   t.ple_count <- t.ple_count + 1;
+  let tr = Engine.trace t.engine in
+  if Trace.on tr Trace.Spin then
+    Trace.emit tr ~now:(now t)
+      (Trace.Ple_exit { vcpu = v.Vcpu.id; domain = v.Vcpu.domain_id });
   (sched t).Sched_intf.on_ple v
 
 let current_on t pcpu = t.current.(pcpu)

@@ -29,7 +29,17 @@ val create :
     gang scheduler's coscheduling watchdog — see {!Watchdog}. *)
 
 val engine : t -> Sim_engine.Engine.t
+
 val machine : t -> Sim_hw.Machine.t
+
+val metrics : t -> Sim_obs.Metrics.t
+(** The simulation's metrics registry. Created per-Vmm (never
+    global) with standing gauges over the engine ([events_fired],
+    [pending_events]), hardware (IPI and tick-suppression tallies)
+    and VMM ([ctx_switches], [ple_exits], [invariant_violations],
+    per-PCPU run-queue depths); subsystems downstream (guest
+    monitors, fault injector, watchdog) register theirs here too. *)
+
 val cpu_model : t -> Sim_hw.Cpu_model.t
 val pcpu_count : t -> int
 val sched_name : t -> string
@@ -117,6 +127,10 @@ val set_invariant_mode : t -> invariant_mode -> unit
 val invariant_mode : t -> invariant_mode
 
 val invariant_violation_count : t -> int
+
+val domain_violation_count : t -> Domain.t -> int
+(** Violations attributed to one domain (credit-bound checks); the
+    aggregate count also includes unattributed structural ones. *)
 
 val invariant_violations : t -> string list
 (** Recorded violation messages, oldest first (bounded to the first

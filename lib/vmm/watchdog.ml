@@ -30,25 +30,33 @@ type dom_state = {
   mutable demoted_until : int;  (** absolute cycle; -1 = never demoted *)
 }
 
+(* The tallies live in the simulation's Obs.Metrics registry under
+   subsystem "watchdog" (so one snapshot covers them), not in private
+   mutable fields; the accessors below are thin registry reads. *)
 type t = {
   params : params;
+  metrics : Sim_obs.Metrics.t;
   states : (int, dom_state) Hashtbl.t;  (** domain id -> state *)
-  mutable launches : int;
-  mutable acks_total : int;
-  mutable timeouts : int;
-  mutable retries : int;
-  mutable demotions : int;
+  launches : Sim_obs.Metrics.counter;
+  acks_total : Sim_obs.Metrics.counter;
+  timeouts : Sim_obs.Metrics.counter;
+  retries : Sim_obs.Metrics.counter;
+  demotions_c : Sim_obs.Metrics.counter;
+  per_vm_demotions : (string, Sim_obs.Metrics.counter) Hashtbl.t;
 }
 
-let create params =
+let create ~metrics params =
+  let c name = Sim_obs.Metrics.counter metrics ~subsystem:"watchdog" ~name () in
   {
     params;
+    metrics;
     states = Hashtbl.create 8;
-    launches = 0;
-    acks_total = 0;
-    timeouts = 0;
-    retries = 0;
-    demotions = 0;
+    launches = c "cosched_launches";
+    acks_total = c "ipi_acks";
+    timeouts = c "watchdog_timeouts";
+    retries = c "watchdog_retries";
+    demotions_c = c "watchdog_demotions";
+    per_vm_demotions = Hashtbl.create 8;
   }
 
 let params t = t.params
@@ -77,23 +85,41 @@ let is_demoted t ~now dom_id =
   | None -> false
   | Some s -> now < s.demoted_until
 
-let note_launch t = t.launches <- t.launches + 1
+let note_launch t = Sim_obs.Metrics.incr t.launches
 
-let note_ack t = t.acks_total <- t.acks_total + 1
+let note_ack t = Sim_obs.Metrics.incr t.acks_total
 
-let note_timeout t = t.timeouts <- t.timeouts + 1
+let note_timeout t = Sim_obs.Metrics.incr t.timeouts
 
-let note_retry t = t.retries <- t.retries + 1
+let note_retry t = Sim_obs.Metrics.incr t.retries
 
-let note_demotion t = t.demotions <- t.demotions + 1
+let note_demotion t ~vm =
+  Sim_obs.Metrics.incr t.demotions_c;
+  let per_vm =
+    match Hashtbl.find_opt t.per_vm_demotions vm with
+    | Some c -> c
+    | None ->
+      let c =
+        Sim_obs.Metrics.counter t.metrics ~subsystem:"watchdog" ~vm
+          ~name:"demotions" ()
+      in
+      Hashtbl.replace t.per_vm_demotions vm c;
+      c
+  in
+  Sim_obs.Metrics.incr per_vm
 
-let demotions t = t.demotions
+let demotions t = Sim_obs.Metrics.value t.demotions_c
+
+let demotions_of t ~vm =
+  match Hashtbl.find_opt t.per_vm_demotions vm with
+  | Some c -> Sim_obs.Metrics.value c
+  | None -> 0
 
 let counter_list t =
   [
-    ("cosched_launches", t.launches);
-    ("ipi_acks", t.acks_total);
-    ("watchdog_timeouts", t.timeouts);
-    ("watchdog_retries", t.retries);
-    ("watchdog_demotions", t.demotions);
+    ("cosched_launches", Sim_obs.Metrics.value t.launches);
+    ("ipi_acks", Sim_obs.Metrics.value t.acks_total);
+    ("watchdog_timeouts", Sim_obs.Metrics.value t.timeouts);
+    ("watchdog_retries", Sim_obs.Metrics.value t.retries);
+    ("watchdog_demotions", Sim_obs.Metrics.value t.demotions_c);
   ]

@@ -10,8 +10,9 @@
     after which coscheduling is re-attempted with a clean slate. A
     fault-free run acks every launch and accrues no strikes; sustained
     IPI loss of any rate eventually trips the threshold. This module only keeps the bookkeeping
-    (per-domain state + global counters); the policy lives in
-    {!Sched_gang}. *)
+    (per-domain state; the tallies live in the simulation's
+    {!Sim_obs.Metrics} registry under subsystem ["watchdog"]); the
+    policy lives in {!Sched_gang}. *)
 
 type params = {
   ack_timeout : int;  (** cycles to wait for all IPI acks of a launch *)
@@ -41,7 +42,10 @@ type dom_state = {
 
 type t
 
-val create : params -> t
+val create : metrics:Sim_obs.Metrics.t -> params -> t
+(** Registers the watchdog's counters in [metrics] (subsystem
+    ["watchdog"]: [cosched_launches], [ipi_acks],
+    [watchdog_timeouts], [watchdog_retries], [watchdog_demotions]). *)
 
 val params : t -> params
 
@@ -54,10 +58,17 @@ val note_launch : t -> unit
 val note_ack : t -> unit
 val note_timeout : t -> unit
 val note_retry : t -> unit
-val note_demotion : t -> unit
+
+val note_demotion : t -> vm:string -> unit
+(** Also bumps the per-VM [watchdog/demotions{vm=...}] counter so
+    health reports can attribute demotions to domains. *)
 
 val demotions : t -> int
+(** Thin read of the registry counter. *)
+
+val demotions_of : t -> vm:string -> int
 
 val counter_list : t -> (string * int) list
 (** Counters under stable names ([cosched_launches], [ipi_acks],
-    [watchdog_timeouts], [watchdog_retries], [watchdog_demotions]). *)
+    [watchdog_timeouts], [watchdog_retries], [watchdog_demotions]);
+    values read back from the registry. *)

@@ -22,4 +22,5 @@ let () =
       ("oov-ablations", Test_oov.suite);
       ("models", Test_models.suite);
       ("properties", Test_properties.suite);
+      ("obs", Test_obs.suite);
     ]
