@@ -7,7 +7,7 @@ SCALE ?= 0.05
 SEED ?= 5
 JOBS ?= 4
 
-.PHONY: all build test bench figures chaos trace clean
+.PHONY: all build test bench bench-compare figures chaos trace clean
 
 all: build
 
@@ -19,6 +19,16 @@ test: build
 
 bench: build
 	$(DUNE) exec bench/main.exe -- -j $(JOBS)
+
+# Differential perf check: a scaled-down figure subset with the heap
+# oracle vs the timing wheel, diffed by scripts/bench_diff (fails on
+# regressions past the threshold). The CI perf-smoke job runs this.
+bench-compare: build
+	BENCH_SCALE=$(SCALE) BENCH_COST_CACHE= $(DUNE) exec bench/main.exe -- \
+	  -j $(JOBS) --engine-queue=heap --json bench_heap.json fig1a fig7 fig9
+	BENCH_SCALE=$(SCALE) BENCH_COST_CACHE= $(DUNE) exec bench/main.exe -- \
+	  -j $(JOBS) --engine-queue=wheel --json bench_wheel.json fig1a fig7 fig9
+	scripts/bench_diff bench_heap.json bench_wheel.json --threshold 50
 
 figures: build
 	$(DUNE) exec bin/asman_cli.exe -- experiment all --scale $(SCALE) \

@@ -1,0 +1,322 @@
+(* Compare two BENCH_*.json timing dumps (see bench/main.ml) and flag
+   regressions.
+
+     diff.exe OLD.json NEW.json [--threshold PCT]
+
+   Prints a per-run wall-clock table (old, new, delta) and the same
+   for the event-queue micro throughputs when both files carry them.
+   Exits 1 if any run's wall time grew — or any micro throughput
+   shrank — by more than the threshold (default 25%), so CI can gate
+   on it. Runs present in only one file are reported but not gated:
+   the bench suite gains and loses entries across PRs. Runs whose old
+   wall time is below --min-wall (default 0.25 s) are shown but not
+   gated either — at that duration the delta is scheduler noise. *)
+
+(* ----- minimal JSON reader (no external dependency) ----- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape"
+           else
+             let e = s.[!pos] in
+             advance ();
+             match e with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'u' ->
+               if !pos + 4 > n then fail "short \\u escape";
+               (* Keep the escape verbatim; ids here are ASCII. *)
+               Buffer.add_string buf ("\\u" ^ String.sub s !pos 4);
+               pos := !pos + 4
+             | _ -> fail "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let as_num = function Some (Num f) -> Some f | _ -> None
+
+let as_str = function Some (Str s) -> Some s | _ -> None
+
+let as_arr = function Some (Arr l) -> l | _ -> []
+
+(* ----- BENCH file model ----- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* (id, wall_sec) per figure/ablation run. *)
+let runs_of json =
+  List.filter_map
+    (fun run ->
+      match (as_str (member "id" run), as_num (member "wall_sec" run)) with
+      | Some id, Some w -> Some (id, w)
+      | _ -> None)
+    (as_arr (member "runs" json))
+
+(* ("bench backend pendingN", ops_per_sec) per micro measurement. *)
+let micro_of json =
+  List.filter_map
+    (fun m ->
+      match
+        ( as_str (member "bench" m),
+          as_str (member "backend" m),
+          as_num (member "pending" m),
+          as_num (member "ops_per_sec" m) )
+      with
+      | Some b, Some k, Some p, Some r ->
+        Some (Printf.sprintf "%s %s %.0f" b k p, r)
+      | _ -> None)
+    (as_arr (member "micro" json))
+
+(* ----- comparison ----- *)
+
+let pct old fresh = (fresh -. old) /. old *. 100.
+
+(* [worse] says which direction is a regression: wall time up, or
+   throughput down. [gate] can exempt entries (e.g. runs too short to
+   time reliably). Returns the number of entries past the
+   threshold. *)
+let compare_section ~label ~unit ~worse ?(gate = fun _ -> true) ~threshold
+    old_entries new_entries =
+  let regressions = ref 0 in
+  let shown = ref false in
+  let header () =
+    if not !shown then begin
+      shown := true;
+      Printf.printf "%s (%s):\n  %-28s %12s %12s %9s\n" label unit "entry" "old"
+        "new" "delta"
+    end
+  in
+  List.iter
+    (fun (id, old_v) ->
+      match List.assoc_opt id new_entries with
+      | None ->
+        header ();
+        Printf.printf "  %-28s %12.3f %12s %9s\n" id old_v "-" "gone"
+      | Some new_v ->
+        let delta = pct old_v new_v in
+        let regressed = worse delta > threshold && gate old_v in
+        if regressed then incr regressions;
+        header ();
+        Printf.printf "  %-28s %12.3f %12.3f %+8.1f%%%s%s\n" id old_v new_v
+          delta
+          (if regressed then "  <-- REGRESSION" else "")
+          (if worse delta > threshold && not (gate old_v) then
+             "  (ungated: too short)"
+           else ""))
+    old_entries;
+  List.iter
+    (fun (id, new_v) ->
+      if not (List.mem_assoc id old_entries) then begin
+        header ();
+        Printf.printf "  %-28s %12s %12.3f %9s\n" id "-" new_v "new"
+      end)
+    new_entries;
+  if !shown then print_newline ();
+  !regressions
+
+let usage () =
+  prerr_endline
+    "usage: diff.exe OLD.json NEW.json [--threshold PCT] [--min-wall SEC]";
+  exit 2
+
+let () =
+  let threshold = ref 25. in
+  let min_wall = ref 0.25 in
+  let files = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t >= 0. ->
+        threshold := t;
+        go rest
+      | Some _ | None -> usage ())
+    | "--min-wall" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t >= 0. ->
+        min_wall := t;
+        go rest
+      | Some _ | None -> usage ())
+    | f :: rest ->
+      files := f :: !files;
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ old_path; new_path ] ->
+    let load p =
+      match parse (read_file p) with
+      | j -> j
+      | exception Parse_error msg ->
+        Printf.eprintf "%s: %s\n" p msg;
+        exit 2
+      | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
+    let old_json = load old_path and new_json = load new_path in
+    Printf.printf "bench diff: %s -> %s (threshold %.0f%%)\n\n" old_path
+      new_path !threshold;
+    let r1 =
+      compare_section ~label:"figure/ablation wall time" ~unit:"sec"
+        ~worse:(fun d -> d)
+        ~gate:(fun old_v -> old_v >= !min_wall)
+        ~threshold:!threshold (runs_of old_json) (runs_of new_json)
+    in
+    let r2 =
+      compare_section ~label:"event-queue micro throughput" ~unit:"events/sec"
+        ~worse:(fun d -> -.d) ~threshold:!threshold (micro_of old_json)
+        (micro_of new_json)
+    in
+    (match (as_num (member "total_wall_sec" old_json),
+            as_num (member "total_wall_sec" new_json))
+     with
+    | Some o, Some n when o > 0. ->
+      Printf.printf "total wall: %.3f s -> %.3f s (%+.1f%%)\n" o n (pct o n)
+    | _ -> ());
+    if r1 + r2 > 0 then begin
+      Printf.printf "\n%d regression(s) beyond %.0f%%\n" (r1 + r2) !threshold;
+      exit 1
+    end
+    else print_endline "no regressions beyond threshold"
+  | _ -> usage ()

@@ -8,14 +8,20 @@
      dune exec bench/main.exe -- micro     # only the micro-benchmarks
      dune exec bench/main.exe -- -j 4      # fan jobs over 4 domains
      dune exec bench/main.exe -- --json out.json   # dump timings
+     dune exec bench/main.exe -- --engine-queue=heap  # heap oracle
      BENCH_SCALE=0.5 dune exec bench/main.exe   # bigger workloads
      ASMAN_JOBS=4 dune exec bench/main.exe      # worker count via env
+     BENCH_COST_CACHE=f dune exec bench/main.exe  # cost cache file
 
    Figure/ablation data points fan out over Asman.Pool worker domains
    (-j N or ASMAN_JOBS; default: cores - 1; -j 1 = sequential). With
    --json [FILE] the per-figure and per-job wall-clock timings plus
    the worker count are dumped to FILE (default BENCH_<date>.json) so
-   the perf trajectory is tracked across PRs. *)
+   the perf trajectory is tracked across PRs; scripts/bench_diff
+   compares two dumps. --engine-queue selects the event-queue backend
+   (default wheel; results are byte-identical either way). Per-job
+   wall times persist in BENCH_COST_CACHE (default BENCH_cost_cache,
+   empty disables) so repeat runs schedule longest jobs first. *)
 
 open Asman
 
@@ -51,11 +57,16 @@ type timing_entry = {
 (* Reversed run order. *)
 let recorded : timing_entry list ref = ref []
 
+(* Tagging the run's jobs with its id feeds the persistent LPT cost
+   cache: the next regeneration of the same figure starts its longest
+   jobs first (see Pool's cost-aware ordering). *)
 let timed id f =
   Pool.reset_accounting ();
+  Pool.set_job_group (Some id);
   let t0 = Unix.gettimeofday () in
   let result = f () in
   let wall_sec = Unix.gettimeofday () -. t0 in
+  Pool.set_job_group None;
   let stats = Pool.accounting () in
   recorded := { entry_id = id; wall_sec; stats } :: !recorded;
   Sim_obs.Prof.add prof ("run." ^ id) wall_sec;
@@ -137,6 +148,9 @@ let date_string () =
 
 let default_json_file () = Printf.sprintf "BENCH_%s.json" (date_string ())
 
+(* Event-queue micro results (bench/micro.ml), when that suite ran. *)
+let micro_results : Micro.result list ref = ref []
+
 let write_json path =
   let entries = List.rev !recorded in
   let total_wall = List.fold_left (fun s e -> s +. e.wall_sec) 0. entries in
@@ -163,13 +177,19 @@ let write_json path =
      \  \"scale\": %g,\n\
      \  \"seed\": %Ld,\n\
      \  \"workers\": %d,\n\
+     \  \"queue\": \"%s\",\n\
      \  \"total_wall_sec\": %.6f,\n\
      \  \"runs\": [\n%s\n\
      \  ],\n\
+     \  \"micro\": [\n%s\n\
+     \  ],\n\
      \  \"profile\": [%s]\n\
      }\n"
-    (date_string ()) scale config.Config.seed (Pool.jobs ()) total_wall
+    (date_string ()) scale config.Config.seed (Pool.jobs ())
+    (Sim_engine.Equeue.kind_name (Sim_engine.Engine.default_queue ()))
+    total_wall
     (String.concat ",\n" (List.map entry_json entries))
+    (Micro.to_json_fragment !micro_results)
     (Sim_obs.Prof.to_json_fragment prof);
   close_out oc;
   Printf.printf "timings written to %s\n%!" path
@@ -177,6 +197,11 @@ let write_json path =
 (* ----- Bechamel micro-benchmarks ----- *)
 
 let microbenchmarks () =
+  (* Event-queue throughput first: plain wall-clock over fixed op
+     counts (bechamel's small quotas don't fit 10^7-pending setups). *)
+  let eq = Micro.run () in
+  micro_results := eq;
+  Micro.print eq;
   let open Bechamel in
   let freq = Config.freq config in
   (* One Test.make per core primitive of the simulator. *)
@@ -284,12 +309,17 @@ let microbenchmarks () =
 
 (* ----- argument parsing ----- *)
 
-type opts = { jobs : int option; json : string option; ids : string list }
+type opts = {
+  jobs : int option;
+  json : string option;
+  queue : Sim_engine.Engine.queue_kind option;
+  ids : string list;
+}
 
 let usage () =
   prerr_endline
-    "usage: main.exe [-j N] [--json [FILE]] [micro|ablations|chaos|<figure \
-     ids>]";
+    "usage: main.exe [-j N] [--json [FILE]] [--engine-queue=wheel|heap] \
+     [micro|ablations|chaos|<figure ids>]";
   exit 2
 
 let parse_args args =
@@ -307,13 +337,40 @@ let parse_args args =
     | "--json" :: f :: rest when Filename.check_suffix f ".json" ->
       go { acc with json = Some f } rest
     | "--json" :: rest -> go { acc with json = Some (default_json_file ()) } rest
+    | arg :: rest
+      when String.length arg > 15
+           && String.sub arg 0 15 = "--engine-queue=" -> (
+      let name = String.sub arg 15 (String.length arg - 15) in
+      match Sim_engine.Equeue.kind_of_name name with
+      | Some k -> go { acc with queue = Some k } rest
+      | None ->
+        prerr_endline "--engine-queue takes wheel or heap";
+        usage ())
+    | "--engine-queue" :: name :: rest -> (
+      match Sim_engine.Equeue.kind_of_name name with
+      | Some k -> go { acc with queue = Some k } rest
+      | None ->
+        prerr_endline "--engine-queue takes wheel or heap";
+        usage ())
     | id :: rest -> go { acc with ids = id :: acc.ids } rest
   in
-  go { jobs = None; json = None; ids = [] } args
+  go { jobs = None; json = None; queue = None; ids = [] } args
+
+(* Persistent LPT cost cache: per-job wall times from earlier bench
+   runs, used to start each figure's longest jobs first. *)
+let cost_cache_file =
+  match Sys.getenv_opt "BENCH_COST_CACHE" with
+  | Some "" -> None
+  | Some f -> Some f
+  | None -> Some "BENCH_cost_cache"
 
 let () =
   let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
   (match opts.jobs with Some j -> Pool.set_jobs j | None -> ());
+  (match opts.queue with
+  | Some k -> Sim_engine.Engine.set_default_queue k
+  | None -> ());
+  (match cost_cache_file with Some f -> Pool.load_cost_cache f | None -> ());
   (match opts.ids with
   | [] ->
     run_figures (Experiments.ids ());
@@ -330,4 +387,5 @@ let () =
         | None, Some a -> run_ablation a
         | None, None -> Printf.eprintf "unknown id %s\n" id)
       ids);
+  (match cost_cache_file with Some f -> Pool.save_cost_cache f | None -> ());
   match opts.json with Some path -> write_json path | None -> ()

@@ -1,0 +1,129 @@
+(* Event-queue micro-benchmark: wheel vs heap backend throughput at
+   large pending-set sizes.
+
+   Two steady-state workloads, each run against both backends with the
+   same RNG seed so the op streams are identical:
+
+   - "hold": classic timer-wheel hold pattern — pop the earliest
+     event, schedule a replacement a random delay ahead. Pending count
+     stays constant at N; measures the schedule+fire path.
+   - "churn": schedule two events, cancel the first, pop one —
+     the timer-reset pattern (timeslice/PLE/grace timers are armed and
+     cancelled far more often than they fire); measures the cancel
+     path.
+
+   Delays are drawn from a mix of near (level-0), mid (level-1/2) and
+   far wheel distances. Throughput is reported in events per second
+   (one schedule+pop or schedule+cancel round = one event). *)
+
+open Sim_engine
+
+type result = {
+  bench : string;
+  backend : string;
+  pending : int;
+  ops : int;
+  sec : float;
+  ops_per_sec : float;
+}
+
+let nothing () = ()
+
+let delay rng =
+  (* Delays span the wheel levels the way a steady-state pending set
+     of ~10^6 timers actually does: mostly mid-range (level 1-2), a
+     short-delay head and a far tail. All-short delays at this pending
+     count would mean tens of events per cycle, which no simulated
+     workload sustains. *)
+  match Rng.int_in rng ~lo:0 ~hi:19 with
+  | 0 | 1 | 2 | 3 -> 1 + Rng.int_in rng ~lo:0 ~hi:(1 lsl 18)
+  | 4 | 5 | 6 | 7 | 8 | 9 | 10 | 11 -> 1 + Rng.int_in rng ~lo:0 ~hi:(1 lsl 24)
+  | 12 | 13 | 14 | 15 | 16 -> 1 + Rng.int_in rng ~lo:0 ~hi:(1 lsl 28)
+  | _ -> 1 + Rng.int_in rng ~lo:0 ~hi:(1 lsl 33)
+
+let preload q rng ~pending =
+  let now = 0 in
+  for _ = 1 to pending do
+    ignore (Equeue.schedule q ~time:(now + delay rng) nothing)
+  done
+
+let run_bench bench kind ~pending ~ops =
+  let q = Equeue.create kind in
+  let rng = Rng.create 7L in
+  preload q rng ~pending;
+  let now = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  (match bench with
+  | "hold" ->
+    for _ = 1 to ops do
+      match Equeue.pop q with
+      | Equeue.Event (time, _) ->
+        now := time;
+        ignore (Equeue.schedule q ~time:(time + delay rng) nothing)
+      | Equeue.Beyond | Equeue.Empty -> ()
+    done
+  | "churn" ->
+    for _ = 1 to ops do
+      let h = Equeue.schedule q ~time:(!now + delay rng) nothing in
+      ignore (Equeue.schedule q ~time:(!now + delay rng) nothing);
+      ignore (Equeue.cancel q h);
+      match Equeue.pop q with
+      | Equeue.Event (time, _) -> now := time
+      | Equeue.Beyond | Equeue.Empty -> ()
+    done
+  | _ -> invalid_arg "Micro.run_bench");
+  let sec = Unix.gettimeofday () -. t0 in
+  {
+    bench;
+    backend = Equeue.kind_name kind;
+    pending;
+    ops;
+    sec;
+    ops_per_sec = (if sec > 0. then float_of_int ops /. sec else 0.);
+  }
+
+let pendings = [ 100_000; 1_000_000; 10_000_000 ]
+
+let ops_for pending = if pending >= 10_000_000 then 500_000 else 1_000_000
+
+let run () =
+  List.concat_map
+    (fun bench ->
+      List.concat_map
+        (fun pending ->
+          List.map
+            (fun kind -> run_bench bench kind ~pending ~ops:(ops_for pending))
+            [ Equeue.Wheel_queue; Equeue.Heap_queue ])
+        pendings)
+    [ "hold"; "churn" ]
+
+let print results =
+  print_endline
+    "engine event-queue throughput (steady state, events per second):";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-6s %-6s %8d pending  %10.0f ev/s\n" r.bench r.backend
+        r.pending r.ops_per_sec)
+    results;
+  (* Headline ratio: wheel over heap on the hold pattern at 10^6. *)
+  let rate bench backend =
+    List.find_opt
+      (fun r -> r.bench = bench && r.backend = backend && r.pending = 1_000_000)
+      results
+  in
+  (match (rate "hold" "wheel", rate "hold" "heap") with
+  | Some w, Some h when h.ops_per_sec > 0. ->
+    Printf.printf "  wheel/heap at 10^6 pending: %.2fx\n"
+      (w.ops_per_sec /. h.ops_per_sec)
+  | _ -> ());
+  print_newline ()
+
+let to_json_fragment results =
+  String.concat ",\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf
+           "    {\"bench\":\"%s\",\"backend\":\"%s\",\"pending\":%d,\
+            \"ops\":%d,\"sec\":%.6f,\"ops_per_sec\":%.1f}"
+           r.bench r.backend r.pending r.ops r.sec r.ops_per_sec)
+       results)

@@ -55,6 +55,29 @@ let jobs_arg =
     & opt int (Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~doc ~docv:"N")
 
+let queue_arg =
+  let doc =
+    "Event-queue backend: $(b,wheel) (hierarchical timing wheel, the \
+     default) or $(b,heap) (binary-heap oracle kept for differential \
+     testing). Both fire events in identical order, so results are \
+     byte-identical; only speed differs. Also settable via \
+     $(b,ASMAN_ENGINE_QUEUE)."
+  in
+  let parse s =
+    match Sim_engine.Equeue.kind_of_name s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown queue backend %S" s))
+  in
+  let print fmt k = Format.pp_print_string fmt (Sim_engine.Equeue.kind_name k) in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "engine-queue" ] ~doc ~docv:"BACKEND")
+
+let set_queue = function
+  | Some k -> Sim_engine.Engine.set_default_queue k
+  | None -> ()
+
 let chaos_arg =
   let doc =
     Printf.sprintf
@@ -214,13 +237,28 @@ let experiment_cmd =
     let doc = "Also print the measured series as CSV." in
     Arg.(value & flag & info [ "csv" ] ~doc)
   in
-  let run id csv scale seed jobs chaos invariants trace trace_cats metrics
-      profile =
+  let cost_cache_arg =
+    let doc =
+      "Persist per-job wall times to $(docv) and use them to order each \
+       figure's jobs longest-first on later runs (LPT; shortens the \
+       parallel straggler tail, never changes results)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "cost-cache" ] ~doc ~docv:"FILE")
+  in
+  let run id csv scale seed jobs queue cost_cache chaos invariants trace
+      trace_cats metrics profile =
     Pool.set_jobs jobs;
+    set_queue queue;
+    (match cost_cache with Some f -> Pool.load_cost_cache f | None -> ());
     let obs, export = obs_setup ~trace ~trace_cats ~metrics ~profile in
     let config = { (config_of ~scale ~seed ~chaos ~invariants) with Config.obs } in
     let run_one (e : Experiments.t) =
+      (match cost_cache with
+      | Some _ -> Pool.set_job_group (Some e.Experiments.id)
+      | None -> ());
       let outcome = e.Experiments.run config in
+      Pool.set_job_group None;
       print_string (Report.outcome e outcome);
       if csv then print_string (Report.series_csv outcome.Experiments.series);
       print_newline ()
@@ -233,6 +271,7 @@ let experiment_cmd =
         raise
           (Usage_error (Printf.sprintf "unknown experiment %S; try 'list'" id))
     end;
+    (match cost_cache with Some f -> Pool.save_cost_cache f | None -> ());
     export ();
     0
   in
@@ -240,8 +279,8 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper")
     Term.(
       const run $ id_arg $ csv_arg $ scale_arg $ seed_arg $ jobs_arg
-      $ chaos_arg $ invariants_arg $ trace_arg $ trace_cats_arg $ metrics_arg
-      $ profile_arg)
+      $ queue_arg $ cost_cache_arg $ chaos_arg $ invariants_arg $ trace_arg
+      $ trace_cats_arg $ metrics_arg $ profile_arg)
 
 (* ----- ablation ----- *)
 
@@ -250,8 +289,9 @@ let ablation_cmd =
     let doc = "Ablation id (see 'asman_cli ablations'), or 'all'." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id scale seed jobs =
+  let run id scale seed jobs queue =
     Pool.set_jobs jobs;
+    set_queue queue;
     let config =
       config_of ~scale ~seed ~chaos:Sim_faults.Fault.none
         ~invariants:Config.default.Config.invariants
@@ -283,7 +323,7 @@ let ablation_cmd =
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run an ablation study of a design choice")
-    Term.(const run $ id_arg $ scale_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ id_arg $ scale_arg $ seed_arg $ jobs_arg $ queue_arg)
 
 (* ----- run ----- *)
 
@@ -350,8 +390,9 @@ let run_cmd =
     let doc = "Simulated-time budget in seconds." in
     Arg.(value & opt float 120. & info [ "max-sec" ] ~doc)
   in
-  let run vms weight capped rounds max_sec sched scale seed chaos invariants
-      trace trace_cats metrics profile =
+  let run vms weight capped rounds max_sec sched scale seed queue chaos
+      invariants trace trace_cats metrics profile =
+    set_queue queue;
     let obs, export = obs_setup ~trace ~trace_cats ~metrics ~profile in
     let config = { (config_of ~scale ~seed ~chaos ~invariants) with Config.obs } in
     let config = Config.with_work_conserving config (not capped) in
@@ -416,8 +457,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an ad-hoc scenario")
     Term.(
       const run $ vms_arg $ weight_arg $ capped_arg $ rounds_arg $ max_sec_arg
-      $ sched_arg $ scale_arg $ seed_arg $ chaos_arg $ invariants_arg
-      $ trace_arg $ trace_cats_arg $ metrics_arg $ profile_arg)
+      $ sched_arg $ scale_arg $ seed_arg $ queue_arg $ chaos_arg
+      $ invariants_arg $ trace_arg $ trace_cats_arg $ metrics_arg
+      $ profile_arg)
 
 (* ----- trace ----- *)
 

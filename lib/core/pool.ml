@@ -80,6 +80,88 @@ let accounting () =
         busy_sec = List.fold_left (fun s t -> s +. t.wall_sec) 0. timings;
       })
 
+(* ----- cost-aware job ordering (LPT) -----
+
+   Per-job wall times are remembered across runs keyed by
+   ["group#index"], where the group is the enclosing figure/ablation
+   id ({!set_job_group}) and the index is the job's position in its
+   [map] input. [run_parallel] hands jobs out longest-expected-first
+   (classic LPT list scheduling), which shortens the tail where one
+   late-started long job leaves the other workers idle. Ordering only
+   affects which worker starts what first — results are slot-indexed
+   and simulations seeded per job — so outputs are unchanged.
+
+   Jobs with no recorded cost sort as +infinity (ties keep input
+   order): a first run executes in input order exactly like the
+   cache-less code. *)
+
+let cost_mutex = Mutex.create ()
+
+let cost_table : (string, float) Hashtbl.t = Hashtbl.create 64
+
+let current_group : string option ref = ref None
+
+let set_job_group g = Mutex.protect cost_mutex (fun () -> current_group := g)
+
+let job_key group i = group ^ "#" ^ string_of_int i
+
+let record_cost i wall_sec =
+  Mutex.protect cost_mutex (fun () ->
+      match !current_group with
+      | Some g -> Hashtbl.replace cost_table (job_key g i) wall_sec
+      | None -> ())
+
+(* Descending expected cost, unknown first, stable on input index. *)
+let lpt_order n =
+  let costs =
+    Mutex.protect cost_mutex (fun () ->
+        match !current_group with
+        | None -> None
+        | Some g ->
+          Some
+            (Array.init n (fun i ->
+                 match Hashtbl.find_opt cost_table (job_key g i) with
+                 | Some c -> c
+                 | None -> infinity)))
+  in
+  let order = Array.init n Fun.id in
+  (match costs with
+  | Some costs ->
+    Array.stable_sort (fun a b -> compare costs.(b) costs.(a)) order
+  | None -> ());
+  order
+
+let load_cost_cache path =
+  match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    Mutex.protect cost_mutex (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            match String.index_opt line ' ' with
+            | Some sp -> (
+              let key = String.sub line 0 sp in
+              let v =
+                String.sub line (sp + 1) (String.length line - sp - 1)
+              in
+              match float_of_string_opt v with
+              | Some c when c >= 0. -> Hashtbl.replace cost_table key c
+              | Some _ | None -> ())
+            | None -> ()
+          done
+        with End_of_file -> close_in ic)
+
+let save_cost_cache path =
+  let entries =
+    Mutex.protect cost_mutex (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) cost_table [])
+  in
+  let entries = List.sort compare entries in
+  let oc = open_out path in
+  List.iter (fun (k, v) -> Printf.fprintf oc "%s %.6f\n" k v) entries;
+  close_out oc
+
 (* ----- blocking FIFO of pending jobs ----- *)
 
 module Jobq = struct
@@ -149,11 +231,13 @@ let run_job ?timeout_sec ~on_error f results i x =
   in
   results.(i) <- Some r;
   record_timing i elapsed;
+  record_cost i elapsed;
   match r with Error _ -> on_error () | Ok _ -> ()
 
 let run_parallel ?timeout_sec ~workers f input results =
   let q = Jobq.create () in
-  Array.iteri (fun i x -> Jobq.push q (i, x)) input;
+  let order = lpt_order (Array.length input) in
+  Array.iter (fun i -> Jobq.push q (i, input.(i))) order;
   Jobq.close q;
   let worker () =
     let rec loop () =

@@ -67,3 +67,35 @@ type stats = {
 val reset_accounting : unit -> unit
 
 val accounting : unit -> stats
+
+(** {2 Cost-aware job ordering}
+
+    [map] normally hands jobs to workers in input order. When a job
+    group is set, previously recorded per-job wall times (keyed
+    ["group#index"]) order the queue longest-expected-first instead —
+    classic LPT list scheduling, which shortens the straggler tail of
+    a parallel figure regeneration. Jobs without a recorded cost sort
+    first (as +infinity) with input order preserved among them, so a
+    cache-less first run is identical to the unordered code. Ordering
+    never changes results: each result lands in its input-index slot
+    and each job seeds its own simulation.
+
+    The cache persists across processes via {!load_cost_cache} /
+    {!save_cost_cache} (the benchmark harness's [BENCH_cost_cache]
+    file). *)
+
+val set_job_group : string option -> unit
+(** [set_job_group (Some id)] tags subsequent jobs with [id] (the
+    figure/ablation being regenerated): their wall times are recorded
+    under ["id#index"] and used to LPT-order later runs of the same
+    group. [None] stops tagging; untagged jobs run in input order and
+    are not recorded. *)
+
+val load_cost_cache : string -> unit
+(** Merge a cost-cache file (lines of [key wall_sec]) into the
+    in-memory table. Missing or malformed files and lines are
+    ignored. *)
+
+val save_cost_cache : string -> unit
+(** Write the in-memory cost table to a file, one sorted
+    [key wall_sec] line per job. *)

@@ -1,35 +1,45 @@
+type queue_kind = Equeue.kind = Wheel_queue | Heap_queue
+
+(* Process-wide default backend: the timing wheel, unless overridden
+   by --engine-queue / ASMAN_ENGINE_QUEUE (the binary-heap oracle for
+   differential runs). Read once per Engine.create. *)
+let env_queue () =
+  match Sys.getenv_opt "ASMAN_ENGINE_QUEUE" with
+  | None -> None
+  | Some s -> Equeue.kind_of_name (String.trim s)
+
+let default_queue_ref : queue_kind option ref = ref None
+
+let set_default_queue k = default_queue_ref := Some k
+
+let default_queue () =
+  match !default_queue_ref with
+  | Some k -> k
+  | None -> ( match env_queue () with Some k -> k | None -> Wheel_queue)
+
 type t = {
   mutable clock : int;
-  mutable seq : int;
-  queue : handle Heap.t;
-  (* live = scheduled - fired - cancelled: maintained so that
-     [pending_count] is O(1) instead of a fold over the heap. *)
-  mutable live : int;
+  queue : Equeue.t;
   mutable stop : bool;
   mutable fired_count : int;
   root_rng : Rng.t;
   trace : Sim_obs.Trace.t;
 }
 
-and handle = {
-  time : int;
-  mutable cancelled : bool;
-  mutable fired : bool;
-  action : unit -> unit;
-  owner : t;
-}
+type handle = Equeue.handle
 
-let create ?(seed = 1L) () =
+let create ?(seed = 1L) ?queue () =
+  let kind = match queue with Some k -> k | None -> default_queue () in
   {
     clock = 0;
-    seq = 0;
-    queue = Heap.create ();
-    live = 0;
+    queue = Equeue.create kind;
     stop = false;
     fired_count = 0;
     root_rng = Rng.create seed;
     trace = Sim_obs.Trace.create ();
   }
+
+let queue_kind t = Equeue.kind t.queue
 
 let now t = t.clock
 
@@ -42,65 +52,52 @@ let schedule_at t ~time action =
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is before now %d" time
          t.clock);
-  let h = { time; cancelled = false; fired = false; action; owner = t } in
-  Heap.add t.queue ~key:time ~seq:t.seq h;
-  t.seq <- t.seq + 1;
-  t.live <- t.live + 1;
-  h
+  Equeue.schedule t.queue ~time action
 
 let schedule_after t ~delay action =
   if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t ~time:(t.clock + delay) action
 
-let cancel h =
-  if (not h.fired) && not h.cancelled then begin
-    h.cancelled <- true;
-    h.owner.live <- h.owner.live - 1
-  end
+let cancel t h = ignore (Equeue.cancel t.queue h)
 
-let is_pending h = (not h.fired) && not h.cancelled
+let is_pending t h = Equeue.is_pending t.queue h
 
-let fire_time h = h.time
+let fire_time t h = Equeue.fire_time t.queue h
 
-let rec drop_cancelled t =
-  match Heap.peek t.queue with
-  | Some (_, _, h) when h.cancelled ->
-    ignore (Heap.pop t.queue);
-    drop_cancelled t
-  | _ -> ()
-
-let pending_count t = t.live
+let pending_count t = Equeue.length t.queue
 
 let step t =
-  drop_cancelled t;
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, _, h) ->
+  match Equeue.pop t.queue with
+  | Equeue.Empty | Equeue.Beyond -> false
+  | Equeue.Event (time, action) ->
     t.clock <- time;
-    h.fired <- true;
-    t.live <- t.live - 1;
     t.fired_count <- t.fired_count + 1;
-    h.action ();
+    action ();
     true
 
 let halt t = t.stop <- true
 
 let halted t = t.stop
 
+(* One queue descent per fired event: [Equeue.pop ?limit] locates the
+   live minimum once and either extracts it or reports it beyond the
+   horizon, where the old loop peeked (dropping cancelled events) and
+   then popped (dropping them again). *)
 let run ?until t =
   t.stop <- false;
   let continue = ref true in
   while !continue && not t.stop do
-    drop_cancelled t;
-    match Heap.peek t.queue with
-    | None -> continue := false
-    | Some (time, _, _) -> begin
-      match until with
-      | Some limit when time > limit ->
-        t.clock <- max t.clock limit;
-        continue := false
-      | _ -> ignore (step t)
-    end
+    match Equeue.pop ?limit:until t.queue with
+    | Equeue.Event (time, action) ->
+      t.clock <- time;
+      t.fired_count <- t.fired_count + 1;
+      action ()
+    | Equeue.Beyond ->
+      (match until with
+      | Some limit -> t.clock <- max t.clock limit
+      | None -> ());
+      continue := false
+    | Equeue.Empty -> continue := false
   done;
   match until with
   | Some limit when (not t.stop) && t.clock < limit -> t.clock <- limit
@@ -112,7 +109,7 @@ let events_fired t = t.fired_count
    and the fault injector's recurring chaos windows. The action runs
    first and the next occurrence is scheduled after it returns, so a
    chain created with no jitter hook fires at exactly [start + k *
-   period] with the same heap insertion order as a hand-rolled
+   period] with the same queue insertion order as a hand-rolled
    recursive schedule. *)
 let periodic t ~start ~period ?jitter action =
   if period <= 0 then invalid_arg "Engine.periodic: period must be positive";
@@ -130,6 +127,6 @@ let periodic t ~start ~period ?jitter action =
     stopped := true;
     match !pending with
     | Some h ->
-      cancel h;
+      cancel t h;
       pending := None
     | None -> ()

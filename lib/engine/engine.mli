@@ -3,16 +3,40 @@
     The engine owns a virtual clock (integer CPU cycles) and an event
     queue. Events are thunks scheduled for a future instant; they fire
     in [(time, insertion-order)] order, so simulations are fully
-    deterministic. Events may be cancelled (lazy deletion). *)
+    deterministic.
+
+    The queue has two run-time selectable backends with identical
+    firing semantics: the hierarchical timing wheel (default; O(1)
+    schedule and eager cancellation) and the binary-heap oracle kept
+    for differential testing. Events live in a pooled slab and handles
+    are generation-stamped integers, so the schedule/fire/cancel hot
+    path allocates nothing. *)
 
 type t
 
-type handle
-(** A scheduled event. *)
+type handle = Equeue.handle
+(** A scheduled event: a packed (generation, slot) immediate integer.
+    Operations on a handle ({!cancel}, {!is_pending}, {!fire_time})
+    need the owning engine; stale handles — events that fired or were
+    cancelled, even if their pool slot has since been recycled — are
+    detected by the generation stamp. *)
 
-val create : ?seed:int64 -> unit -> t
+type queue_kind = Equeue.kind = Wheel_queue | Heap_queue
+
+val set_default_queue : queue_kind -> unit
+(** Set the backend used by {!create} when [?queue] is omitted (the
+    [--engine-queue] flag). *)
+
+val default_queue : unit -> queue_kind
+(** The last {!set_default_queue} value, else [ASMAN_ENGINE_QUEUE]
+    from the environment ([wheel]/[heap]), else [Wheel_queue]. *)
+
+val create : ?seed:int64 -> ?queue:queue_kind -> unit -> t
 (** [create ?seed ()] is an engine at time 0 with an empty queue and a
-    root RNG seeded from [seed] (default [1L]). *)
+    root RNG seeded from [seed] (default [1L]). [queue] picks the
+    event-queue backend (default {!default_queue}). *)
+
+val queue_kind : t -> queue_kind
 
 val now : t -> int
 (** Current virtual time in cycles. *)
@@ -34,20 +58,24 @@ val schedule_after : t -> delay:int -> (unit -> unit) -> handle
     [schedule_at t ~time:(now t + delay)]. A zero delay fires later in
     the current instant, after already-queued same-time events. *)
 
-val cancel : handle -> unit
-(** Cancelling a fired or already-cancelled event is a no-op. *)
+val cancel : t -> handle -> unit
+(** Cancelling a fired or already-cancelled event is a no-op. A
+    pending event in a wheel bucket is unlinked and its slot recycled
+    immediately (no tombstone); slot-heap residents are tombstoned
+    and dropped when they surface. *)
 
-val is_pending : handle -> bool
-(** [is_pending h] is [true] iff the event has neither fired nor been
-    cancelled. *)
+val is_pending : t -> handle -> bool
+(** [is_pending t h] is [true] iff the event has neither fired nor
+    been cancelled. *)
 
-val fire_time : handle -> int
-(** The virtual time the event was scheduled for. *)
+val fire_time : t -> handle -> int
+(** The virtual time a pending event is scheduled for. Raises
+    [Invalid_argument] on a stale (fired/cancelled) handle. *)
 
 val pending_count : t -> int
 (** Number of live (non-cancelled) events in the queue. O(1): reads
     a counter maintained on schedule/fire/cancel rather than folding
-    over the heap. *)
+    over the queue. *)
 
 val step : t -> bool
 (** [step t] fires the next event. [false] if the queue was empty. *)

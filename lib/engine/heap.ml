@@ -1,6 +1,10 @@
 type 'a entry = { key : int; seq : int; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+(* Slots at indices >= size are [None]: [pop] and [clear] null out
+   vacated slots so the heap never pins fired closures or values the
+   caller has dropped (the old array-of-entries backing kept them
+   reachable until overwritten by a later insertion). *)
+type 'a t = { mutable data : 'a entry option array; mutable size : int }
 
 let initial_capacity = 64
 
@@ -12,17 +16,18 @@ let is_empty h = h.size = 0
 
 let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
+let get h i =
+  match h.data.(i) with
+  | Some e -> e
+  | None -> assert false (* i < size by construction *)
+
 let grow h =
-  match h.size with
-  | 0 ->
-    (* Array creation is deferred until first insertion because we have
-       no dummy ['a] value to pre-fill with. *)
-    ()
-  | n when n = Array.length h.data ->
-    let bigger = Array.make (2 * n) h.data.(0) in
-    Array.blit h.data 0 bigger 0 n;
+  if h.size = Array.length h.data then begin
+    let cap = if h.size = 0 then initial_capacity else 2 * h.size in
+    let bigger = Array.make cap None in
+    Array.blit h.data 0 bigger 0 h.size;
     h.data <- bigger
-  | _ -> ()
+  end
 
 let swap h i j =
   let tmp = h.data.(i) in
@@ -32,7 +37,7 @@ let swap h i j =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less h.data.(i) h.data.(parent) then begin
+    if less (get h i) (get h parent) then begin
       swap h i parent;
       sift_up h parent
     end
@@ -42,9 +47,8 @@ let rec sift_down h i =
   let left = (2 * i) + 1 in
   let right = left + 1 in
   let smallest = ref i in
-  if left < h.size && less h.data.(left) h.data.(!smallest) then
-    smallest := left;
-  if right < h.size && less h.data.(right) h.data.(!smallest) then
+  if left < h.size && less (get h left) (get h !smallest) then smallest := left;
+  if right < h.size && less (get h right) (get h !smallest) then
     smallest := right;
   if !smallest <> i then begin
     swap h i !smallest;
@@ -52,36 +56,38 @@ let rec sift_down h i =
   end
 
 let add h ~key ~seq value =
-  let entry = { key; seq; value } in
-  if Array.length h.data = 0 then h.data <- Array.make initial_capacity entry
-  else grow h;
-  h.data.(h.size) <- entry;
+  grow h;
+  h.data.(h.size) <- Some { key; seq; value };
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
 let peek h =
   if h.size = 0 then None
   else
-    let e = h.data.(0) in
+    let e = get h 0 in
     Some (e.key, e.seq, e.value)
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
+    let top = get h 0 in
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- None;
       sift_down h 0
-    end;
+    end
+    else h.data.(0) <- None;
     Some (top.key, top.seq, top.value)
   end
 
-let clear h = h.size <- 0
+let clear h =
+  Array.fill h.data 0 h.size None;
+  h.size <- 0
 
 let fold h ~init ~f =
   let acc = ref init in
   for i = 0 to h.size - 1 do
-    acc := f !acc h.data.(i).value
+    acc := f !acc (get h i).value
   done;
   !acc

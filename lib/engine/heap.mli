@@ -24,7 +24,9 @@ val pop : 'a t -> (int * int * 'a) option
 (** [pop h] removes and returns the minimum element. *)
 
 val clear : 'a t -> unit
-(** [clear h] removes every element. *)
+(** [clear h] removes every element and nulls the backing slots, so
+    no dropped value stays reachable through the heap ([pop] likewise
+    nulls the slot it vacates). *)
 
 val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
 (** [fold h ~init ~f] folds over elements in unspecified order. *)

@@ -123,17 +123,17 @@ let occupying t thread =
   | Some active -> active == thread
   | None -> false
 
-let cancel_timer vc =
+let cancel_timer t vc =
   match vc.timer with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel t.engine h;
     vc.timer <- None
   | None -> ()
 
-let cancel_slice vc =
+let cancel_slice t vc =
   match vc.slice_timer with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel t.engine h;
     vc.slice_timer <- None
   | None -> ()
 
@@ -446,7 +446,7 @@ and wake_thread t (thread : Thread.t) =
 (* The active thread can no longer execute: pick another, or halt the
    VCPU if none can. *)
 and rotate_or_halt t vc =
-  cancel_timer vc;
+  cancel_timer t vc;
   Gsched.set_active vc.gsched None;
   match Gsched.pick vc.gsched with
   | Some next ->
@@ -455,8 +455,8 @@ and rotate_or_halt t vc =
   | None -> halt_vcpu t vc
 
 and halt_vcpu t vc =
-  cancel_timer vc;
-  cancel_slice vc;
+  cancel_timer t vc;
+  cancel_slice t vc;
   vc.online <- false;
   (* The VMM does not call on_preempted for guest-initiated blocks. *)
   Sim_vmm.Vmm.vcpu_block t.vmm vc.vcpu
@@ -488,7 +488,7 @@ and resume_active t vc =
 (* ----- timeslice rotation ----- *)
 
 let rec arm_slice t vc =
-  cancel_slice vc;
+  cancel_slice t vc;
   if Gsched.thread_count vc.gsched > 1 then begin
     let h =
       Engine.schedule_after t.engine ~delay:(Gsched.timeslice vc.gsched)
@@ -500,7 +500,7 @@ let rec arm_slice t vc =
               when Thread.is_preemptible_by_guest active
                    && Gsched.executable_count vc.gsched > 1 -> begin
               (* Save the active thread's progress and rotate. *)
-              cancel_timer vc;
+              cancel_timer t vc;
               if thread_mid_compute active then
                 active.Thread.pending_compute <-
                   max 0
@@ -539,10 +539,10 @@ let on_scheduled t vc () =
 
 let on_preempted t vc () =
   vc.online <- false;
-  cancel_slice vc;
+  cancel_slice t vc;
   (match vc.timer with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel t.engine h;
     vc.timer <- None;
     (match Gsched.active vc.gsched with
     | Some active when thread_mid_compute active ->

@@ -102,7 +102,7 @@ let adjusting_event t =
   let online_now = domain_online t / Sim_vmm.Domain.vcpu_count t.domain in
   let x = Sim_learn.Estimator.on_adjusting_event t.estimator ~now:online_now in
   (match t.window_end with
-  | Some h -> Engine.cancel h
+  | Some h -> Engine.cancel t.engine h
   | None -> ());
   set_vcrd t Sim_vmm.Domain.High;
   t.window_budget <- x * Sim_vmm.Domain.vcpu_count t.domain;

@@ -453,7 +453,7 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
         Sim_learn.Estimator.on_adjusting_event st.estimator ~now:online_now
       in
       (match st.window with
-      | Some h -> Sim_engine.Engine.cancel h
+      | Some h -> Sim_engine.Engine.cancel engine h
       | None -> ());
       set_vcrd dom Domain.High;
       st.budget <- x * Domain.vcpu_count dom;

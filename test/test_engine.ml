@@ -53,13 +53,13 @@ let test_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.schedule_at e ~time:10 (fun () -> fired := true) in
-  Alcotest.(check bool) "pending" true (Engine.is_pending h);
-  Engine.cancel h;
-  Alcotest.(check bool) "not pending" false (Engine.is_pending h);
+  Alcotest.(check bool) "pending" true (Engine.is_pending e h);
+  Engine.cancel e h;
+  Alcotest.(check bool) "not pending" false (Engine.is_pending e h);
   Engine.run e;
   Alcotest.(check bool) "did not fire" false !fired;
   (* double-cancel is a no-op *)
-  Engine.cancel h
+  Engine.cancel e h
 
 let test_run_until () =
   let e = Engine.create () in
@@ -104,7 +104,7 @@ let test_pending_count () =
   let h1 = Engine.schedule_at e ~time:1 (fun () -> ()) in
   let _h2 = Engine.schedule_at e ~time:2 (fun () -> ()) in
   Alcotest.(check int) "two pending" 2 (Engine.pending_count e);
-  Engine.cancel h1;
+  Engine.cancel e h1;
   Alcotest.(check int) "one pending" 1 (Engine.pending_count e)
 
 let test_recursive_scheduling () =

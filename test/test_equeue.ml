@@ -1,0 +1,221 @@
+(* Differential tests: the timing-wheel event queue against the
+   binary-heap oracle. Both backends must produce the exact same
+   (time, seq) pop sequence for any schedule/cancel script, and whole
+   simulations must be bit-identical across backends. *)
+
+open Sim_engine
+
+(* ----- script interpreter -----
+
+   A script is a list of operations driven against one backend; we
+   record the (time, tag) sequence of fired events and compare across
+   backends. Operations reference previously returned handles by
+   index, so the same script is replayable on either backend. *)
+
+type op =
+  | Schedule of int (* delay from current time *)
+  | Cancel of int (* cancel the [i mod live]-th outstanding handle *)
+  | Pop
+  | Pop_until of int (* pop with limit = now + delta *)
+
+let run_script kind ops =
+  let q = Equeue.create kind in
+  let handles = ref [] in
+  let fired = ref [] in
+  let now = ref 0 in
+  let tag = ref 0 in
+  let pop ?limit () =
+    match Equeue.pop ?limit q with
+    | Equeue.Event (time, action) ->
+      now := time;
+      action ()
+    | Equeue.Beyond -> (match limit with Some l -> now := max !now l | None -> ())
+    | Equeue.Empty -> ()
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Schedule delay ->
+        let id = !tag in
+        incr tag;
+        let h =
+          Equeue.schedule q ~time:(!now + delay) (fun () ->
+              fired := (!now, id) :: !fired)
+        in
+        handles := h :: !handles
+      | Cancel i -> begin
+        match !handles with
+        | [] -> ()
+        | hs ->
+          let h = List.nth hs (i mod List.length hs) in
+          ignore (Equeue.cancel q h)
+      end
+      | Pop -> pop ()
+      | Pop_until delta -> pop ~limit:(!now + delta) ())
+    ops;
+  (* Drain the queue to the end. *)
+  let rec drain () =
+    match Equeue.pop q with
+    | Equeue.Event (time, action) ->
+      now := time;
+      action ();
+      drain ()
+    | Equeue.Beyond | Equeue.Empty -> ()
+  in
+  drain ();
+  List.rev !fired
+
+let check_script ops =
+  let wheel = run_script Equeue.Wheel_queue ops in
+  let heap = run_script Equeue.Heap_queue ops in
+  wheel = heap
+
+(* Delays that stress every region of the wheel: same-instant bursts
+   (0), level-0 (< 2^20), each higher level, and far-future beyond
+   the 2^38 window. *)
+let delay_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return 0);
+        (4, int_range 1 4096);
+        (4, int_range 4096 (1 lsl 20));
+        (3, int_range (1 lsl 20) (1 lsl 26));
+        (2, int_range (1 lsl 26) (1 lsl 32));
+        (1, int_range (1 lsl 32) (1 lsl 38));
+        (1, int_range (1 lsl 38) (1 lsl 40));
+      ])
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun d -> Schedule d) delay_gen);
+        (2, map (fun i -> Cancel i) (int_bound 1000));
+        (3, return Pop);
+        (2, map (fun d -> Pop_until d) delay_gen);
+      ])
+
+let shrink_op op =
+  match op with
+  | Schedule d -> QCheck.Iter.map (fun d -> Schedule d) (QCheck.Shrink.int d)
+  | Cancel i -> QCheck.Iter.map (fun i -> Cancel i) (QCheck.Shrink.int i)
+  | Pop -> QCheck.Iter.empty
+  | Pop_until d -> QCheck.Iter.map (fun d -> Pop_until d) (QCheck.Shrink.int d)
+
+let script_arb =
+  QCheck.make
+    ~shrink:(QCheck.Shrink.list ~shrink:shrink_op)
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Schedule d -> Printf.sprintf "S%d" d
+             | Cancel i -> Printf.sprintf "C%d" i
+             | Pop -> "P"
+             | Pop_until d -> Printf.sprintf "U%d" d)
+           ops))
+    QCheck.Gen.(list_size (int_range 1 200) op_gen)
+
+let prop_backends_agree =
+  QCheck.Test.make ~count:300 ~name:"wheel and heap pop sequences agree"
+    script_arb check_script
+
+(* Directed scripts for the hand-picked hazards. *)
+let test_same_time_burst () =
+  let ops = List.init 50 (fun _ -> Schedule 100) @ [ Pop; Pop; Schedule 0 ] in
+  Alcotest.(check bool) "burst" true (check_script ops)
+
+let test_far_future () =
+  let ops =
+    [
+      Schedule (1 lsl 39);
+      Schedule 10;
+      Pop;
+      Schedule ((1 lsl 39) + 5);
+      Pop;
+      Schedule 1;
+      Pop;
+      Pop;
+    ]
+  in
+  Alcotest.(check bool) "far future" true (check_script ops)
+
+let test_cancel_everywhere () =
+  let ops =
+    [
+      Schedule 10;
+      Schedule (1 lsl 21);
+      Schedule (1 lsl 30);
+      Schedule (1 lsl 39);
+      Cancel 0;
+      Cancel 1;
+      Cancel 2;
+      Cancel 3;
+      Schedule 5;
+      Pop;
+    ]
+  in
+  Alcotest.(check bool) "cancel everywhere" true (check_script ops)
+
+(* Periodic chains with jitter, through the Engine API: both backends
+   must see identical firing orders and clocks. *)
+let engine_trace kind =
+  let e = Engine.create ~seed:7L ~queue:kind () in
+  let log = ref [] in
+  let rng = Engine.rng e in
+  let stop1 =
+    Engine.periodic e ~start:0 ~period:1000
+      ~jitter:(fun () -> Rng.int_in rng ~lo:0 ~hi:64)
+      (fun () -> log := (Engine.now e, 1) :: !log)
+  in
+  let stop2 =
+    Engine.periodic e ~start:500 ~period:700 (fun () ->
+        log := (Engine.now e, 2) :: !log)
+  in
+  ignore
+    (Engine.schedule_at e ~time:20_000 (fun () ->
+         stop1 ();
+         stop2 ()));
+  Engine.run e;
+  (Engine.now e, Engine.events_fired e, List.rev !log)
+
+let test_engine_periodic_identical () =
+  let w = engine_trace Engine.Wheel_queue in
+  let h = engine_trace Engine.Heap_queue in
+  Alcotest.(check bool) "periodic chains identical" true (w = h)
+
+(* Whole-simulation determinism: fig1a outcomes must be identical
+   between backends and across worker counts. *)
+let test_fig1a_identical_across_backends () =
+  let config = Asman.Config.{ default with scale = 0.02; seed = 5L } in
+  let exp =
+    match Asman.Experiments.find "fig1a" with
+    | Some e -> e
+    | None -> Alcotest.fail "fig1a not registered"
+  in
+  let run kind workers =
+    Engine.set_default_queue kind;
+    Asman.Pool.set_jobs workers;
+    let r = exp.Asman.Experiments.run config in
+    Engine.set_default_queue Engine.Wheel_queue;
+    r
+  in
+  let base = run Engine.Heap_queue 1 in
+  let wheel1 = run Engine.Wheel_queue 1 in
+  let wheel4 = run Engine.Wheel_queue 4 in
+  let heap4 = run Engine.Heap_queue 4 in
+  Alcotest.(check bool) "wheel -j1 = heap -j1" true (wheel1 = base);
+  Alcotest.(check bool) "wheel -j4 = heap -j1" true (wheel4 = base);
+  Alcotest.(check bool) "heap -j4 = heap -j1" true (heap4 = base)
+
+let suite =
+  [
+    Alcotest.test_case "same-time burst" `Quick test_same_time_burst;
+    Alcotest.test_case "far future" `Quick test_far_future;
+    Alcotest.test_case "cancel everywhere" `Quick test_cancel_everywhere;
+    Alcotest.test_case "periodic identical" `Quick test_engine_periodic_identical;
+    QCheck_alcotest.to_alcotest prop_backends_agree;
+    Alcotest.test_case "fig1a identical across backends" `Slow
+      test_fig1a_identical_across_backends;
+  ]

@@ -5,6 +5,7 @@ let () =
       ("rng", Test_rng.suite);
       ("units", Test_units.suite);
       ("engine", Test_engine.suite);
+      ("equeue", Test_equeue.suite);
       ("stats", Test_stats.suite);
       ("hw", Test_hw.suite);
       ("vmm-units", Test_vmm_units.suite);
