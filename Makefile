@@ -7,7 +7,7 @@ SCALE ?= 0.05
 SEED ?= 5
 JOBS ?= 4
 
-.PHONY: all build test bench bench-compare figures chaos trace clean
+.PHONY: all build test bench bench-compare figures chaos trace check repro clean
 
 all: build
 
@@ -48,6 +48,19 @@ trace: build
 	  --seed $(SEED) --jobs $(JOBS) --trace=trace.json --metrics=metrics.json
 	$(DUNE) exec bin/asman_cli.exe -- validate-json trace.json
 	$(DUNE) exec bin/asman_cli.exe -- validate-json metrics.json
+
+# SimCheck fuzz: CASES random full-stack scenarios judged by the
+# scheduler oracles; failures shrink to minimal JSON repros in the
+# working directory. Replay one with `make repro CASE=repro-...json`.
+CASES ?= 200
+
+check: build
+	$(DUNE) exec bin/asman_cli.exe -- check --cases $(CASES) \
+	  --seed $(SEED) --jobs $(JOBS)
+
+repro: build
+	@test -n "$(CASE)" || { echo "usage: make repro CASE=repro-....json"; exit 2; }
+	$(DUNE) exec bin/asman_cli.exe -- repro $(CASE)
 
 clean:
 	$(DUNE) clean

@@ -182,6 +182,7 @@ let obs_setup ~trace ~trace_cats ~metrics ~profile =
       trace_cap = Sim_obs.Trace.default_cap;
       metrics = metrics <> None;
       profile = prof;
+      hub = true;
     }
   in
   let export () =
@@ -335,43 +336,34 @@ let workload_conv =
   let parse s =
     let s = String.lowercase_ascii s in
     match Sim_workloads.Nas.of_name s with
-    | Some b -> Ok (`Nas b)
+    | Some b -> Ok (Scenario.W_nas (Sim_workloads.Nas.name b))
     | None ->
-      if s = "gcc" then Ok (`Cpu Sim_workloads.Speccpu.Gcc)
-      else if s = "bzip2" then Ok (`Cpu Sim_workloads.Speccpu.Bzip2)
+      if s = "gcc" || s = "bzip2" then Ok (Scenario.W_speccpu s)
       else if String.length s > 3 && String.sub s 0 3 = "jbb" then begin
         match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
-        | Some n when n > 0 -> Ok (`Jbb n)
+        | Some n when n > 0 -> Ok (Scenario.W_jbb { warehouses = n })
         | Some _ | None -> Error (`Msg "jbb<N> needs a positive N")
       end
       else Error (`Msg (Printf.sprintf "unknown workload %S (%s)" s doc))
   in
-  let print fmt w =
+  let print fmt (w : Scenario.workload_desc) =
     Format.pp_print_string fmt
       (match w with
-      | `Nas b -> Sim_workloads.Nas.name b
-      | `Cpu b -> Sim_workloads.Speccpu.name b
-      | `Jbb n -> Printf.sprintf "jbb%d" n)
+      | Scenario.W_nas n -> String.lowercase_ascii n
+      | Scenario.W_speccpu n -> n
+      | Scenario.W_jbb { warehouses } -> Printf.sprintf "jbb%d" warehouses
+      | _ -> "?")
   in
   Arg.conv (parse, print)
 
-let build_workload config w =
-  let freq = Config.freq config in
-  let scale = config.Config.scale in
-  match w with
-  | `Nas b -> Sim_workloads.Nas.workload (Sim_workloads.Nas.params b ~freq ~scale)
-  | `Cpu b ->
-    Sim_workloads.Speccpu.workload (Sim_workloads.Speccpu.params b ~freq ~scale)
-  | `Jbb n ->
-    Sim_workloads.Specjbb.workload
-      (Sim_workloads.Specjbb.default_params ~freq ~warehouses:n)
+let build_workload config w = Scenario.workload_of_desc config w
 
 let run_cmd =
   let vms_arg =
     let doc = "Workload per VM (repeatable): each VM gets 4 VCPUs." in
     Arg.(
       value
-      & opt_all workload_conv [ `Nas Sim_workloads.Nas.LU ]
+      & opt_all workload_conv [ Scenario.W_nas "LU" ]
       & info [ "vm" ] ~doc ~docv:"WORKLOAD")
   in
   let weight_arg =
@@ -616,6 +608,113 @@ let validate_json_cmd =
        ~doc:"Check that a file (e.g. an exported trace) is well-formed JSON")
     Term.(const run $ file_arg)
 
+(* ----- check / repro (SimCheck) ----- *)
+
+let mutate_arg =
+  let doc =
+    Printf.sprintf
+      "Arm a seeded scheduler mutation before running (oracle validation): \
+       %s. A correct oracle set must fail under each of these."
+      (String.concat ", " (List.map Sim_vmm.Mutation.to_name Sim_vmm.Mutation.all))
+  in
+  let parse s =
+    match Sim_vmm.Mutation.of_name s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown mutation %S" s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Sim_vmm.Mutation.to_name m) in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "mutate" ] ~doc ~docv:"MUTATION")
+
+let check_cmd =
+  let cases_arg =
+    let doc = "Number of random cases to generate and run." in
+    Arg.(value & opt int 100 & info [ "cases" ] ~doc ~docv:"N")
+  in
+  let timeout_arg =
+    let doc =
+      "Per-case wall-clock limit in seconds; a case over the limit is \
+       reported as a failure with its seed."
+    in
+    Arg.(value & opt float 120. & info [ "timeout" ] ~doc ~docv:"SEC")
+  in
+  let shrink_budget_arg =
+    let doc = "Maximum simulations the shrinker may spend per failure." in
+    Arg.(value & opt int 200 & info [ "shrink-budget" ] ~doc ~docv:"N")
+  in
+  let repro_dir_arg =
+    let doc = "Directory for shrunk repro case files." in
+    Arg.(value & opt string "." & info [ "repro-dir" ] ~doc ~docv:"DIR")
+  in
+  let run cases seed jobs timeout shrink_budget repro_dir mutate =
+    Sim_vmm.Mutation.set mutate;
+    let report =
+      Sim_check.Check.run ~jobs ~timeout_sec:timeout ~shrink_budget ~cases
+        ~seed ()
+    in
+    List.iter
+      (fun (t : Sim_check.Check.timeout_report) ->
+        Printf.printf
+          "TIMEOUT: case %d (case seed %Ld) exceeded %.0f s\n"
+          t.Sim_check.Check.tr_index t.Sim_check.Check.tr_seed
+          t.Sim_check.Check.tr_limit_sec)
+      report.Sim_check.Check.timeouts;
+    List.iter
+      (fun fr -> print_endline (Sim_check.Check.failure_summary fr))
+      report.Sim_check.Check.failures;
+    let repros = Sim_check.Check.write_repros ~dir:repro_dir report in
+    List.iter (Printf.printf "repro written: %s\n") repros;
+    if Sim_check.Check.passed report then begin
+      Printf.printf "check: %d cases, seed %Ld: all oracles passed\n"
+        report.Sim_check.Check.cases seed;
+      0
+    end
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Fuzz the scheduler: run N random full-stack scenarios against the \
+          SimCheck oracle catalogue, shrinking any failure to a minimal \
+          JSON repro")
+    Term.(
+      const run $ cases_arg $ seed_arg $ jobs_arg $ timeout_arg
+      $ shrink_budget_arg $ repro_dir_arg $ mutate_arg)
+
+let repro_cmd =
+  let file_arg =
+    let doc = "SimCheck case file (JSON) to replay." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file mutate =
+    Sim_vmm.Mutation.set mutate;
+    let spec =
+      try Sim_check.Spec.load file with
+      | Sys_error e -> raise (Usage_error e)
+      | Sim_check.Cjson.Parse_error e ->
+        raise (Usage_error (Printf.sprintf "%s: %s" file e))
+    in
+    match Sim_check.Case.run spec with
+    | [] ->
+      Printf.printf "%s: all oracles passed\n" file;
+      0
+    | failures ->
+      List.iter
+        (fun (f : Sim_check.Oracle.failure) ->
+          Printf.printf "FAIL %s: %s\n" f.Sim_check.Oracle.oracle
+            f.Sim_check.Oracle.message)
+        failures;
+      1
+  in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:
+         "Replay a SimCheck case file deterministically and re-judge it \
+          against the oracles")
+    Term.(const run $ file_arg $ mutate_arg)
+
 (* ----- learn ----- *)
 
 let learn_cmd =
@@ -663,7 +762,7 @@ let main =
   Cmd.group (Cmd.info "asman_cli" ~doc)
     [
       list_cmd; experiment_cmd; ablation_cmd; run_cmd; trace_cmd; lhp_cmd;
-      validate_json_cmd; learn_cmd;
+      validate_json_cmd; learn_cmd; check_cmd; repro_cmd;
     ]
 
 (* Exit codes: 0 success, 1 run failure, 2 usage error. *)

@@ -1,0 +1,187 @@
+open Asman
+module Trace = Sim_obs.Trace
+module Engine = Sim_engine.Engine
+
+(* The trace categories the oracles read. Spin/Ipi/Fault are excluded
+   to bound ring volume on contention-heavy cases (oracles needing a
+   complete record skip themselves when the ring overflowed). *)
+let trace_mask =
+  List.fold_left
+    (fun m c -> m lor Trace.cat_bit c)
+    0
+    [ Trace.Sched; Trace.Credit; Trace.Vcrd; Trace.Gang; Trace.Invariant ]
+
+let trace_cap = 1 lsl 17
+
+let probe_every_sec = 0.005
+let max_probe_errors = 5
+
+let config_of_spec ?queue (spec : Spec.t) =
+  let queue = Option.value queue ~default:(Spec.queue_kind spec) in
+  {
+    Config.default with
+    Config.seed = spec.Spec.seed;
+    topology =
+      Sim_hw.Topology.make ~sockets:spec.Spec.sockets
+        ~cores_per_socket:spec.Spec.cores_per_socket;
+    scale = spec.Spec.scale;
+    work_conserving = spec.Spec.work_conserving;
+    faults = Spec.fault_profile spec;
+    invariants = Sim_vmm.Vmm.Record;
+    engine_queue = Some queue;
+    obs =
+      {
+        Config.trace_mask;
+        trace_cap;
+        metrics = false;
+        profile = None;
+        (* thousands of scenarios per fuzz run: stay out of the
+           global export hub *)
+        hub = false;
+      };
+  }
+
+type fingerprint = {
+  fp_now : int;
+  fp_events : int;
+  fp_ctx_switches : int;
+  fp_ipis : int;
+  fp_vms : (string * int * int * int) list;
+      (** (name, marks, rounds, vcrd transitions) in VM order *)
+}
+
+let fingerprint_to_string fp =
+  Printf.sprintf "now=%d events=%d ctx=%d ipis=%d vms=[%s]" fp.fp_now
+    fp.fp_events fp.fp_ctx_switches fp.fp_ipis
+    (String.concat "; "
+       (List.map
+          (fun (n, m, r, v) -> Printf.sprintf "%s:%d/%d/%d" n m r v)
+          fp.fp_vms))
+
+let run_once ?queue (spec : Spec.t) =
+  let config = config_of_spec ?queue spec in
+  let s =
+    Scenario.of_descs config ~sched:(Spec.sched_kind spec) (Spec.vm_descs spec)
+  in
+  let probe_errors = ref [] in
+  let probe =
+    ( probe_every_sec,
+      fun (sc : Scenario.t) ->
+        if List.length !probe_errors < max_probe_errors then
+          match Sim_vmm.Vmm.check_invariants sc.Scenario.vmm with
+          | Ok () -> ()
+          | Error e -> probe_errors := e :: !probe_errors )
+  in
+  let started = Engine.now s.Scenario.engine in
+  let m = Runner.run_window ~probe s ~sec:spec.Spec.horizon_sec in
+  let finished = Engine.now s.Scenario.engine in
+  let tr = Engine.trace s.Scenario.engine in
+  let vmm = s.Scenario.vmm in
+  let vms =
+    List.map
+      (fun (inst : Scenario.vm_instance) ->
+        let dom = inst.Scenario.domain in
+        let name = inst.Scenario.spec.Scenario.vm_name in
+        let vm = Runner.vm_metrics m ~vm:name in
+        {
+          Oracle.o_name = name;
+          o_domain = dom.Sim_vmm.Domain.id;
+          o_vcpus =
+            Array.map
+              (fun (v : Sim_vmm.Vcpu.t) -> v.Sim_vmm.Vcpu.id)
+              dom.Sim_vmm.Domain.vcpus;
+          o_weight = dom.Sim_vmm.Domain.weight;
+          o_concurrent = dom.Sim_vmm.Domain.concurrent_type;
+          o_final_credits =
+            Array.map
+              (fun (v : Sim_vmm.Vcpu.t) -> v.Sim_vmm.Vcpu.credit)
+              dom.Sim_vmm.Domain.vcpus;
+          o_online_rate = vm.Runner.online_rate;
+          o_expected_online = vm.Runner.expected_online;
+        })
+      s.Scenario.vms
+  in
+  let input =
+    {
+      Oracle.pcpus = Config.pcpus config;
+      slot_cycles = Sim_hw.Cpu_model.slot_cycles config.Config.cpu;
+      slots_per_period = config.Config.cpu.Sim_hw.Cpu_model.slots_per_period;
+      credit_unit = config.Config.credit_unit;
+      work_conserving = spec.Spec.work_conserving;
+      clean = Sim_faults.Fault.is_none config.Config.faults;
+      sched = spec.Spec.sched;
+      check_fairness = spec.Spec.check_fairness;
+      started;
+      finished;
+      entries = Trace.entries tr;
+      trace_dropped = Trace.dropped tr;
+      dom0 = s.Scenario.dom0.Sim_vmm.Domain.id;
+      dom0_vcpus =
+        Array.map
+          (fun (v : Sim_vmm.Vcpu.t) -> v.Sim_vmm.Vcpu.id)
+          s.Scenario.dom0.Sim_vmm.Domain.vcpus;
+      vms;
+      runtime_violations = Sim_vmm.Vmm.invariant_violation_count vmm;
+      runtime_messages = Sim_vmm.Vmm.invariant_violations vmm;
+      structural = Sim_vmm.Vmm.check_invariants vmm;
+      probe_errors = List.rev !probe_errors;
+    }
+  in
+  let fp =
+    {
+      fp_now = finished;
+      fp_events = Engine.events_fired s.Scenario.engine;
+      fp_ctx_switches = Sim_vmm.Vmm.ctx_switches vmm;
+      fp_ipis = Sim_hw.Machine.ipis_sent s.Scenario.machine;
+      fp_vms =
+        List.map
+          (fun (inst : Scenario.vm_instance) ->
+            let name = inst.Scenario.spec.Scenario.vm_name in
+            let vm = Runner.vm_metrics m ~vm:name in
+            (name, vm.Runner.marks, vm.Runner.rounds, vm.Runner.vcrd_transitions))
+          s.Scenario.vms;
+    }
+  in
+  (fp, Oracle.run_all input)
+
+let flip = function
+  | Sim_engine.Engine.Wheel_queue -> Sim_engine.Engine.Heap_queue
+  | Sim_engine.Engine.Heap_queue -> Sim_engine.Engine.Wheel_queue
+
+let run (spec : Spec.t) : Oracle.failure list =
+  match Spec.validate spec with
+  | Error e -> [ { Oracle.oracle = "spec"; message = e } ]
+  | Ok () -> (
+    match run_once spec with
+    | exception e ->
+      [ { Oracle.oracle = "no-crash"; message = Printexc.to_string e } ]
+    | _, (_ :: _ as failures) -> failures
+    | fp, [] -> (
+      (* Primary run clean: the determinism oracle reruns the exact
+         case on the other queue backend and diffs observable
+         outcomes. (Per-case isolation — own engine, own registry —
+         is what makes [-j 1] vs [-j 4] equality hold by
+         construction; the backend flip is the part that needs an
+         actual rerun.) *)
+      match run_once ~queue:(flip (Spec.queue_kind spec)) spec with
+      | exception e ->
+        [
+          {
+            Oracle.oracle = "determinism";
+            message =
+              Printf.sprintf "rerun on flipped queue backend crashed: %s"
+                (Printexc.to_string e);
+          };
+        ]
+      | fp', _ ->
+        if fp = fp' then []
+        else
+          [
+            {
+              Oracle.oracle = "determinism";
+              message =
+                Printf.sprintf "wheel/heap divergence: %s vs %s"
+                  (fingerprint_to_string fp)
+                  (fingerprint_to_string fp');
+            };
+          ]))

@@ -1,0 +1,35 @@
+(** Execute one spec and judge it.
+
+    A case run builds the full stack from the spec ([Record]-mode
+    runtime invariants, oracle trace categories armed, export hub
+    off, queue backend pinned), drives it one measurement window with
+    a structural-invariant probe firing every 5 simulated ms, then
+    assembles the {!Oracle.input} and runs the catalogue. A clean
+    primary run is rerun on the flipped queue backend and compared by
+    fingerprint (the determinism oracle). Exceptions anywhere become
+    a ["no-crash"] failure — a fuzz case must never kill the run. *)
+
+type fingerprint = {
+  fp_now : int;
+  fp_events : int;
+  fp_ctx_switches : int;
+  fp_ipis : int;
+  fp_vms : (string * int * int * int) list;
+      (** (name, marks, rounds, vcrd transitions) in VM order *)
+}
+
+val fingerprint_to_string : fingerprint -> string
+
+val config_of_spec : ?queue:Sim_engine.Engine.queue_kind -> Spec.t -> Asman.Config.t
+(** The exact config a case runs under ([queue] overrides the spec's
+    backend — the determinism rerun). *)
+
+val run_once :
+  ?queue:Sim_engine.Engine.queue_kind ->
+  Spec.t ->
+  fingerprint * Oracle.failure list
+(** One simulation, no determinism rerun, exceptions propagate. *)
+
+val run : Spec.t -> Oracle.failure list
+(** The full judgement: validate, run, oracles, determinism rerun on
+    clean runs. [[]] means the case passed everything. *)

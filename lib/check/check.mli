@@ -1,0 +1,48 @@
+(** The fuzz driver: generate N cases from a run seed, fan them out
+    over the worker pool, shrink every failure, and report.
+
+    Case verdicts are independent (each case builds its own engine,
+    VMM and registry), so the fan-out is deterministic at any worker
+    count. Shrinking runs sequentially afterwards — there is rarely
+    more than one failure, and shrink candidates must be evaluated
+    in order. *)
+
+type failure_report = {
+  fr_index : int;  (** case index within the run *)
+  fr_seed : int64;  (** case seed: [Gen.spec fr_seed] regenerates it *)
+  fr_spec : Spec.t;  (** as generated *)
+  fr_failures : Oracle.failure list;
+  fr_shrunk : Spec.t;  (** minimal still-failing spec *)
+  fr_shrunk_failures : Oracle.failure list;
+}
+
+type timeout_report = { tr_index : int; tr_seed : int64; tr_limit_sec : float }
+
+type report = {
+  cases : int;
+      (** cases with a verdict ([cases] requested; fewer only when a
+          timeout aborted the run) *)
+  failures : failure_report list;
+  timeouts : timeout_report list;
+      (** a timed-out case is a reported failure with its seed, never
+          silently dropped *)
+}
+
+val passed : report -> bool
+
+val run :
+  ?jobs:int ->
+  ?timeout_sec:float ->
+  ?shrink_budget:int ->
+  cases:int ->
+  seed:int64 ->
+  unit ->
+  report
+
+val failure_summary : failure_report -> string
+
+val repro_filename : failure_report -> string
+
+val write_repros : ?dir:string -> report -> string list
+(** Write each failure's shrunk spec as a JSON case file (CI uploads
+    these as artifacts); returns the paths. *)

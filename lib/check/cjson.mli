@@ -1,0 +1,35 @@
+(** Minimal JSON reader/writer for SimCheck case files.
+
+    Self-contained (the repo carries no JSON dependency). Integers
+    and floats are distinct constructors and floats print losslessly,
+    so a spec survives [of_string (to_string spec)] exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] pretty-prints with 2-space indentation (corpus files are
+    committed, so keep their diffs readable). *)
+
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input. *)
+
+val member : string -> t -> t option
+
+val get : string -> t -> of_:(t -> 'a) -> 'a
+(** [get key obj ~of_] reads and converts a required field. Raises
+    {!Parse_error} if absent. *)
+
+val to_int : t -> int
+val to_float : t -> float
+val to_string_v : t -> string
+val to_bool : t -> bool
+val to_list : t -> t list

@@ -1,0 +1,190 @@
+open Asman
+module Rng = Sim_engine.Rng
+
+(* Every draw comes from one splitmix64 stream seeded by the case
+   seed, so a case is reproducible from the seed alone and shrunk
+   specs can be serialized without re-running the generator. *)
+
+let weights = [| 128; 256; 512; 1024 |]
+
+let nas_names = [| "BT"; "CG"; "EP"; "FT"; "MG"; "SP"; "LU" |]
+
+(* Finite workloads: every thread's program terminates (restart =
+   false throughout), so [Runner.run_rounds ~rounds:1] completes.
+   Shared with test_properties, which needs termination. Covers
+   locks (storm, random programs), barriers and semaphores. *)
+let finite_workload rng : Scenario.workload_desc =
+  match Rng.int rng 5 with
+  | 0 ->
+    Scenario.W_compute
+      {
+        threads = Rng.int_in rng ~lo:1 ~hi:4;
+        chunks = Rng.int_in rng ~lo:2 ~hi:8;
+        chunk_us = Rng.int_in rng ~lo:100 ~hi:2000;
+      }
+  | 1 ->
+    Scenario.W_lock_storm
+      {
+        threads = Rng.int_in rng ~lo:2 ~hi:4;
+        rounds = Rng.int_in rng ~lo:5 ~hi:40;
+        cs_us = Rng.int_in rng ~lo:2 ~hi:30;
+        think_us = Rng.int_in rng ~lo:5 ~hi:100;
+      }
+  | 2 ->
+    Scenario.W_barrier
+      {
+        threads = Rng.int_in rng ~lo:2 ~hi:4;
+        rounds = Rng.int_in rng ~lo:3 ~hi:20;
+        compute_us = Rng.int_in rng ~lo:50 ~hi:1000;
+        cv = float_of_int (Rng.int rng 40) /. 100.;
+      }
+  | 3 ->
+    Scenario.W_ping_pong
+      {
+        rounds = Rng.int_in rng ~lo:5 ~hi:50;
+        compute_us = Rng.int_in rng ~lo:10 ~hi:200;
+      }
+  | _ ->
+    Scenario.W_random
+      {
+        threads = Rng.int_in rng ~lo:1 ~hi:4;
+        ops = Rng.int_in rng ~lo:5 ~hi:60;
+        nlocks = Rng.int_in rng ~lo:1 ~hi:4;
+        prog_seed = Rng.int rng 1_000_000;
+      }
+
+(* Sustained workloads keep demand up through the whole window
+   (restarting or long-running); used where the window must stay
+   busy. *)
+let sustained_workload rng : Scenario.workload_desc =
+  match Rng.int rng 4 with
+  | 0 -> Scenario.W_speccpu (if Rng.bool rng then "gcc" else "bzip2")
+  | 1 -> Scenario.W_jbb { warehouses = Rng.int_in rng ~lo:2 ~hi:6 }
+  | 2 -> Scenario.W_nas (Rng.pick rng nas_names)
+  | _ ->
+    Scenario.W_lock_storm
+      {
+        threads = Rng.int_in rng ~lo:2 ~hi:4;
+        rounds = 100_000;
+        cs_us = Rng.int_in rng ~lo:2 ~hi:30;
+        think_us = Rng.int_in rng ~lo:5 ~hi:100;
+      }
+
+let any_workload rng =
+  if Rng.bool rng then finite_workload rng else sustained_workload rng
+
+let vm_name i = Printf.sprintf "vm%d" i
+
+let base_spec rng =
+  let sockets = if Rng.int rng 4 = 0 then 2 else 1 in
+  let cores_per_socket = [| 2; 4; 4 |].(Rng.int rng 3) in
+  {
+    Spec.seed = Rng.next_int64 rng;
+    sched = [| "credit"; "asman"; "asman"; "con"; "asman-oov" |].(Rng.int rng 5);
+    scale = 0.05;
+    work_conserving = Rng.int rng 4 <> 0;
+    faults = "none";
+    queue = (if Rng.bool rng then "wheel" else "heap");
+    sockets;
+    cores_per_socket;
+    horizon_sec = 0.06 +. (0.02 *. float_of_int (Rng.int rng 8));
+    check_fairness = false;
+    vms = [];
+  }
+
+(* The dedicated fairness shape: the only generated shape where
+   Eq. (2) is an exact prediction — capped (non-work-conserving) mode
+   so shares are enforced, every VM runs a restarting CPU-bound
+   workload so demand never dips, distinct weights so a
+   proportionality bug actually moves the measured rates, and no
+   faults so nothing legitimately steals time. *)
+let fairness_shape rng spec =
+  let nvms = Rng.int_in rng ~lo:2 ~hi:3 in
+  let ws = Array.copy weights in
+  Rng.shuffle rng ws;
+  let vms =
+    List.init nvms (fun i ->
+        {
+          Spec.v_name = vm_name i;
+          v_weight = ws.(i);
+          v_vcpus = [| 2; 4 |].(Rng.int rng 2);
+          (* pure compute only: jbb's think time makes demand
+             unprovable, and the proportionality oracle is only sound
+             when every VM provably wants the whole machine *)
+          v_workload =
+            Some (Scenario.W_speccpu (if Rng.bool rng then "gcc" else "bzip2"));
+        })
+  in
+  {
+    spec with
+    (* always-coschedule trades fairness for gang alignment by
+       design; proportionality is only a theorem for credit-family
+       schedulers *)
+    Spec.sched = (if Rng.bool rng then "credit" else "asman");
+    work_conserving = false;
+    faults = "none";
+    check_fairness = true;
+    horizon_sec = 0.3;
+    vms;
+  }
+
+(* All-HIGH storm: every VM hammers locks, so under ASMan every VCRD
+   goes and stays High — maximum gang-launch pressure. *)
+let storm_shape rng spec =
+  let nvms = Rng.int_in rng ~lo:2 ~hi:4 in
+  let vms =
+    List.init nvms (fun i ->
+        {
+          Spec.v_name = vm_name i;
+          v_weight = Rng.pick rng weights;
+          v_vcpus = Rng.int_in rng ~lo:2 ~hi:4;
+          v_workload =
+            Some
+              (Scenario.W_lock_storm
+                 {
+                   threads = 4;
+                   rounds = 100_000;
+                   cs_us = Rng.int_in rng ~lo:5 ~hi:30;
+                   think_us = Rng.int_in rng ~lo:5 ~hi:50;
+                 });
+        })
+  in
+  { spec with Spec.sched = "asman"; faults = "none"; vms }
+
+let fault_profiles =
+  [| "chaos-mild"; "chaos-heavy"; "jitter"; "stall"; "hotplug";
+     "ipi-loss-10"; "ipi-delay-20"; "vcrd-loss-20" |]
+
+let chaos_shape rng spec =
+  { spec with Spec.faults = Rng.pick rng fault_profiles }
+
+let mixed_shape rng spec =
+  let nvms = Rng.int_in rng ~lo:1 ~hi:4 in
+  let vms =
+    List.init nvms (fun i ->
+        {
+          Spec.v_name = vm_name i;
+          v_weight = Rng.pick rng weights;
+          v_vcpus = [| 1; 2; 2; 4 |].(Rng.int rng 4);
+          v_workload =
+            (* an occasional idle VM exercises the no-workload path *)
+            (if Rng.int rng 10 = 0 then None else Some (any_workload rng));
+        })
+  in
+  { spec with Spec.vms = vms }
+
+let spec case_seed =
+  let rng = Rng.create case_seed in
+  let base = base_spec rng in
+  match Rng.int rng 10 with
+  | 0 | 1 -> fairness_shape rng base
+  | 2 -> storm_shape rng base
+  | 3 | 4 -> chaos_shape rng (mixed_shape rng base)
+  | _ -> mixed_shape rng base
+
+(* Case seeds for a run: decorrelate neighbouring indices so
+   [--seed 1] and [--seed 2] share no cases. *)
+let case_seed ~seed ~index =
+  let r = Rng.create seed in
+  let salt = Rng.next_int64 r in
+  Int64.add salt (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (index + 1)))

@@ -1,0 +1,203 @@
+open Asman
+
+type vm = {
+  v_name : string;
+  v_weight : int;
+  v_vcpus : int;
+  v_workload : Scenario.workload_desc option;
+}
+
+type t = {
+  seed : int64;  (** the scenario engine's seed *)
+  sched : string;
+  scale : float;
+  work_conserving : bool;
+  faults : string;  (** profile name, ["none"] for clean runs *)
+  queue : string;  (** ["wheel"] or ["heap"] *)
+  sockets : int;
+  cores_per_socket : int;
+  horizon_sec : float;
+  check_fairness : bool;
+      (** generator-certified fairness shape: capped mode, restarting
+          CPU-bound workloads, distinct weights — the only shape where
+          the proportionality oracle's Eq. (2) prediction is exact *)
+  vms : vm list;
+}
+
+let pcpus t = t.sockets * t.cores_per_socket
+
+(* ----- JSON ----- *)
+
+let workload_to_json (w : Scenario.workload_desc) =
+  let o kind fields = Cjson.Obj (("kind", Cjson.String kind) :: fields) in
+  let i n v = (n, Cjson.Int v) in
+  match w with
+  | Scenario.W_nas name -> o "nas" [ ("bench", Cjson.String name) ]
+  | Scenario.W_speccpu name -> o "speccpu" [ ("bench", Cjson.String name) ]
+  | Scenario.W_jbb { warehouses } -> o "jbb" [ i "warehouses" warehouses ]
+  | Scenario.W_compute { threads; chunks; chunk_us } ->
+    o "compute" [ i "threads" threads; i "chunks" chunks; i "chunk_us" chunk_us ]
+  | Scenario.W_lock_storm { threads; rounds; cs_us; think_us } ->
+    o "lock_storm"
+      [ i "threads" threads; i "rounds" rounds; i "cs_us" cs_us;
+        i "think_us" think_us ]
+  | Scenario.W_barrier { threads; rounds; compute_us; cv } ->
+    o "barrier"
+      [ i "threads" threads; i "rounds" rounds; i "compute_us" compute_us;
+        ("cv", Cjson.Float cv) ]
+  | Scenario.W_ping_pong { rounds; compute_us } ->
+    o "ping_pong" [ i "rounds" rounds; i "compute_us" compute_us ]
+  | Scenario.W_random { threads; ops; nlocks; prog_seed } ->
+    o "random"
+      [ i "threads" threads; i "ops" ops; i "nlocks" nlocks;
+        i "prog_seed" prog_seed ]
+
+let workload_of_json j : Scenario.workload_desc =
+  let geti n = Cjson.get n j ~of_:Cjson.to_int in
+  match Cjson.get "kind" j ~of_:Cjson.to_string_v with
+  | "nas" -> Scenario.W_nas (Cjson.get "bench" j ~of_:Cjson.to_string_v)
+  | "speccpu" -> Scenario.W_speccpu (Cjson.get "bench" j ~of_:Cjson.to_string_v)
+  | "jbb" -> Scenario.W_jbb { warehouses = geti "warehouses" }
+  | "compute" ->
+    Scenario.W_compute
+      { threads = geti "threads"; chunks = geti "chunks";
+        chunk_us = geti "chunk_us" }
+  | "lock_storm" ->
+    Scenario.W_lock_storm
+      { threads = geti "threads"; rounds = geti "rounds"; cs_us = geti "cs_us";
+        think_us = geti "think_us" }
+  | "barrier" ->
+    Scenario.W_barrier
+      { threads = geti "threads"; rounds = geti "rounds";
+        compute_us = geti "compute_us";
+        cv = Cjson.get "cv" j ~of_:Cjson.to_float }
+  | "ping_pong" ->
+    Scenario.W_ping_pong
+      { rounds = geti "rounds"; compute_us = geti "compute_us" }
+  | "random" ->
+    Scenario.W_random
+      { threads = geti "threads"; ops = geti "ops"; nlocks = geti "nlocks";
+        prog_seed = geti "prog_seed" }
+  | k -> raise (Cjson.Parse_error (Printf.sprintf "unknown workload kind %S" k))
+
+let vm_to_json v =
+  Cjson.Obj
+    [
+      ("name", Cjson.String v.v_name);
+      ("weight", Cjson.Int v.v_weight);
+      ("vcpus", Cjson.Int v.v_vcpus);
+      ( "workload",
+        match v.v_workload with
+        | None -> Cjson.Null
+        | Some w -> workload_to_json w );
+    ]
+
+let vm_of_json j =
+  {
+    v_name = Cjson.get "name" j ~of_:Cjson.to_string_v;
+    v_weight = Cjson.get "weight" j ~of_:Cjson.to_int;
+    v_vcpus = Cjson.get "vcpus" j ~of_:Cjson.to_int;
+    v_workload =
+      (match Cjson.member "workload" j with
+      | None | Some Cjson.Null -> None
+      | Some w -> Some (workload_of_json w));
+  }
+
+let to_json t =
+  Cjson.Obj
+    [
+      (* int64 seeds exceed JSON's exact-integer range: as a string *)
+      ("seed", Cjson.String (Int64.to_string t.seed));
+      ("sched", Cjson.String t.sched);
+      ("scale", Cjson.Float t.scale);
+      ("work_conserving", Cjson.Bool t.work_conserving);
+      ("faults", Cjson.String t.faults);
+      ("queue", Cjson.String t.queue);
+      ("sockets", Cjson.Int t.sockets);
+      ("cores_per_socket", Cjson.Int t.cores_per_socket);
+      ("horizon_sec", Cjson.Float t.horizon_sec);
+      ("check_fairness", Cjson.Bool t.check_fairness);
+      ("vms", Cjson.List (List.map vm_to_json t.vms));
+    ]
+
+let of_json j =
+  {
+    seed =
+      (let s = Cjson.get "seed" j ~of_:Cjson.to_string_v in
+       match Int64.of_string_opt s with
+       | Some v -> v
+       | None -> raise (Cjson.Parse_error (Printf.sprintf "bad seed %S" s)));
+    sched = Cjson.get "sched" j ~of_:Cjson.to_string_v;
+    scale = Cjson.get "scale" j ~of_:Cjson.to_float;
+    work_conserving = Cjson.get "work_conserving" j ~of_:Cjson.to_bool;
+    faults = Cjson.get "faults" j ~of_:Cjson.to_string_v;
+    queue = Cjson.get "queue" j ~of_:Cjson.to_string_v;
+    sockets = Cjson.get "sockets" j ~of_:Cjson.to_int;
+    cores_per_socket = Cjson.get "cores_per_socket" j ~of_:Cjson.to_int;
+    horizon_sec = Cjson.get "horizon_sec" j ~of_:Cjson.to_float;
+    check_fairness = Cjson.get "check_fairness" j ~of_:Cjson.to_bool;
+    vms = Cjson.get "vms" j ~of_:(fun v -> List.map vm_of_json (Cjson.to_list v));
+  }
+
+let to_string t = Cjson.to_string ~indent:true (to_json t)
+let of_string s = of_json (Cjson.of_string s)
+
+let load file =
+  let ic = open_in_bin file in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string s
+
+let save t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+(* ----- validation / realisation ----- *)
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if t.sockets <= 0 || t.cores_per_socket <= 0 then err "empty topology"
+  else if t.horizon_sec <= 0. then err "non-positive horizon"
+  else if t.scale <= 0. then err "non-positive scale"
+  else if t.vms = [] then err "no VMs"
+  else if Config.sched_of_name t.sched = None then
+    err "unknown scheduler %S" t.sched
+  else if Sim_faults.Fault.of_name t.faults = None then
+    err "unknown fault profile %S" t.faults
+  else if t.queue <> "wheel" && t.queue <> "heap" then
+    err "unknown queue backend %S" t.queue
+  else if
+    List.exists (fun v -> v.v_weight <= 0 || v.v_vcpus <= 0) t.vms
+  then err "non-positive VM weight or vcpus"
+  else Ok ()
+
+let sched_kind t =
+  match Config.sched_of_name t.sched with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "Spec.sched_kind: %S" t.sched)
+
+let queue_kind t =
+  match t.queue with
+  | "heap" -> Sim_engine.Engine.Heap_queue
+  | _ -> Sim_engine.Engine.Wheel_queue
+
+let fault_profile t =
+  match Sim_faults.Fault.of_name t.faults with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Spec.fault_profile: %S" t.faults)
+
+let vm_descs t =
+  List.map
+    (fun v ->
+      {
+        Scenario.vd_name = v.v_name;
+        vd_weight = v.v_weight;
+        vd_vcpus = v.v_vcpus;
+        vd_workload = v.v_workload;
+      })
+    t.vms

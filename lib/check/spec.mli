@@ -1,0 +1,57 @@
+(** A SimCheck case: the complete, serializable description of one
+    randomly generated full-stack scenario.
+
+    The spec is the unit of reproduction — the generator emits one
+    from a case seed, the shrinker rewrites it, [asman repro] and the
+    committed [test/corpus/] replay it from JSON. Everything the run
+    depends on is in here; rebuilding a spec under the same binary is
+    bit-for-bit deterministic. *)
+
+type vm = {
+  v_name : string;
+  v_weight : int;
+  v_vcpus : int;
+  v_workload : Asman.Scenario.workload_desc option;  (** [None] = idle VM *)
+}
+
+type t = {
+  seed : int64;  (** the scenario engine's seed *)
+  sched : string;  (** scheduler name, as {!Asman.Config.sched_of_name} *)
+  scale : float;
+  work_conserving : bool;
+  faults : string;  (** fault profile name; ["none"] = clean *)
+  queue : string;  (** event-queue backend: ["wheel"] or ["heap"] *)
+  sockets : int;
+  cores_per_socket : int;
+  horizon_sec : float;  (** simulated measurement window *)
+  check_fairness : bool;
+      (** set only by the generator's dedicated fairness shape (capped
+          mode, restarting CPU-bound workloads, distinct weights); the
+          proportionality oracle runs only on such cases *)
+  vms : vm list;
+}
+
+val pcpus : t -> int
+
+val to_json : t -> Cjson.t
+val of_json : Cjson.t -> t
+
+val to_string : t -> string
+(** Indented JSON (corpus files are committed; keep diffs readable). *)
+
+val of_string : string -> t
+(** Raises {!Cjson.Parse_error} on malformed input. *)
+
+val load : string -> t
+val save : t -> string -> unit
+
+val validate : t -> (unit, string) result
+(** Structural sanity before attempting to build the scenario. *)
+
+(** {2 Realisation} — resolve names to live configuration. All raise
+    [Invalid_argument] on names {!validate} would have rejected. *)
+
+val sched_kind : t -> Asman.Config.sched_kind
+val queue_kind : t -> Sim_engine.Engine.queue_kind
+val fault_profile : t -> Sim_faults.Fault.profile
+val vm_descs : t -> Asman.Scenario.vm_desc list

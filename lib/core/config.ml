@@ -32,6 +32,7 @@ type obs = {
   trace_cap : int;
   metrics : bool;
   profile : Sim_obs.Prof.t option;
+  hub : bool;
 }
 
 let obs_off =
@@ -40,6 +41,7 @@ let obs_off =
     trace_cap = Sim_obs.Trace.default_cap;
     metrics = false;
     profile = None;
+    hub = true;
   }
 
 type t = {
@@ -55,6 +57,8 @@ type t = {
   faults : Sim_faults.Fault.profile;
   invariants : Sim_vmm.Vmm.invariant_mode;
   watchdog : bool option;  (** [None] = armed iff faults are enabled *)
+  engine_queue : Sim_engine.Engine.queue_kind option;
+      (** [None] = the process default ([--engine-queue]) *)
   obs : obs;
 }
 
@@ -72,6 +76,7 @@ let default =
     faults = Sim_faults.Fault.none;
     invariants = Sim_vmm.Vmm.Record;
     watchdog = None;
+    engine_queue = None;
     obs = obs_off;
   }
 

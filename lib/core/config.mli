@@ -24,6 +24,10 @@ type obs = {
   metrics : bool;  (** collect/export a metrics snapshot after runs *)
   profile : Sim_obs.Prof.t option;
       (** wall-clock self-profiler charged by {!Runner} sections *)
+  hub : bool;
+      (** register the scenario in {!Obs_hub} for export when
+          {!obs_wanted} (default). SimCheck builds thousands of traced
+          scenarios per run and turns this off. *)
 }
 
 val obs_off : obs
@@ -49,6 +53,11 @@ type t = {
       (** arm the gang coscheduling watchdog; [None] (default) arms it
           exactly when [faults] is a real profile, so fault-free runs
           carry no watchdog events *)
+  engine_queue : Sim_engine.Engine.queue_kind option;
+      (** event-queue backend for this scenario's engine; [None]
+          (default) uses the process-wide default (the
+          [--engine-queue] flag). SimCheck pins it per case so a
+          differential rerun needs no global state. *)
   obs : obs;  (** observability options (default {!obs_off}) *)
 }
 

@@ -142,7 +142,26 @@ let timed (s : Scenario.t) label f =
   | None -> f ()
   | Some p -> Sim_obs.Prof.time p label f
 
-let run_rounds (s : Scenario.t) ~rounds ~max_sec =
+(* Oracle hook: fire [f s] every [every_sec] of simulated time while
+   the run is in flight, then stop the chain so later windows on the
+   same scenario are unaffected. Probes must observe only (SimCheck's
+   mid-run invariant checks); a probe mutating scheduler state would
+   perturb the run it is judging. *)
+let with_probe (s : Scenario.t) probe run =
+  match probe with
+  | None -> run ()
+  | Some (every_sec, f) ->
+    let period = Units.cycles_of_sec_f (freq s) every_sec in
+    if period <= 0 then invalid_arg "Runner: probe period must be positive";
+    let stop =
+      Engine.periodic s.Scenario.engine
+        ~start:(Engine.now s.Scenario.engine + period)
+        ~period
+        (fun () -> f s)
+    in
+    Fun.protect ~finally:stop run
+
+let run_rounds ?probe (s : Scenario.t) ~rounds ~max_sec =
   if rounds <= 0 then invalid_arg "Runner.run_rounds: rounds must be positive";
   let started = Engine.now s.Scenario.engine in
   let base = baseline s in
@@ -151,7 +170,8 @@ let run_rounds (s : Scenario.t) ~rounds ~max_sec =
         Engine.halt s.Scenario.engine)
   in
   let limit = started + Units.cycles_of_sec_f (freq s) max_sec in
-  timed s "engine.run" (fun () -> Engine.run ~until:limit s.Scenario.engine);
+  timed s "engine.run" (fun () ->
+      with_probe s probe (fun () -> Engine.run ~until:limit s.Scenario.engine));
   timed s "collect" (fun () -> collect s ~round_times ~started ~base)
 
 let reset_measurements (s : Scenario.t) =
@@ -165,7 +185,7 @@ let reset_measurements (s : Scenario.t) =
         Sim_guest.Monitor.reset_window (Sim_guest.Kernel.monitor k))
     s.Scenario.vms
 
-let run_window (s : Scenario.t) ~sec =
+let run_window ?probe (s : Scenario.t) ~sec =
   if sec <= 0. then invalid_arg "Runner.run_window: sec must be positive";
   reset_measurements s;
   let started = Engine.now s.Scenario.engine in
@@ -174,7 +194,8 @@ let run_window (s : Scenario.t) ~sec =
     install_round_tracking s ~target:max_int ~on_all_done:(fun () -> ())
   in
   let limit = started + Units.cycles_of_sec_f (freq s) sec in
-  timed s "engine.run" (fun () -> Engine.run ~until:limit s.Scenario.engine);
+  timed s "engine.run" (fun () ->
+      with_probe s probe (fun () -> Engine.run ~until:limit s.Scenario.engine));
   timed s "collect" (fun () -> collect s ~round_times ~started ~base)
 
 let vm_metrics m ~vm =

@@ -49,13 +49,25 @@ type metrics = {
       (** injector tallies, cumulative; [[]] on clean runs *)
 }
 
-val run_rounds : Scenario.t -> rounds:int -> max_sec:float -> metrics
+val run_rounds :
+  ?probe:float * (Scenario.t -> unit) ->
+  Scenario.t ->
+  rounds:int ->
+  max_sec:float ->
+  metrics
 (** Run until every workload VM completes [rounds] rounds, or the
-    simulated clock advances [max_sec] past the start. *)
+    simulated clock advances [max_sec] past the start.
 
-val run_window : Scenario.t -> sec:float -> metrics
+    [?probe:(every_sec, f)] is the oracle hook point: [f scenario]
+    fires every [every_sec] simulated seconds while the run is in
+    flight (SimCheck's mid-run invariant sweeps), and the chain is
+    stopped when the run returns. Probes must only observe. *)
+
+val run_window :
+  ?probe:float * (Scenario.t -> unit) -> Scenario.t -> sec:float -> metrics
 (** Reset measurement state (monitor windows, marks, online
-    accounting), run exactly [sec] simulated seconds, then collect. *)
+    accounting), run exactly [sec] simulated seconds, then collect.
+    [?probe] as in {!run_rounds}. *)
 
 val first_round_sec : metrics -> vm:string -> float
 (** Duration of the VM's first round. Raises [Failure] if it never

@@ -32,7 +32,10 @@ let build config ~sched ~vms =
       if spec.weight <= 0 then invalid_arg "Scenario.build: non-positive weight";
       if spec.vcpus <= 0 then invalid_arg "Scenario.build: non-positive vcpus")
     vms;
-  let engine = Sim_engine.Engine.create ~seed:config.Config.seed () in
+  let engine =
+    Sim_engine.Engine.create ~seed:config.Config.seed
+      ?queue:config.Config.engine_queue ()
+  in
   (* Arm tracing before the machine exists so boot-time events (tick
      programming, first switches) land in the ring too. *)
   if config.Config.obs.Config.trace_mask <> 0 then
@@ -130,7 +133,7 @@ let build config ~sched ~vms =
           { spec; domain; kernel = Some kernel; threads })
       vms
   in
-  if Config.obs_wanted config then
+  if Config.obs_wanted config && config.Config.obs.Config.hub then
     Obs_hub.register
       {
         Obs_hub.label =
@@ -166,3 +169,100 @@ let find_vm t name =
   match List.find_opt (fun i -> i.spec.vm_name = name) t.vms with
   | Some i -> i
   | None -> invalid_arg (Printf.sprintf "Scenario.find_vm: no VM %s" name)
+
+(* ----- declarative workload descriptors -----
+
+   A [workload_desc] is a plain-data description of a VM's workload:
+   everything the CLI and the SimCheck fuzzer need to rebuild the
+   exact same [Sim_workloads.Workload.t] from a serialized case file.
+   Durations are microseconds so descriptors stay integer-valued and
+   CPU-model independent. *)
+
+type workload_desc =
+  | W_nas of string
+  | W_speccpu of string
+  | W_jbb of { warehouses : int }
+  | W_compute of { threads : int; chunks : int; chunk_us : int }
+  | W_lock_storm of { threads : int; rounds : int; cs_us : int; think_us : int }
+  | W_barrier of { threads : int; rounds : int; compute_us : int; cv : float }
+  | W_ping_pong of { rounds : int; compute_us : int }
+  | W_random of { threads : int; ops : int; nlocks : int; prog_seed : int }
+
+let workload_of_desc config desc =
+  let freq = Config.freq config in
+  let us n = Sim_engine.Units.cycles_of_us freq n in
+  match desc with
+  | W_nas name -> (
+    match Sim_workloads.Nas.of_name name with
+    | Some b ->
+      Sim_workloads.Nas.workload
+        (Sim_workloads.Nas.params b ~freq ~scale:config.Config.scale)
+    | None ->
+      invalid_arg (Printf.sprintf "workload_of_desc: unknown NAS bench %S" name))
+  | W_speccpu name -> (
+    let bench =
+      match String.lowercase_ascii name with
+      | "gcc" -> Some Sim_workloads.Speccpu.Gcc
+      | "bzip2" -> Some Sim_workloads.Speccpu.Bzip2
+      | _ -> None
+    in
+    match bench with
+    | Some b ->
+      Sim_workloads.Speccpu.workload
+        (Sim_workloads.Speccpu.params b ~freq ~scale:config.Config.scale)
+    | None ->
+      invalid_arg
+        (Printf.sprintf "workload_of_desc: unknown SPEC CPU bench %S" name))
+  | W_jbb { warehouses } ->
+    Sim_workloads.Specjbb.workload
+      (Sim_workloads.Specjbb.default_params ~freq ~warehouses)
+  | W_compute { threads; chunks; chunk_us } ->
+    Sim_workloads.Synthetic.compute_only ~threads ~chunks
+      ~chunk_cycles:(us chunk_us) ()
+  | W_lock_storm { threads; rounds; cs_us; think_us } ->
+    Sim_workloads.Synthetic.lock_storm ~threads ~rounds ~cs_cycles:(us cs_us)
+      ~think_cycles:(us think_us) ()
+  | W_barrier { threads; rounds; compute_us; cv } ->
+    Sim_workloads.Synthetic.barrier_loop ~threads ~rounds
+      ~compute_cycles:(us compute_us) ~cv ()
+  | W_ping_pong { rounds; compute_us } ->
+    Sim_workloads.Synthetic.ping_pong ~rounds ~compute_cycles:(us compute_us)
+  | W_random { threads; ops; nlocks; prog_seed } ->
+    let rng = Sim_engine.Rng.create (Int64.of_int prog_seed) in
+    let programs =
+      List.init threads (fun _ ->
+          Sim_workloads.Synthetic.random_program rng ~ops ~nlocks
+            ~max_compute:(us 500))
+    in
+    {
+      Sim_workloads.Workload.name = "random";
+      kind = Sim_workloads.Workload.Concurrent;
+      threads =
+        List.mapi
+          (fun i program ->
+            { Sim_workloads.Workload.affinity = i; program; restart = false })
+          programs;
+      barriers = [];
+      semaphores = [];
+    }
+
+type vm_desc = {
+  vd_name : string;
+  vd_weight : int;
+  vd_vcpus : int;
+  vd_workload : workload_desc option;
+}
+
+let of_descs config ~sched descs =
+  let vms =
+    List.map
+      (fun d ->
+        {
+          vm_name = d.vd_name;
+          weight = d.vd_weight;
+          vcpus = d.vd_vcpus;
+          workload = Option.map (workload_of_desc config) d.vd_workload;
+        })
+      descs
+  in
+  build config ~sched ~vms

@@ -56,3 +56,35 @@ val expected_online_rate : t -> vm_instance -> float
 (** Equation (2) for the instance's domain. *)
 
 val find_vm : t -> string -> vm_instance
+
+(** {2 Declarative scenario descriptors}
+
+    Plain-data workload descriptions, rebuildable from a serialized
+    case file (the SimCheck fuzzer and the CLI share them). Durations
+    are in microseconds so descriptors stay integer-valued and
+    CPU-model independent. *)
+
+type workload_desc =
+  | W_nas of string  (** NAS benchmark by name ("LU", "CG", ...) *)
+  | W_speccpu of string  (** "gcc" or "bzip2" (restarting rate protocol) *)
+  | W_jbb of { warehouses : int }
+  | W_compute of { threads : int; chunks : int; chunk_us : int }
+  | W_lock_storm of { threads : int; rounds : int; cs_us : int; think_us : int }
+  | W_barrier of { threads : int; rounds : int; compute_us : int; cv : float }
+  | W_ping_pong of { rounds : int; compute_us : int }  (** semaphores *)
+  | W_random of { threads : int; ops : int; nlocks : int; prog_seed : int }
+      (** independent random programs from {!Sim_workloads.Synthetic.random_program} *)
+
+val workload_of_desc : Config.t -> workload_desc -> Sim_workloads.Workload.t
+(** Deterministic in (config, desc). Raises [Invalid_argument] on an
+    unknown benchmark name. *)
+
+type vm_desc = {
+  vd_name : string;
+  vd_weight : int;
+  vd_vcpus : int;
+  vd_workload : workload_desc option;
+}
+
+val of_descs : Config.t -> sched:Config.sched_kind -> vm_desc list -> t
+(** {!build} over descriptor-built workloads. *)

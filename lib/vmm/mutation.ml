@@ -1,0 +1,36 @@
+(* Seeded scheduler mutations: deliberately planted bugs used to
+   validate that the SimCheck oracles actually detect real scheduler
+   defects (and that the shrinker converges on them). Exactly one
+   mutation can be active per process; the hooks below compile to a
+   single global read on the hot paths, and all call sites behave
+   identically when no mutation is armed. *)
+
+type t =
+  | Skip_credit_burn
+      (** [Vmm.charge] accounts online time but burns no credit *)
+  | Drop_gang_sibling
+      (** [Sched_gang.launch_cosched] skips the first ready sibling's
+          launch IPI on every gang launch *)
+  | Double_insert_reloc
+      (** [Vmm.migrate] forgets to remove the VCPU from its old
+          runqueue, leaving it queued twice *)
+
+let all = [ Skip_credit_burn; Drop_gang_sibling; Double_insert_reloc ]
+
+let to_name = function
+  | Skip_credit_burn -> "skip-credit-burn"
+  | Drop_gang_sibling -> "drop-gang-sibling"
+  | Double_insert_reloc -> "double-insert-reloc"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "skip-credit-burn" -> Some Skip_credit_burn
+  | "drop-gang-sibling" -> Some Drop_gang_sibling
+  | "double-insert-reloc" -> Some Double_insert_reloc
+  | _ -> None
+
+let active : t option ref = ref None
+
+let set m = active := m
+let get () = !active
+let enabled m = !active = Some m

@@ -153,6 +153,7 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
         | Some _ | None -> 0
       in
       let sent = ref 0 in
+      let mutation_dropped = ref false in
       Array.iter
         (fun (sib : Vcpu.t) ->
           if sib != leader && Vcpu.is_ready sib then begin
@@ -165,7 +166,14 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
                 sib.Vcpu.home
               end
             in
-            if dst <> pcpu then begin
+            if
+              dst <> pcpu
+              && not
+                   (Mutation.enabled Mutation.Drop_gang_sibling
+                   && not !mutation_dropped
+                   && (mutation_dropped := true;
+                       true))
+            then begin
               incr sent;
               Sim_hw.Machine.send_ipi api.machine ~src:pcpu ~dst (fun () ->
                   (match (wd, st) with

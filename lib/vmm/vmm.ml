@@ -75,8 +75,10 @@ let charge t (v : Vcpu.t) =
     -(t.credit_unit * t.cpu_model.Cpu_model.slots_per_period)
   in
   let burned =
-    Credit.burn ~credit_unit:t.credit_unit ~slot_cycles:(slot_cycles t)
-      ~run_cycles:ran_capped
+    if Mutation.enabled Mutation.Skip_credit_burn then 0
+    else
+      Credit.burn ~credit_unit:t.credit_unit ~slot_cycles:(slot_cycles t)
+        ~run_cycles:ran_capped
   in
   v.Vcpu.credit <- max floor (v.Vcpu.credit - burned);
   v.Vcpu.online_cycles <- v.Vcpu.online_cycles + ran;
@@ -145,7 +147,8 @@ let make_idle t ~pcpu = preempt_current t pcpu
 let migrate t (v : Vcpu.t) ~dst =
   if not (Vcpu.is_ready v) then invalid_arg "Vmm.migrate: vcpu is not Ready";
   if v.Vcpu.home <> dst then begin
-    Runqueue.remove t.runqueues.(v.Vcpu.home) v;
+    if not (Mutation.enabled Mutation.Double_insert_reloc) then
+      Runqueue.remove t.runqueues.(v.Vcpu.home) v;
     v.Vcpu.migrations <- v.Vcpu.migrations + 1;
     Runqueue.insert t.runqueues.(dst) v
   end

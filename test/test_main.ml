@@ -24,4 +24,5 @@ let () =
       ("models", Test_models.suite);
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
+      ("check", Test_check.suite);
     ]

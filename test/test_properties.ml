@@ -1,61 +1,65 @@
 (* Cross-cutting property tests: random workloads through the whole
-   stack must terminate, preserve invariants and conserve work. *)
+   stack must terminate, preserve invariants and conserve work.
+
+   Workloads come from SimCheck's seeded generator
+   ([Sim_check.Gen.finite_workload]), which draws over compute loops,
+   lock storms, barrier phases, semaphore ping-pong and random
+   lock/compute programs — wider than the random-program-only
+   generator this file used to hardcode. The old generator's exact
+   shapes survive as [test/corpus/legacy-random-*.json]. *)
 
 open Asman
 
 let freq = Config.freq Config.default
 
-let run_random_scenario ~seed ~sched ~threads ~ops =
+let run_random_scenario ~seed ~sched ~nvms =
   let rng = Sim_engine.Rng.create seed in
-  let config = Config.with_scale (Config.with_seed Config.default seed) 0.05 in
-  let programs =
-    List.init threads (fun _ ->
-        Sim_workloads.Synthetic.random_program rng ~ops ~nlocks:2
-          ~max_compute:(Sim_engine.Units.cycles_of_us freq 500))
+  let config =
+    Config.with_work_conserving
+      (Config.with_scale (Config.with_seed Config.default seed) 0.05)
+      false
   in
-  let workload =
-    {
-      Sim_workloads.Workload.name = "random";
-      kind = Sim_workloads.Workload.Concurrent;
-      threads =
-        List.mapi
-          (fun i program -> { Sim_workloads.Workload.affinity = i; program; restart = false })
-          programs;
-      barriers = [];
-      semaphores = [];
-    }
+  let descs =
+    List.init nvms (fun i ->
+        {
+          Scenario.vd_name = Printf.sprintf "V%d" i;
+          vd_weight = 64 * (i + 1);
+          vd_vcpus = 4;
+          vd_workload = Some (Sim_check.Gen.finite_workload rng);
+        })
   in
-  let s =
-    Scenario.build
-      (Config.with_work_conserving config false)
-      ~sched
-      ~vms:[ { Scenario.vm_name = "V"; weight = 64; vcpus = 4; workload = Some workload } ]
-  in
+  let s = Scenario.of_descs config ~sched descs in
   let m = Runner.run_rounds s ~rounds:1 ~max_sec:30. in
-  (s, m)
+  (s, m, descs)
 
-let prop_random_programs_terminate =
-  QCheck.Test.make ~count:15 ~name:"random lock programs terminate and hold invariants"
-    QCheck.(pair (int_range 1 1000) (int_range 1 25))
-    (fun (seed, ops) ->
-      let s, m =
-        run_random_scenario ~seed:(Int64.of_int seed) ~sched:Config.Credit
-          ~threads:4 ~ops
-      in
-      let vm = Runner.vm_metrics m ~vm:"V" in
-      vm.Runner.rounds = 1
-      && Sim_vmm.Vmm.check_invariants s.Scenario.vmm = Ok ())
+let all_rounds_complete (m : Runner.metrics) descs =
+  List.for_all
+    (fun (d : Scenario.vm_desc) ->
+      (Runner.vm_metrics m ~vm:d.Scenario.vd_name).Runner.rounds = 1)
+    descs
 
-let prop_random_programs_terminate_asman =
-  QCheck.Test.make ~count:10 ~name:"random programs terminate under asman"
+let prop_random_workloads_terminate =
+  QCheck.Test.make ~count:15
+    ~name:"random generated workloads terminate and hold invariants"
     QCheck.(int_range 1 1000)
     (fun seed ->
-      let s, m =
-        run_random_scenario ~seed:(Int64.of_int seed) ~sched:Config.Asman
-          ~threads:4 ~ops:15
+      let s, m, descs =
+        run_random_scenario ~seed:(Int64.of_int seed) ~sched:Config.Credit
+          ~nvms:1
       in
-      let vm = Runner.vm_metrics m ~vm:"V" in
-      vm.Runner.rounds = 1
+      all_rounds_complete m descs
+      && Sim_vmm.Vmm.check_invariants s.Scenario.vmm = Ok ())
+
+let prop_random_workloads_terminate_asman =
+  QCheck.Test.make ~count:10
+    ~name:"random generated workloads terminate under asman"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let s, m, descs =
+        run_random_scenario ~seed:(Int64.of_int seed) ~sched:Config.Asman
+          ~nvms:2
+      in
+      all_rounds_complete m descs
       && Sim_vmm.Vmm.check_invariants s.Scenario.vmm = Ok ())
 
 (* Work conservation: total online time across a run can never exceed
@@ -92,9 +96,9 @@ let prop_deterministic =
     QCheck.(int_range 1 100)
     (fun seed ->
       let fingerprint () =
-        let s, m =
+        let s, m, _ =
           run_random_scenario ~seed:(Int64.of_int seed) ~sched:Config.Asman
-            ~threads:3 ~ops:10
+            ~nvms:1
         in
         (m.Runner.events_fired, m.Runner.ctx_switches,
          Sim_engine.Engine.now s.Scenario.engine)
@@ -103,8 +107,8 @@ let prop_deterministic =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_random_programs_terminate;
-    QCheck_alcotest.to_alcotest prop_random_programs_terminate_asman;
+    QCheck_alcotest.to_alcotest prop_random_workloads_terminate;
+    QCheck_alcotest.to_alcotest prop_random_workloads_terminate_asman;
     QCheck_alcotest.to_alcotest prop_capacity_conserved;
     QCheck_alcotest.to_alcotest prop_deterministic;
   ]
