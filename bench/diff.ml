@@ -192,7 +192,10 @@ let runs_of json =
       | _ -> None)
     (as_arr (member "runs" json))
 
-(* ("bench backend pendingN", ops_per_sec) per micro measurement. *)
+(* ("bench backend [pN jN] pendingN", ops_per_sec) per micro
+   measurement. The PDES sweep rows (bench/micro.ml) carry pcpus and
+   sim_jobs; those go into the key so sweep points at the same pending
+   count stay distinct entries. *)
 let micro_of json =
   List.filter_map
     (fun m ->
@@ -203,7 +206,15 @@ let micro_of json =
           as_num (member "ops_per_sec" m) )
       with
       | Some b, Some k, Some p, Some r ->
-        Some (Printf.sprintf "%s %s %.0f" b k p, r)
+        let opt name short =
+          match as_num (member name m) with
+          | Some v -> Printf.sprintf " %s%.0f" short v
+          | None -> ""
+        in
+        Some
+          ( Printf.sprintf "%s %s%s%s %.0f" b k (opt "pcpus" "p")
+              (opt "sim_jobs" "j") p,
+            r )
       | _ -> None)
     (as_arr (member "micro" json))
 
@@ -254,6 +265,21 @@ let compare_section ~label ~unit ~worse ?(gate = fun _ -> true) ~threshold
   if !shown then print_newline ();
   !regressions
 
+(* A whole section missing from one file (e.g. a BENCH dump from
+   before that suite existed) is reported, never gated: perf-smoke
+   compares across PR boundaries where sections come and go. *)
+let section_presence ~label name old_json new_json =
+  match (member name old_json, member name new_json) with
+  | None, Some _ ->
+    Printf.printf "%s: section added in new file (nothing to compare)\n\n"
+      label;
+    false
+  | Some _, None ->
+    Printf.printf "%s: section removed in new file (nothing to compare)\n\n"
+      label;
+    false
+  | None, None | Some _, Some _ -> true
+
 let usage () =
   prerr_endline
     "usage: diff.exe OLD.json NEW.json [--threshold PCT] [--min-wall SEC]";
@@ -298,15 +324,24 @@ let () =
     Printf.printf "bench diff: %s -> %s (threshold %.0f%%)\n\n" old_path
       new_path !threshold;
     let r1 =
-      compare_section ~label:"figure/ablation wall time" ~unit:"sec"
-        ~worse:(fun d -> d)
-        ~gate:(fun old_v -> old_v >= !min_wall)
-        ~threshold:!threshold (runs_of old_json) (runs_of new_json)
+      if section_presence ~label:"figure/ablation wall time" "runs" old_json
+           new_json
+      then
+        compare_section ~label:"figure/ablation wall time" ~unit:"sec"
+          ~worse:(fun d -> d)
+          ~gate:(fun old_v -> old_v >= !min_wall)
+          ~threshold:!threshold (runs_of old_json) (runs_of new_json)
+      else 0
     in
     let r2 =
-      compare_section ~label:"event-queue micro throughput" ~unit:"events/sec"
-        ~worse:(fun d -> -.d) ~threshold:!threshold (micro_of old_json)
-        (micro_of new_json)
+      if section_presence ~label:"event-queue micro throughput" "micro"
+           old_json new_json
+      then
+        compare_section ~label:"event-queue micro throughput"
+          ~unit:"events/sec"
+          ~worse:(fun d -> -.d) ~threshold:!threshold (micro_of old_json)
+          (micro_of new_json)
+      else 0
     in
     (match (as_num (member "total_wall_sec" old_json),
             as_num (member "total_wall_sec" new_json))

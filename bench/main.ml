@@ -151,6 +151,12 @@ let default_json_file () = Printf.sprintf "BENCH_%s.json" (date_string ())
 (* Event-queue micro results (bench/micro.ml), when that suite ran. *)
 let micro_results : Micro.result list ref = ref []
 
+(* Conservative-PDES sweep results and fingerprint verdict, when that
+   suite ran; rows are merged into the "micro" JSON array. *)
+let pdes_results : Micro.pdes_result list ref = ref []
+
+let pdes_ok = ref true
+
 let write_json path =
   let entries = List.rev !recorded in
   let total_wall = List.fold_left (fun s e -> s +. e.wall_sec) 0. entries in
@@ -189,12 +195,24 @@ let write_json path =
     (Sim_engine.Equeue.kind_name (Sim_engine.Engine.default_queue ()))
     total_wall
     (String.concat ",\n" (List.map entry_json entries))
-    (Micro.to_json_fragment !micro_results)
+    (String.concat ",\n"
+       (List.filter
+          (fun s -> s <> "")
+          [
+            Micro.to_json_fragment !micro_results;
+            Micro.pdes_to_json_fragment !pdes_results;
+          ]))
     (Sim_obs.Prof.to_json_fragment prof);
   close_out oc;
   Printf.printf "timings written to %s\n%!" path
 
 (* ----- Bechamel micro-benchmarks ----- *)
+
+let pdes_suite () =
+  let results, ok = Micro.run_pdes_all () in
+  pdes_results := results;
+  pdes_ok := ok;
+  Micro.print_pdes (results, ok)
 
 let microbenchmarks () =
   (* Event-queue throughput first: plain wall-clock over fixed op
@@ -202,6 +220,7 @@ let microbenchmarks () =
   let eq = Micro.run () in
   micro_results := eq;
   Micro.print eq;
+  pdes_suite ();
   let open Bechamel in
   let freq = Config.freq config in
   (* One Test.make per core primitive of the simulator. *)
@@ -319,7 +338,7 @@ type opts = {
 let usage () =
   prerr_endline
     "usage: main.exe [-j N] [--json [FILE]] [--engine-queue=wheel|heap] \
-     [micro|ablations|chaos|<figure ids>]";
+     [micro|pdes|ablations|chaos|<figure ids>]";
   exit 2
 
 let parse_args args =
@@ -377,6 +396,7 @@ let () =
     run_ablations ();
     microbenchmarks ()
   | [ "micro" ] -> microbenchmarks ()
+  | [ "pdes" ] -> pdes_suite ()
   | [ "ablations" ] -> run_ablations ()
   | [ "chaos" ] -> run_figures [ "resilience" ]
   | ids ->
@@ -388,4 +408,8 @@ let () =
         | None, None -> Printf.eprintf "unknown id %s\n" id)
       ids);
   (match cost_cache_file with Some f -> Pool.save_cost_cache f | None -> ());
-  match opts.json with Some path -> write_json path | None -> ()
+  (match opts.json with Some path -> write_json path | None -> ());
+  if not !pdes_ok then begin
+    prerr_endline "pdes: -j1-vs-jN fingerprint mismatch";
+    exit 1
+  end

@@ -127,3 +127,190 @@ let to_json_fragment results =
             \"ops\":%d,\"sec\":%.6f,\"ops_per_sec\":%.1f}"
            r.bench r.backend r.pending r.ops r.sec r.ops_per_sec)
        results)
+
+(* ----- conservative-PDES throughput: events/sec per shard count and
+   host size ------------------------------------------------------------
+
+   Each PCPU of a big host owns [per-pcpu] self-rescheduling timer
+   chains (the hold pattern above, one population per PCPU); chains
+   live on the shard owning their PCPU, and roughly one firing in 64
+   (chosen by hash bits) posts a cross-shard one-shot at >= lookahead
+   ahead — the relocation/IPI traffic the conservative window is sized
+   for. sim-jobs = 1 is the sequential single-queue reference (Shard
+   with one shard degenerates to exactly the engine's pop-with-limit
+   loop); sim-jobs = N runs the same event population partitioned N
+   ways.
+
+   Each chain's delay stream is a pure hash of (PCPU, fire time) — no
+   per-chain state — so the multiset of fire times is independent of
+   the partition; the commutative Shard.digest must therefore agree
+   between -j1 and -jN, and the bench fails on any mismatch. The
+   lookahead derives from the 10 ms slot quantum (slot/16 ~ 625 us,
+   >> the modeled IPI latency), matching how cross-shard scheduler
+   traffic is slot-granular. *)
+
+type pdes_result = {
+  p_pcpus : int;
+  p_jobs : int;  (* shard count: the --sim-jobs axis *)
+  p_workers : int;  (* worker domains actually used *)
+  p_pending : int;
+  p_events : int;
+  p_sec : float;
+  p_events_per_sec : float;
+  p_windows : int;
+  p_cross : int;
+  p_digest : int;
+}
+
+let pdes_lookahead =
+  Sim_hw.Cpu_model.slot_cycles Sim_hw.Cpu_model.default / 16
+
+let run_pdes_once ?(kind = Equeue.Wheel_queue) ~pcpus ~jobs () =
+  let shards = jobs in
+  let shard_of p = p * shards / pcpus in
+  let la = pdes_lookahead in
+  let per_pcpu = if pcpus >= 256 then 1024 else 2048 in
+  let until = 64 * la in
+  let t = Shard.create ~queue:kind ~shards ~lookahead:la () in
+  (* The delay stream is a pure function of (PCPU, fire time): an
+     event firing at [time] on PCPU [p] reschedules at
+     [time + g (p, time)]. The executed multiset of fire times is then
+     fully determined by the initial population — independent of the
+     partition (a chain's PCPU is its own property, not the shard's) —
+     so the digest must agree across shard counts, and the harness
+     needs no per-chain state at all (one shared closure per PCPU).
+     Keying on the PCPU as well as the time keeps chains on distinct
+     trajectories: a time-only hash would merge any two chains that
+     ever collide, and merged chains reschedule into the same wheel
+     slot — cache-hot inserts that flatter the single-queue baseline.
+     Per-event bookkeeping is a handful of register ops; everything
+     else an event does is queue work, which is precisely what
+     sharding divides. *)
+  let mask = (1 lsl 24) - 1 in
+  let mix v =
+    let h = v * 0x3E3779B97F4A7C15 in
+    let h = (h lxor (h lsr 30)) * 0x14D049BB133111EB in
+    (h lxor (h lsr 27)) land max_int
+  in
+  for p = 0 to pcpus - 1 do
+    let sp = shard_of p in
+    let sdst = shard_of ((p + (pcpus / 2)) mod pcpus) in
+    let rec act () =
+      let time = Shard.clock t ~shard:sp in
+      let m = mix ((time lsl 8) lor (p land 0xFF)) in
+      if (m lsr 24) land 63 = 0 then
+        Shard.post t ~src:sp ~dst:sdst
+          ~time:(time + la + 1 + ((m lsr 30) land mask))
+          nothing;
+      ignore (Shard.schedule t ~shard:sp ~time:(time + 1 + (m land mask)) act)
+    in
+    for k = 0 to per_pcpu - 1 do
+      let key = (p * per_pcpu) + k in
+      ignore
+        (Shard.schedule t ~shard:sp ~time:(1 + (mix (key lsl 8) land mask)) act)
+    done
+  done;
+  let workers = max 1 (min jobs (Domain.recommended_domain_count ())) in
+  (* Level the GC playing field between sweep points: without this,
+     garbage from the previous point's setup charges its collection
+     cost to whichever run happens to trip the major slice. *)
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  Shard.run ~workers ~until t;
+  let sec = Unix.gettimeofday () -. t0 in
+  let events = Shard.events_fired t in
+  {
+    p_pcpus = pcpus;
+    p_jobs = jobs;
+    p_workers = workers;
+    p_pending = pcpus * per_pcpu;
+    p_events = events;
+    p_sec = sec;
+    p_events_per_sec = (if sec > 0. then float_of_int events /. sec else 0.);
+    p_windows = Shard.windows t;
+    p_cross = Shard.cross_posts t;
+    p_digest = Shard.digest t;
+  }
+
+(* Best-of-N wall clock: the setup is deterministic (reps execute the
+   identical event stream, checked via the digest), so the fastest rep
+   is the least-interfered measurement — the standard defence against
+   noisy-neighbour hosts in CI. Reps are organised as rounds over the
+   whole sweep rather than consecutive runs of one point: interference
+   lasting a minute then hits every point a little instead of
+   swallowing all reps of whichever point it landed on, so one quiet
+   round gives every row (and every ratio) its clean measurement. *)
+let pdes_reps = 4
+
+let pdes_sweep =
+  [ (64, 1); (64, 4); (128, 1); (128, 2); (128, 4); (256, 1); (256, 4) ]
+
+(* Returns the rows plus the fingerprint verdict: within a host size,
+   every shard count must execute the identical event multiset. *)
+let run_pdes_all ?kind () =
+  let best = Array.make (List.length pdes_sweep) None in
+  for _ = 1 to pdes_reps do
+    List.iteri
+      (fun i (pcpus, jobs) ->
+        let r = run_pdes_once ?kind ~pcpus ~jobs () in
+        match best.(i) with
+        | None -> best.(i) <- Some r
+        | Some b ->
+          if r.p_digest <> b.p_digest then
+            failwith "Micro.run_pdes_all: digest varies across identical reps";
+          if r.p_events_per_sec > b.p_events_per_sec then best.(i) <- Some r)
+      pdes_sweep
+  done;
+  let results = List.filter_map Fun.id (Array.to_list best) in
+  let ok =
+    List.for_all
+      (fun r ->
+        List.for_all
+          (fun r' ->
+            r'.p_pcpus <> r.p_pcpus
+            || (r'.p_digest = r.p_digest && r'.p_events = r.p_events))
+          results)
+      results
+  in
+  (results, ok)
+
+let pdes_ratio results ~pcpus ~jobs ~jobs_ref =
+  let rate j =
+    List.find_opt (fun r -> r.p_pcpus = pcpus && r.p_jobs = j) results
+  in
+  match (rate jobs, rate jobs_ref) with
+  | Some a, Some b when b.p_events_per_sec > 0. ->
+    Some (a.p_events_per_sec /. b.p_events_per_sec)
+  | _ -> None
+
+let print_pdes (results, ok) =
+  print_endline
+    "conservative PDES throughput (sharded hold pattern, events per second):";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %4d pcpus  -j%d (%d worker%s)  %8d pending  %10.0f ev/s  %5d \
+         windows  %6d cross\n"
+        r.p_pcpus r.p_jobs r.p_workers
+        (if r.p_workers = 1 then "" else "s")
+        r.p_pending r.p_events_per_sec r.p_windows r.p_cross)
+    results;
+  (match pdes_ratio results ~pcpus:128 ~jobs:4 ~jobs_ref:1 with
+  | Some ratio -> Printf.printf "  -j4 / -j1 at 128 pcpus: %.2fx\n" ratio
+  | None -> ());
+  Printf.printf "  -j1-vs-jN fingerprint: %s\n"
+    (if ok then "identical" else "MISMATCH");
+  print_newline ()
+
+let pdes_to_json_fragment results =
+  String.concat ",\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf
+           "    {\"bench\":\"pdes-hold\",\"backend\":\"wheel\",\
+            \"pcpus\":%d,\"sim_jobs\":%d,\"workers\":%d,\"pending\":%d,\
+            \"ops\":%d,\"sec\":%.6f,\"ops_per_sec\":%.1f,\"windows\":%d,\
+            \"cross_posts\":%d,\"digest\":\"%x\"}"
+           r.p_pcpus r.p_jobs r.p_workers r.p_pending r.p_events r.p_sec
+           r.p_events_per_sec r.p_windows r.p_cross r.p_digest)
+       results)

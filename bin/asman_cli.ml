@@ -121,6 +121,62 @@ let config_of ~scale ~seed ~chaos ~invariants =
   let config = Config.with_seed (Config.with_scale Config.default scale) seed in
   { config with Config.faults = chaos; invariants }
 
+(* ----- big-host / parallel-simulation flags (run/experiment) ----- *)
+
+let sim_jobs_arg =
+  let doc =
+    "Shards for the engine's conservative-sharding ledger (clamped to the \
+     PCPU count). Scheduler-visible outcomes are byte-identical at any \
+     value; N > 1 additionally reports windows, cross-shard events and \
+     coupling density. 1 (the default) leaves the ledger unarmed."
+  in
+  Arg.(value & opt int 1 & info [ "sim-jobs" ] ~doc ~docv:"N")
+
+let topology_arg =
+  let doc =
+    "Host topology as $(b,SOCKETSxCORES) (e.g. 8x16 = 128 PCPUs); default \
+     is the paper's 2x4 testbed."
+  in
+  let parse s =
+    match Sim_hw.Topology.of_string s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "bad topology %S (want SxC)" s))
+  in
+  let print fmt t = Format.pp_print_string fmt (Sim_hw.Topology.to_string t) in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "topology" ] ~doc ~docv:"SxC")
+
+let numa_arg =
+  let doc =
+    "Arm the NUMA host model: same-socket work-stealing preference and a \
+     cross-socket relocation penalty. Default off (flat host)."
+  in
+  Arg.(value & flag & info [ "numa" ] ~doc)
+
+let apply_parallel config ~sim_jobs ~topology ~numa =
+  let config =
+    match topology with
+    | None -> config
+    | Some topology -> { config with Config.topology }
+  in
+  { config with Config.sim_jobs = max 1 sim_jobs; numa }
+
+let print_shard_report engine =
+  match Sim_engine.Engine.shard_report engine with
+  | None -> ()
+  | Some r ->
+    Printf.printf
+      "sim-jobs: %d shards, lookahead %d cycles, %d windows, %d cross-shard \
+       events, %d couplings (sub-lookahead)\n"
+      r.Sim_engine.Engine.r_shards r.Sim_engine.Engine.r_lookahead
+      r.Sim_engine.Engine.r_windows r.Sim_engine.Engine.r_cross
+      r.Sim_engine.Engine.r_coupled;
+    (match Sim_engine.Engine.shard_fingerprint engine with
+    | Some fp -> Printf.printf "sim-jobs fingerprint: %s\n" fp
+    | None -> ())
+
 (* ----- observability flags (shared by run/experiment/ablation) ----- *)
 
 let trace_arg =
@@ -247,13 +303,14 @@ let experiment_cmd =
     Arg.(
       value & opt (some string) None & info [ "cost-cache" ] ~doc ~docv:"FILE")
   in
-  let run id csv scale seed jobs queue cost_cache chaos invariants trace
-      trace_cats metrics profile =
+  let run id csv scale seed jobs queue cost_cache chaos invariants sim_jobs
+      topology numa trace trace_cats metrics profile =
     Pool.set_jobs jobs;
     set_queue queue;
     (match cost_cache with Some f -> Pool.load_cost_cache f | None -> ());
     let obs, export = obs_setup ~trace ~trace_cats ~metrics ~profile in
     let config = { (config_of ~scale ~seed ~chaos ~invariants) with Config.obs } in
+    let config = apply_parallel config ~sim_jobs ~topology ~numa in
     let run_one (e : Experiments.t) =
       (match cost_cache with
       | Some _ -> Pool.set_job_group (Some e.Experiments.id)
@@ -280,7 +337,8 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper")
     Term.(
       const run $ id_arg $ csv_arg $ scale_arg $ seed_arg $ jobs_arg
-      $ queue_arg $ cost_cache_arg $ chaos_arg $ invariants_arg $ trace_arg
+      $ queue_arg $ cost_cache_arg $ chaos_arg $ invariants_arg
+      $ sim_jobs_arg $ topology_arg $ numa_arg $ trace_arg
       $ trace_cats_arg $ metrics_arg $ profile_arg)
 
 (* ----- ablation ----- *)
@@ -383,10 +441,11 @@ let run_cmd =
     Arg.(value & opt float 120. & info [ "max-sec" ] ~doc)
   in
   let run vms weight capped rounds max_sec sched scale seed queue chaos
-      invariants trace trace_cats metrics profile =
+      invariants sim_jobs topology numa trace trace_cats metrics profile =
     set_queue queue;
     let obs, export = obs_setup ~trace ~trace_cats ~metrics ~profile in
     let config = { (config_of ~scale ~seed ~chaos ~invariants) with Config.obs } in
+    let config = apply_parallel config ~sim_jobs ~topology ~numa in
     let config = Config.with_work_conserving config (not capped) in
     let specs =
       List.mapi
@@ -434,6 +493,7 @@ let run_cmd =
     print_string (Sim_stats.Table.render ~headers rows);
     print_newline ();
     print_string (Report.health_summary metrics);
+    print_shard_report scenario.Scenario.engine;
     let violations = Sim_vmm.Vmm.invariant_violations scenario.Scenario.vmm in
     List.iteri
       (fun i msg -> if i < 5 then Printf.printf "  violation: %s\n" msg)
@@ -450,8 +510,8 @@ let run_cmd =
     Term.(
       const run $ vms_arg $ weight_arg $ capped_arg $ rounds_arg $ max_sec_arg
       $ sched_arg $ scale_arg $ seed_arg $ queue_arg $ chaos_arg
-      $ invariants_arg $ trace_arg $ trace_cats_arg $ metrics_arg
-      $ profile_arg)
+      $ invariants_arg $ sim_jobs_arg $ topology_arg $ numa_arg $ trace_arg
+      $ trace_cats_arg $ metrics_arg $ profile_arg)
 
 (* ----- trace ----- *)
 

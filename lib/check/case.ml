@@ -16,7 +16,7 @@ let trace_cap = 1 lsl 17
 let probe_every_sec = 0.005
 let max_probe_errors = 5
 
-let config_of_spec ?queue (spec : Spec.t) =
+let config_of_spec ?queue ?sim_jobs (spec : Spec.t) =
   let queue = Option.value queue ~default:(Spec.queue_kind spec) in
   {
     Config.default with
@@ -29,6 +29,7 @@ let config_of_spec ?queue (spec : Spec.t) =
     faults = Spec.fault_profile spec;
     invariants = Sim_vmm.Vmm.Record;
     engine_queue = Some queue;
+    sim_jobs = Option.value sim_jobs ~default:spec.Spec.sim_jobs;
     obs =
       {
         Config.trace_mask;
@@ -58,8 +59,8 @@ let fingerprint_to_string fp =
           (fun (n, m, r, v) -> Printf.sprintf "%s:%d/%d/%d" n m r v)
           fp.fp_vms))
 
-let run_once ?queue (spec : Spec.t) =
-  let config = config_of_spec ?queue spec in
+let run_once ?queue ?sim_jobs (spec : Spec.t) =
+  let config = config_of_spec ?queue ?sim_jobs spec in
   let s =
     Scenario.of_descs config ~sched:(Spec.sched_kind spec) (Spec.vm_descs spec)
   in
@@ -173,15 +174,41 @@ let run (spec : Spec.t) : Oracle.failure list =
                 (Printexc.to_string e);
           };
         ]
-      | fp', _ ->
-        if fp = fp' then []
-        else
+      | fp', _ when fp <> fp' ->
+        [
+          {
+            Oracle.oracle = "determinism";
+            message =
+              Printf.sprintf "wheel/heap divergence: %s vs %s"
+                (fingerprint_to_string fp)
+                (fingerprint_to_string fp');
+          };
+        ]
+      | _ -> (
+        (* Backend flip clean: the sim-jobs oracle reruns with the
+           sharding ledger flipped (armed cases rerun unarmed and vice
+           versa) — scheduler-visible outcomes must be byte-identical,
+           the -j1-vs-jN contract. *)
+        let sim_jobs' = if spec.Spec.sim_jobs > 1 then 1 else 4 in
+        match run_once ~sim_jobs:sim_jobs' spec with
+        | exception e ->
           [
             {
-              Oracle.oracle = "determinism";
+              Oracle.oracle = "sim-jobs";
               message =
-                Printf.sprintf "wheel/heap divergence: %s vs %s"
-                  (fingerprint_to_string fp)
-                  (fingerprint_to_string fp');
+                Printf.sprintf "rerun with --sim-jobs %d crashed: %s" sim_jobs'
+                  (Printexc.to_string e);
             };
-          ]))
+          ]
+        | fp'', _ ->
+          if fp = fp'' then []
+          else
+            [
+              {
+                Oracle.oracle = "sim-jobs";
+                message =
+                  Printf.sprintf "--sim-jobs %d vs %d divergence: %s vs %s"
+                    spec.Spec.sim_jobs sim_jobs' (fingerprint_to_string fp)
+                    (fingerprint_to_string fp'');
+              };
+            ])))

@@ -20,16 +20,24 @@ type fingerprint = {
 
 val fingerprint_to_string : fingerprint -> string
 
-val config_of_spec : ?queue:Sim_engine.Engine.queue_kind -> Spec.t -> Asman.Config.t
+val config_of_spec :
+  ?queue:Sim_engine.Engine.queue_kind ->
+  ?sim_jobs:int ->
+  Spec.t ->
+  Asman.Config.t
 (** The exact config a case runs under ([queue] overrides the spec's
-    backend — the determinism rerun). *)
+    backend — the determinism rerun; [sim_jobs] overrides the spec's
+    shard count — the sim-jobs rerun). *)
 
 val run_once :
   ?queue:Sim_engine.Engine.queue_kind ->
+  ?sim_jobs:int ->
   Spec.t ->
   fingerprint * Oracle.failure list
 (** One simulation, no determinism rerun, exceptions propagate. *)
 
 val run : Spec.t -> Oracle.failure list
-(** The full judgement: validate, run, oracles, determinism rerun on
-    clean runs. [[]] means the case passed everything. *)
+(** The full judgement: validate, run, oracles, then on clean runs the
+    determinism rerun (flipped queue backend) and the sim-jobs rerun
+    (sharding ledger flipped: armed specs rerun at [--sim-jobs 1],
+    unarmed ones at 4). [[]] means the case passed everything. *)

@@ -76,8 +76,14 @@ let any_workload rng =
 let vm_name i = Printf.sprintf "vm%d" i
 
 let base_spec rng =
-  let sockets = if Rng.int rng 4 = 0 then 2 else 1 in
-  let cores_per_socket = [| 2; 4; 4 |].(Rng.int rng 3) in
+  (* Mostly paper-testbed-sized hosts; one case in 16 is a big-host
+     NUMA-ish box (64/128 PCPUs) so the sharding ledger and the
+     big-topology paths stay fuzzed. *)
+  let sockets, cores_per_socket =
+    if Rng.int rng 16 = 0 then ((if Rng.bool rng then 4 else 8), 16)
+    else
+      ((if Rng.int rng 4 = 0 then 2 else 1), [| 2; 4; 4 |].(Rng.int rng 3))
+  in
   {
     Spec.seed = Rng.next_int64 rng;
     sched = [| "credit"; "asman"; "asman"; "con"; "asman-oov" |].(Rng.int rng 5);
@@ -85,6 +91,7 @@ let base_spec rng =
     work_conserving = Rng.int rng 4 <> 0;
     faults = "none";
     queue = (if Rng.bool rng then "wheel" else "heap");
+    sim_jobs = [| 1; 1; 2; 4 |].(Rng.int rng 4);
     sockets;
     cores_per_socket;
     horizon_sec = 0.06 +. (0.02 *. float_of_int (Rng.int rng 8));

@@ -14,6 +14,7 @@ type t = {
   work_conserving : bool;
   faults : string;  (** profile name, ["none"] for clean runs *)
   queue : string;  (** ["wheel"] or ["heap"] *)
+  sim_jobs : int;  (** --sim-jobs shard count; 1 = ledger unarmed *)
   sockets : int;
   cores_per_socket : int;
   horizon_sec : float;
@@ -113,6 +114,7 @@ let to_json t =
       ("work_conserving", Cjson.Bool t.work_conserving);
       ("faults", Cjson.String t.faults);
       ("queue", Cjson.String t.queue);
+      ("sim_jobs", Cjson.Int t.sim_jobs);
       ("sockets", Cjson.Int t.sockets);
       ("cores_per_socket", Cjson.Int t.cores_per_socket);
       ("horizon_sec", Cjson.Float t.horizon_sec);
@@ -132,6 +134,12 @@ let of_json j =
     work_conserving = Cjson.get "work_conserving" j ~of_:Cjson.to_bool;
     faults = Cjson.get "faults" j ~of_:Cjson.to_string_v;
     queue = Cjson.get "queue" j ~of_:Cjson.to_string_v;
+    (* absent in pre-sim-jobs corpus files: default to the unarmed
+       ledger so the committed corpus replays unchanged *)
+    sim_jobs =
+      (match Cjson.member "sim_jobs" j with
+      | None -> 1
+      | Some v -> Cjson.to_int v);
     sockets = Cjson.get "sockets" j ~of_:Cjson.to_int;
     cores_per_socket = Cjson.get "cores_per_socket" j ~of_:Cjson.to_int;
     horizon_sec = Cjson.get "horizon_sec" j ~of_:Cjson.to_float;
@@ -171,6 +179,7 @@ let validate t =
     err "unknown fault profile %S" t.faults
   else if t.queue <> "wheel" && t.queue <> "heap" then
     err "unknown queue backend %S" t.queue
+  else if t.sim_jobs < 1 then err "non-positive sim_jobs"
   else if
     List.exists (fun v -> v.v_weight <= 0 || v.v_vcpus <= 0) t.vms
   then err "non-positive VM weight or vcpus"

@@ -21,6 +21,11 @@ type t = {
   work_conserving : bool;
   faults : string;  (** fault profile name; ["none"] = clean *)
   queue : string;  (** event-queue backend: ["wheel"] or ["heap"] *)
+  sim_jobs : int;
+      (** [--sim-jobs] shard count for the engine's sharding ledger;
+          1 (the default when absent from older corpus JSON) leaves
+          the ledger unarmed. Outcome-invariant by contract — the
+          sim-jobs oracle reruns cases across values to enforce it. *)
   sockets : int;
   cores_per_socket : int;
   horizon_sec : float;  (** simulated measurement window *)

@@ -59,6 +59,8 @@ type t = {
   watchdog : bool option;  (** [None] = armed iff faults are enabled *)
   engine_queue : Sim_engine.Engine.queue_kind option;
       (** [None] = the process default ([--engine-queue]) *)
+  sim_jobs : int;
+  numa : bool;
   obs : obs;
 }
 
@@ -77,6 +79,8 @@ let default =
     invariants = Sim_vmm.Vmm.Record;
     watchdog = None;
     engine_queue = None;
+    sim_jobs = 1;
+    numa = false;
     obs = obs_off;
   }
 

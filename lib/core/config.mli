@@ -58,6 +58,16 @@ type t = {
           (default) uses the process-wide default (the
           [--engine-queue] flag). SimCheck pins it per case so a
           differential rerun needs no global state. *)
+  sim_jobs : int;
+      (** [--sim-jobs]: shards for the engine's coupled-mode sharding
+          ledger (clamped to the PCPU count). 1 — the default — leaves
+          the ledger unarmed. Any value produces scheduler-visible
+          outcomes byte-identical to 1: the ledger attributes and
+          measures, it never reorders. *)
+  numa : bool;
+      (** arm the NUMA host model (same-socket steal preference,
+          cross-socket relocation penalty). Default off: flat-host
+          behaviour, byte-identical to earlier builds. *)
   obs : obs;  (** observability options (default {!obs_off}) *)
 }
 

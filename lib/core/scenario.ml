@@ -43,6 +43,20 @@ let build config ~sched ~vms =
       ~cap:config.Config.obs.Config.trace_cap
       (Sim_engine.Engine.trace engine)
       ~mask:config.Config.obs.Config.trace_mask;
+  (* Arm the coupled-mode sharding ledger before the machine programs
+     its tick chains, so every event is attributed from boot. PCPUs
+     map to shards in contiguous blocks; the lookahead — the window a
+     conservative decoupled run would use — is the modeled IPI
+     latency, the fastest cross-PCPU signal in the simulation. *)
+  (if config.Config.sim_jobs > 1 then begin
+     let pcpus = Config.pcpus config in
+     let nshards = max 1 (min config.Config.sim_jobs pcpus) in
+     let shard_of_pcpu = Array.init pcpus (fun p -> p * nshards / pcpus) in
+     Sim_engine.Engine.arm_sharding engine
+       ~lookahead:
+         (max 1 config.Config.cpu.Sim_hw.Cpu_model.ipi_latency_cycles)
+       ~shard_of_pcpu
+   end);
   let machine =
     Sim_hw.Machine.create ~stagger:config.Config.stagger engine
       config.Config.cpu config.Config.topology
@@ -52,9 +66,20 @@ let build config ~sched ~vms =
       Some (Sim_vmm.Watchdog.default config.Config.cpu)
     else None
   in
+  let numa =
+    if config.Config.numa then
+      Some
+        {
+          Sim_vmm.Sched_intf.topo = config.Config.topology;
+          (* ~25 us of cold-cache refill at the modeled frequency. *)
+          reloc_penalty_cycles =
+            Sim_engine.Units.cycles_of_us (Config.freq config) 25;
+        }
+    else None
+  in
   let vmm =
     Sim_vmm.Vmm.create ~work_conserving:config.Config.work_conserving
-      ~credit_unit:config.Config.credit_unit ?watchdog machine
+      ~credit_unit:config.Config.credit_unit ?watchdog ?numa machine
       ~sched:(Config.sched_maker sched)
   in
   Sim_vmm.Vmm.set_invariant_mode vmm config.Config.invariants;

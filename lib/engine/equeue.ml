@@ -104,6 +104,18 @@ let rec heap_ensure pool h =
   end
   else true
 
+(* Peek at the live minimum's fire time without extracting it. Shares
+   the backend descent with [pop]: the wheel advances its cursor until
+   the near heap holds the global minimum, the heap oracle sheds
+   tombstones off its top. Both are work [pop] would do anyway. *)
+let next_time t =
+  match t.backend with
+  | Wheel w -> if Wheel.ensure_near w then Some (Wheel.near_top_time w) else None
+  | Heap h ->
+    if heap_ensure t.pool h then
+      Some t.pool.Wheel.time.(Wheel.Sheap.top h)
+    else None
+
 type pop_result =
   | Event of int * (unit -> unit)  (** fire time and action *)
   | Beyond  (** next live event is after [limit]; left queued *)
@@ -135,3 +147,41 @@ let pop ?limit t =
       | Some l when time > l -> Beyond
       | _ -> take_slot time (Wheel.Sheap.pop t.pool h)
     end
+
+(* Fused fire loop: equivalent to looping over [pop ~limit] but with
+   no per-event allocation (neither the [limit] option nor the
+   [pop_result] block), which matters on the sharded drain hot path
+   where millions of events fire per window. *)
+let drain t ~limit f =
+  let continue_ = ref true in
+  (match t.backend with
+  | Wheel w ->
+    while !continue_ do
+      if not (Wheel.ensure_near w) then continue_ := false
+      else begin
+        let time = Wheel.near_top_time w in
+        if time > limit then continue_ := false
+        else begin
+          let s = Wheel.take_near w in
+          let action = t.pool.Wheel.act.(s) in
+          Wheel.release t.pool s;
+          t.live <- t.live - 1;
+          f time action
+        end
+      end
+    done
+  | Heap h ->
+    while !continue_ do
+      if not (heap_ensure t.pool h) then continue_ := false
+      else begin
+        let time = t.pool.Wheel.time.(Wheel.Sheap.top h) in
+        if time > limit then continue_ := false
+        else begin
+          let s = Wheel.Sheap.pop t.pool h in
+          let action = t.pool.Wheel.act.(s) in
+          Wheel.release t.pool s;
+          t.live <- t.live - 1;
+          f time action
+        end
+      end
+    done)

@@ -46,6 +46,13 @@ val cancel : t -> handle -> bool
     residents are unlinked and recycled eagerly, slot-heap residents
     tombstoned and dropped lazily. Stale handles return [false]. *)
 
+val next_time : t -> int option
+(** Fire time of the live [(time, seq)]-minimum event, without
+    extracting it; [None] on an empty queue. The backend descent is
+    shared with {!pop}, so a following [pop] re-finds the minimum in
+    O(1). The conservative shard scheduler uses this to compute the
+    global safe horizon. *)
+
 type pop_result =
   | Event of int * (unit -> unit)  (** fire time and action *)
   | Beyond  (** next live event is after [limit]; left queued *)
@@ -55,3 +62,10 @@ val pop : ?limit:int -> t -> pop_result
 (** Extract the live [(time, seq)]-minimum event in one queue
     descent. With [limit], an event strictly after it is left queued
     and [Beyond] is returned. *)
+
+val drain : t -> limit:int -> (int -> (unit -> unit) -> unit) -> unit
+(** [drain t ~limit f] pops and applies [f time action] to every live
+    event with fire time at or below [limit], in [(time, seq)] order —
+    exactly a [pop ~limit] loop, minus the per-event [pop_result] and
+    option allocations. [f] may schedule further events; ones landing
+    at or below [limit] fire within the same drain. *)

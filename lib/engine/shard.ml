@@ -1,0 +1,328 @@
+(* Conservative parallel DES: sharded queues, lookahead windows,
+   mailboxed cross-shard events.
+
+   Window protocol
+   ---------------
+     1. flush every mailbox into its shard queue, in (time, src, seq)
+        order;
+     2. t_min   := min over shards of Equeue.next_time;
+     3. horizon := t_min + lookahead; shards drain events with
+        time < horizon (strictly — an event exactly at the lookahead
+        edge belongs to the next window) concurrently and without
+        locks;
+     4. repeat until no shard has a pending event at or below [until].
+
+   Safety: during step 3 a shard only ever *receives* work through its
+   own queue (local schedules) or its mailbox (cross posts). The post
+   contract time >= src.clock + lookahead, together with
+   src.clock < horizon while draining, guarantees a posted time is
+   >= t_min + lookahead = horizon, i.e. outside the current window, so
+   holding mail until the next flush never reorders anything a shard
+   could have observed.
+
+   Determinism: per-shard event order is the (time, seq) order of its
+   private queue; mailbox flushes assign queue sequence numbers in the
+   sorted (time, src, per-src seq) order, which no domain interleaving
+   can perturb. Hence the executed streams depend only on the
+   partition, not on the worker team — Seq and Par runs fingerprint
+   identically. *)
+
+type mail = {
+  m_time : int;
+  m_src : int;
+  m_seq : int;  (* per-source counter: FIFO among equal-time posts *)
+  m_act : unit -> unit;
+}
+
+type shard = {
+  sid : int;
+  q : Equeue.t;
+  mutable clock : int;
+  mutable fired : int;
+  (* Order-sensitive rolling hash of this shard's fire times. *)
+  mutable fp : int;
+  (* Commutative (order-independent) contribution to the global
+     outcome digest; summed across shards it is invariant under
+     repartitioning as long as the same events execute. *)
+  mutable dg : int;
+  lock : Mutex.t;
+  mutable inbox : mail list;  (* newest first; sorted at flush *)
+  mutable out_seq : int;
+}
+
+type t = {
+  shardv : shard array;
+  lookahead : int;
+  mutable windows : int;
+  mutable cross_posts : int;
+}
+
+let create ?(queue = Equeue.Wheel_queue) ~shards ~lookahead () =
+  if shards < 1 then invalid_arg "Shard.create: shards < 1";
+  if lookahead < 1 then invalid_arg "Shard.create: lookahead < 1";
+  {
+    shardv =
+      Array.init shards (fun sid ->
+          {
+            sid;
+            q = Equeue.create queue;
+            clock = 0;
+            fired = 0;
+            fp = 0;
+            dg = 0;
+            lock = Mutex.create ();
+            inbox = [];
+            out_seq = 0;
+          });
+    lookahead;
+    windows = 0;
+    cross_posts = 0;
+  }
+
+let shards t = Array.length t.shardv
+
+let lookahead t = t.lookahead
+
+let clock t ~shard = t.shardv.(shard).clock
+
+let schedule t ~shard ~time action =
+  let sh = t.shardv.(shard) in
+  if time < sh.clock then
+    invalid_arg
+      (Printf.sprintf "Shard.schedule: time %d before shard %d clock %d" time
+         shard sh.sid);
+  Equeue.schedule sh.q ~time action
+
+let cancel t ~shard h = Equeue.cancel t.shardv.(shard).q h
+
+let post t ~src ~dst ~time action =
+  let s = t.shardv.(src) in
+  if time < s.clock + t.lookahead then
+    invalid_arg
+      (Printf.sprintf
+         "Shard.post: time %d violates lookahead (shard %d clock %d + %d)" time
+         src s.clock t.lookahead);
+  let m = { m_time = time; m_src = src; m_seq = s.out_seq; m_act = action } in
+  s.out_seq <- s.out_seq + 1;
+  let d = t.shardv.(dst) in
+  Mutex.lock d.lock;
+  d.inbox <- m :: d.inbox;
+  Mutex.unlock d.lock
+
+(* --- window execution ------------------------------------------------ *)
+
+let mail_order a b =
+  if a.m_time <> b.m_time then compare a.m_time b.m_time
+  else if a.m_src <> b.m_src then compare a.m_src b.m_src
+  else compare a.m_seq b.m_seq
+
+(* Coordinator-only, between windows: move mailbox contents into the
+   destination queues in deterministic order. *)
+let deliver t =
+  Array.iter
+    (fun d ->
+      Mutex.lock d.lock;
+      let mail = d.inbox in
+      d.inbox <- [];
+      Mutex.unlock d.lock;
+      match mail with
+      | [] -> ()
+      | mail ->
+        List.iter
+          (fun m ->
+            t.cross_posts <- t.cross_posts + 1;
+            ignore (Equeue.schedule d.q ~time:m.m_time m.m_act))
+          (List.sort mail_order mail))
+    t.shardv
+
+let next_global t =
+  Array.fold_left
+    (fun acc sh ->
+      match Equeue.next_time sh.q with
+      | None -> acc
+      | Some nt -> (
+        match acc with None -> Some nt | Some a -> Some (min a nt)))
+    None t.shardv
+
+(* Mix a fire time into the commutative digest. The per-event hash is
+   a strong scramble; the combination is plain wrapping addition so
+   the total is independent of execution and partition order. *)
+let dg_mix time =
+  let h = (time + 1) * 0x2545F4914F6CDD1 in
+  (h lxor (h lsr 29)) land max_int
+
+let drain sh ~limit =
+  Equeue.drain sh.q ~limit (fun time action ->
+      sh.clock <- time;
+      sh.fired <- sh.fired + 1;
+      sh.fp <- ((sh.fp * 31) + time + 1) land max_int;
+      sh.dg <- (sh.dg + dg_mix time) land max_int;
+      action ())
+
+(* --- worker team ------------------------------------------------------
+
+   A persistent team of [workers - 1] spawned domains plus the
+   coordinator. Each window the coordinator publishes (limit, gen+1)
+   under the mutex; workers grab shard indices from an atomic counter,
+   drain them, and check in. All shard state crosses domains inside
+   mutex-protected generation transitions, so every window's writes
+   happen-before the next window's reads. *)
+
+type team = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable gen : int;  (* window generation; bumped to start a window *)
+  mutable limit : int;
+  mutable stop : bool;
+  mutable checked_in : int;  (* workers finished with current gen *)
+  mutable failure : exn option;  (* first exception raised in a window *)
+  next_shard : int Atomic.t;
+}
+
+let team_make () =
+  {
+    mu = Mutex.create ();
+    cv = Condition.create ();
+    gen = 0;
+    limit = 0;
+    stop = false;
+    checked_in = 0;
+    failure = None;
+    next_shard = Atomic.make 0;
+  }
+
+(* Drain shards off the grab counter until it runs out; record (don't
+   propagate) the first exception so the barrier still completes. *)
+let team_grab t tm =
+  let n = Array.length t.shardv in
+  let continue_ = ref true in
+  while !continue_ do
+    let i = Atomic.fetch_and_add tm.next_shard 1 in
+    if i >= n then continue_ := false
+    else
+      try drain t.shardv.(i) ~limit:tm.limit
+      with e ->
+        Mutex.lock tm.mu;
+        if tm.failure = None then tm.failure <- Some e;
+        Mutex.unlock tm.mu
+  done
+
+let team_worker t tm () =
+  let gen_seen = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock tm.mu;
+    while (not tm.stop) && tm.gen = !gen_seen do
+      Condition.wait tm.cv tm.mu
+    done;
+    if tm.stop then begin
+      Mutex.unlock tm.mu;
+      continue_ := false
+    end
+    else begin
+      gen_seen := tm.gen;
+      Mutex.unlock tm.mu;
+      team_grab t tm;
+      Mutex.lock tm.mu;
+      tm.checked_in <- tm.checked_in + 1;
+      Condition.broadcast tm.cv;
+      Mutex.unlock tm.mu
+    end
+  done
+
+(* Run one window on the team (coordinator participates). Re-raises a
+   worker exception only after the barrier, so the team is never left
+   mid-window. *)
+let team_window t tm ~workers ~limit =
+  Mutex.lock tm.mu;
+  tm.limit <- limit;
+  tm.checked_in <- 0;
+  Atomic.set tm.next_shard 0;
+  tm.gen <- tm.gen + 1;
+  Condition.broadcast tm.cv;
+  Mutex.unlock tm.mu;
+  team_grab t tm;
+  Mutex.lock tm.mu;
+  tm.checked_in <- tm.checked_in + 1;
+  while tm.checked_in < workers do
+    Condition.wait tm.cv tm.mu
+  done;
+  let failure = tm.failure in
+  tm.failure <- None;
+  Mutex.unlock tm.mu;
+  match failure with None -> () | Some e -> raise e
+
+let team_shutdown tm domains =
+  Mutex.lock tm.mu;
+  tm.stop <- true;
+  Condition.broadcast tm.cv;
+  Mutex.unlock tm.mu;
+  Array.iter Domain.join domains
+
+(* --- main loop -------------------------------------------------------- *)
+
+let run ?workers ?until t =
+  let n = Array.length t.shardv in
+  let workers =
+    match workers with
+    | Some w -> max 1 (min w n)
+    | None -> max 1 (min n (Domain.recommended_domain_count ()))
+  in
+  let finish () =
+    match until with
+    | None -> ()
+    | Some u ->
+      Array.iter (fun sh -> if sh.clock < u then sh.clock <- u) t.shardv
+  in
+  let rec loop window =
+    deliver t;
+    match next_global t with
+    | None -> finish ()
+    | Some t_min when (match until with Some u -> t_min > u | None -> false)
+      ->
+      finish ()
+    | Some t_min ->
+      (* Strict < horizon via pop ~limit: limit is inclusive, so the
+         last admissible time is horizon - 1 = t_min + lookahead - 1.
+         lookahead >= 1 keeps t_min itself admissible: progress. *)
+      let limit =
+        let l = t_min + t.lookahead - 1 in
+        match until with Some u -> min l u | None -> l
+      in
+      t.windows <- t.windows + 1;
+      window limit;
+      loop window
+  in
+  if workers = 1 then loop (fun limit -> Array.iter (drain ~limit) t.shardv)
+  else begin
+    let tm = team_make () in
+    let domains =
+      Array.init (workers - 1) (fun _ -> Domain.spawn (team_worker t tm))
+    in
+    match loop (fun limit -> team_window t tm ~workers ~limit) with
+    | () -> team_shutdown tm domains
+    | exception e ->
+      team_shutdown tm domains;
+      raise e
+  end
+
+let events_fired t = Array.fold_left (fun acc sh -> acc + sh.fired) 0 t.shardv
+
+let shard_events t ~shard = t.shardv.(shard).fired
+
+let windows t = t.windows
+
+let cross_posts t = t.cross_posts
+
+let fingerprint t =
+  let b = Buffer.create (16 * Array.length t.shardv) in
+  Buffer.add_string b (Printf.sprintf "w%d" t.windows);
+  Array.iter
+    (fun sh ->
+      Buffer.add_string b
+        (Printf.sprintf "|s%d:%d@%d:%08x" sh.sid sh.fired sh.clock
+           (sh.fp land 0xFFFFFFFF)))
+    t.shardv;
+  Buffer.contents b
+
+let digest t = Array.fold_left (fun acc sh -> (acc + sh.dg) land max_int) 0 t.shardv

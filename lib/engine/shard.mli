@@ -1,0 +1,96 @@
+(** Conservative parallel discrete-event simulation over sharded
+    event queues.
+
+    The simulated host's PCPUs are partitioned into [shards], each
+    owning a private {!Equeue.t} (timing wheel or heap oracle), a
+    private clock, and a mailbox for inbound cross-shard events. The
+    engine advances in windows: each window picks the global minimum
+    pending fire time [t_min], sets the safe horizon
+    [t_min + lookahead], and lets every shard drain its local queue
+    strictly below the horizon with no synchronization at all. The
+    conservative contract making this safe is {!post}: a cross-shard
+    event must be scheduled at least [lookahead] ahead of the sending
+    shard's clock, so nothing posted during a window can land inside
+    it. Mailboxes are flushed between windows in the deterministic
+    [(time, source shard, source sequence)] order.
+
+    Logical sharding is decoupled from physical workers: the shard
+    count fixes the partition (and therefore which events share a
+    queue), while {!run}'s worker-domain team only changes who drains
+    which queue. Outcomes are a function of the partition alone —
+    running the same sharded simulation with 1 worker or [N] worker
+    domains produces identical per-shard event streams by
+    construction, which {!fingerprint} checks cheaply. *)
+
+type t
+
+val create : ?queue:Equeue.kind -> shards:int -> lookahead:int -> unit -> t
+(** [create ~shards ~lookahead ()] builds an engine with [shards]
+    independent event queues ([queue] defaults to the timing wheel)
+    synchronized on a conservative window of [lookahead] simulated
+    cycles. Raises [Invalid_argument] if [shards < 1] or
+    [lookahead < 1]. *)
+
+val shards : t -> int
+
+val lookahead : t -> int
+
+val clock : t -> shard:int -> int
+(** The shard's local clock: the fire time of its latest event, later
+    clamped up to [until] when {!run} exhausts the window bound. *)
+
+val schedule : t -> shard:int -> time:int -> (unit -> unit) -> Equeue.handle
+(** Schedule a shard-local event. Raises [Invalid_argument] if [time]
+    is before the shard's clock. Actions run on the domain draining
+    that shard and may call [schedule] (same shard) and {!post} (other
+    shards) freely. *)
+
+val cancel : t -> shard:int -> Equeue.handle -> bool
+(** Cancel a pending shard-local event; [false] if it already fired or
+    was cancelled. Only the shard that scheduled the event may cancel
+    it (the handle is meaningless to any other shard's queue). *)
+
+val post : t -> src:int -> dst:int -> time:int -> (unit -> unit) -> unit
+(** Mailbox a cross-shard event from shard [src] to shard [dst]. The
+    conservative contract requires [time >= clock src + lookahead];
+    violations raise [Invalid_argument] (they would race the receiving
+    shard's current window). Delivery happens at the next window
+    boundary, in [(time, src, per-src sequence)] order, so the
+    receiving shard observes a deterministic arrival order no matter
+    which domains ran the windows. *)
+
+val run : ?workers:int -> ?until:int -> t -> unit
+(** Drain all shards window by window until every queue is empty, or
+    until the next global event lies strictly after [until] (shard
+    clocks are then clamped to [until], mirroring {!Engine.run}).
+
+    [workers] caps the domain team draining shards within a window; it
+    defaults to [min shards (Domain.recommended_domain_count ())] and
+    is determinism-irrelevant: any worker count yields the same
+    per-shard event streams. With [workers = 1] no domain is spawned
+    and shards are drained round-robin on the calling domain. *)
+
+val events_fired : t -> int
+(** Total events fired across all shards. *)
+
+val shard_events : t -> shard:int -> int
+
+val windows : t -> int
+(** Conservative windows executed so far. *)
+
+val cross_posts : t -> int
+(** Cross-shard events delivered through mailboxes so far. *)
+
+val fingerprint : t -> string
+(** Per-shard digest of the executed event streams — each shard's
+    event count, final clock, and an order-sensitive rolling hash of
+    its fire times, plus the window count. Two runs of the same
+    partition must produce equal fingerprints regardless of worker
+    count; differing partitions legitimately differ. *)
+
+val digest : t -> int
+(** Partition-independent outcome digest: a commutative hash over the
+    fire times of every executed event. Two runs that execute the same
+    multiset of events — e.g. the same workload at different shard
+    counts — produce equal digests; this is the [-j1]-vs-[-jN]
+    fingerprint the bench and CI gate on. *)

@@ -22,3 +22,17 @@ let same_socket t a b = socket_of t a = socket_of t b
 let pcpus_of_socket t s =
   if s < 0 || s >= t.sockets then invalid_arg "Topology.pcpus_of_socket";
   List.init t.cores_per_socket (fun i -> (s * t.cores_per_socket) + i)
+
+let to_string t = Printf.sprintf "%dx%d" t.sockets t.cores_per_socket
+
+let of_string s =
+  match String.index_opt s 'x' with
+  | None -> None
+  | Some i -> (
+    let l = String.sub s 0 i in
+    let r = String.sub s (i + 1) (String.length s - i - 1) in
+    match (int_of_string_opt l, int_of_string_opt r) with
+    | Some sockets, Some cores_per_socket
+      when sockets > 0 && cores_per_socket > 0 ->
+      Some (make ~sockets ~cores_per_socket)
+    | _ -> None)

@@ -21,3 +21,10 @@ val socket_of : t -> int -> int
 val same_socket : t -> int -> int -> bool
 
 val pcpus_of_socket : t -> int -> int list
+
+val to_string : t -> string
+(** ["SxC"], e.g. ["2x4"]. *)
+
+val of_string : string -> t option
+(** Parse ["SxC"] (e.g. ["8x16"] = 128 PCPUs); [None] unless both
+    dimensions are positive integers. *)

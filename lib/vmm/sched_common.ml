@@ -8,25 +8,41 @@ let requeue_current api ~pcpu =
 let allow_any _v ~dst:_ = true
 
 let steal api ~dst ~under_only ~allowed =
-  let candidate = ref None in
-  Array.iter
-    (fun rq ->
-      if Runqueue.pcpu rq <> dst then
-        List.iter
-          (fun (v : Vcpu.t) ->
-            let eligible =
-              (not v.Vcpu.boosted) && (not v.Vcpu.parked)
-              && ((not under_only) || v.Vcpu.credit > 0)
-              && allowed v ~dst
-            in
-            if eligible then
-              match !candidate with
-              | None -> candidate := Some v
-              | Some cur ->
-                if v.Vcpu.credit > cur.Vcpu.credit then candidate := Some v)
-          (Runqueue.to_list rq))
-    api.runqueues;
-  match !candidate with
+  let best pred =
+    let candidate = ref None in
+    Array.iter
+      (fun rq ->
+        let src = Runqueue.pcpu rq in
+        if src <> dst && pred src then
+          List.iter
+            (fun (v : Vcpu.t) ->
+              let eligible =
+                (not v.Vcpu.boosted) && (not v.Vcpu.parked)
+                && ((not under_only) || v.Vcpu.credit > 0)
+                && allowed v ~dst
+              in
+              if eligible then
+                match !candidate with
+                | None -> candidate := Some v
+                | Some cur ->
+                  if v.Vcpu.credit > cur.Vcpu.credit then candidate := Some v)
+            (Runqueue.to_list rq))
+      api.runqueues;
+    !candidate
+  in
+  let candidate =
+    match api.numa with
+    | None -> best (fun _ -> true)
+    | Some { topo; _ } -> (
+      (* Same-socket runqueues first: a local candidate wins even when
+         a remote one holds more credit (LLC locality beats strict
+         credit order). Falls back to the remote sockets. *)
+      match best (fun src -> Sim_hw.Topology.same_socket topo src dst) with
+      | Some v -> Some v
+      | None ->
+        best (fun src -> not (Sim_hw.Topology.same_socket topo src dst)))
+  in
+  match candidate with
   | None -> None
   | Some v ->
     api.migrate v ~dst;

@@ -1,3 +1,13 @@
+(* NUMA-ish host model for big (64-256 PCPU) topologies: schedulers
+   prefer same-socket steals, and a VCPU relocated across sockets pays
+   a one-off cold-cache penalty (charged as extra consumed cycles at
+   its next accounting). [None] — the default — keeps every scheduler
+   byte-identical to the flat-host behaviour. *)
+type numa = {
+  topo : Sim_hw.Topology.t;
+  reloc_penalty_cycles : int;
+}
+
 type api = {
   machine : Sim_hw.Machine.t;
   runqueues : Runqueue.t array;
@@ -13,6 +23,7 @@ type api = {
   pcpu_online : int -> bool;
   watchdog : Watchdog.params option;
   metrics : Sim_obs.Metrics.t;
+  numa : numa option;
 }
 
 type t = {

@@ -5,6 +5,17 @@
     reacts to slot boundaries, assignment periods, wake/block and VCRD
     changes by invoking the actions in {!api}. *)
 
+type numa = {
+  topo : Sim_hw.Topology.t;
+  reloc_penalty_cycles : int;
+      (** cold-cache cost charged to a VCPU relocated across sockets,
+          consumed at its next accounting event *)
+}
+(** NUMA-ish host model for big (64-256 PCPU) topologies: schedulers
+    prefer same-socket steals, and cross-socket relocations pay a
+    one-off penalty. [None] in {!api} — the default — keeps every
+    scheduler byte-identical to the flat-host behaviour. *)
+
 type api = {
   machine : Sim_hw.Machine.t;
   runqueues : Runqueue.t array;  (** index = PCPU id *)
@@ -38,6 +49,9 @@ type api = {
   metrics : Sim_obs.Metrics.t;
       (** The simulation's metrics registry, for scheduler-owned
           counters (e.g. the gang watchdog's tallies). *)
+  numa : numa option;
+      (** When set, {!Sched_common.steal} prefers same-socket
+          runqueues and the core charges relocation penalties. *)
 }
 
 type t = {

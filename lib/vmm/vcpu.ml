@@ -18,6 +18,10 @@ type t = {
   mutable last_dispatch : int;
   mutable dispatches : int;
   mutable migrations : int;
+  (* Pending cold-cache cycles from a cross-socket relocation (NUMA
+     model); charged as extra consumed time at the next accounting and
+     reset. Stays 0 when the NUMA model is off. *)
+  mutable reloc_penalty : int;
 }
 
 let make ~id ~domain_id ~index ~home =
@@ -35,6 +39,7 @@ let make ~id ~domain_id ~index ~home =
     last_dispatch = 0;
     dispatches = 0;
     migrations = 0;
+    reloc_penalty = 0;
   }
 
 let set_hooks t hooks = t.hooks <- hooks

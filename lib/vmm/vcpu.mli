@@ -36,6 +36,10 @@ type t = {
   mutable last_dispatch : int;  (** when the current online span began *)
   mutable dispatches : int;
   mutable migrations : int;
+  mutable reloc_penalty : int;
+      (** pending cold-cache cycles from a cross-socket relocation
+          (NUMA model); charged and reset at the next accounting.
+          Always 0 when the NUMA model is off. *)
 }
 
 val make : id:int -> domain_id:int -> index:int -> home:int -> t

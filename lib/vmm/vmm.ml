@@ -20,6 +20,8 @@ type t = {
   mutable sched : Sched_intf.t option;
   work_conserving : bool;
   credit_unit : int;
+  numa : Sched_intf.numa option;
+  mutable numa_remote_relocs : int;
   mutable next_vcpu_id : int;
   mutable next_domain_id : int;
   slot_counts : int array;  (** per-PCPU slot boundaries seen *)
@@ -70,7 +72,13 @@ let slot_cycles t = Cpu_model.slot_cycles t.cpu_model
    so a VCPU that overdraws cannot be starved for many periods. *)
 let charge t (v : Vcpu.t) =
   let ran = now t - v.Vcpu.last_dispatch in
-  let ran_capped = min ran (slot_cycles t) in
+  (* A pending cross-socket relocation penalty is consumed time the
+     flat-host model never sees: it inflates the burned span (still
+     capped at one slot) but not wall-clock online time. Zero unless
+     the NUMA model is armed. *)
+  let penalty = v.Vcpu.reloc_penalty in
+  if penalty > 0 then v.Vcpu.reloc_penalty <- 0;
+  let ran_capped = min (ran + penalty) (slot_cycles t) in
   let floor =
     -(t.credit_unit * t.cpu_model.Cpu_model.slots_per_period)
   in
@@ -127,7 +135,19 @@ let run_on t ~pcpu (v : Vcpu.t) =
        guest hooks only in block paths, which cannot happen here; the
        VCPU is still Ready in some queue. *)
     Runqueue.remove t.runqueues.(v.Vcpu.home) v;
-    if v.Vcpu.home <> pcpu then v.Vcpu.migrations <- v.Vcpu.migrations + 1;
+    if v.Vcpu.home <> pcpu then begin
+      v.Vcpu.migrations <- v.Vcpu.migrations + 1;
+      (* Pulling work from another runqueue is a zero-latency remote
+         state access; the sharding ledger counts it as a coupling
+         when the two PCPUs live on different shards. *)
+      Engine.note_remote_touch t.engine ~src_pcpu:v.Vcpu.home ~dst_pcpu:pcpu;
+      match t.numa with
+      | Some { Sched_intf.topo; reloc_penalty_cycles }
+        when not (Topology.same_socket topo v.Vcpu.home pcpu) ->
+        v.Vcpu.reloc_penalty <- v.Vcpu.reloc_penalty + reloc_penalty_cycles;
+        t.numa_remote_relocs <- t.numa_remote_relocs + 1
+      | Some _ | None -> ()
+    end;
     end_idle t pcpu;
     v.Vcpu.home <- pcpu;
     v.Vcpu.state <- Vcpu.Running pcpu;
@@ -150,6 +170,13 @@ let migrate t (v : Vcpu.t) ~dst =
     if not (Mutation.enabled Mutation.Double_insert_reloc) then
       Runqueue.remove t.runqueues.(v.Vcpu.home) v;
     v.Vcpu.migrations <- v.Vcpu.migrations + 1;
+    Engine.note_remote_touch t.engine ~src_pcpu:v.Vcpu.home ~dst_pcpu:dst;
+    (match t.numa with
+    | Some { Sched_intf.topo; reloc_penalty_cycles }
+      when not (Topology.same_socket topo v.Vcpu.home dst) ->
+      v.Vcpu.reloc_penalty <- v.Vcpu.reloc_penalty + reloc_penalty_cycles;
+      t.numa_remote_relocs <- t.numa_remote_relocs + 1
+    | Some _ | None -> ());
     Runqueue.insert t.runqueues.(dst) v
   end
 
@@ -187,6 +214,8 @@ let register_gauges t =
   Metrics.gauge m ~subsystem:"vmm" ~name:"ctx_switches" (fun () ->
       t.ctx_switches);
   Metrics.gauge m ~subsystem:"vmm" ~name:"ple_exits" (fun () -> t.ple_count);
+  Metrics.gauge m ~subsystem:"vmm" ~name:"numa_remote_relocs" (fun () ->
+      t.numa_remote_relocs);
   Metrics.gauge m ~subsystem:"vmm" ~name:"invariant_violations" (fun () ->
       t.violations_count);
   Array.iteri
@@ -212,10 +241,11 @@ let api t : Sched_intf.api =
     pcpu_online = (fun pcpu -> Machine.pcpu_online t.machine pcpu);
     watchdog = t.watchdog;
     metrics = t.metrics;
+    numa = t.numa;
   }
 
 let create ?(work_conserving = true) ?(credit_unit = Credit.default_credit_unit)
-    ?watchdog machine ~sched =
+    ?watchdog ?numa machine ~sched =
   let n = Machine.pcpu_count machine in
   let t =
     {
@@ -228,6 +258,8 @@ let create ?(work_conserving = true) ?(credit_unit = Credit.default_credit_unit)
       sched = None;
       work_conserving;
       credit_unit;
+      numa;
+      numa_remote_relocs = 0;
       next_vcpu_id = 0;
       next_domain_id = 0;
       slot_counts = Array.make n 0;

@@ -21,12 +21,16 @@ val create :
   ?work_conserving:bool ->
   ?credit_unit:int ->
   ?watchdog:Watchdog.params ->
+  ?numa:Sched_intf.numa ->
   Sim_hw.Machine.t ->
   sched:Sched_intf.maker ->
   t
 (** [work_conserving] defaults to [true]; [credit_unit] to
     {!Credit.default_credit_unit}. [watchdog] (default off) arms the
-    gang scheduler's coscheduling watchdog — see {!Watchdog}. *)
+    gang scheduler's coscheduling watchdog — see {!Watchdog}. [numa]
+    (default off) arms the NUMA host model: schedulers prefer
+    same-socket steals and cross-socket relocations charge a cold-
+    cache penalty at the next accounting — see {!Sched_intf.numa}. *)
 
 val engine : t -> Sim_engine.Engine.t
 

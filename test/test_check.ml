@@ -264,6 +264,7 @@ let big_spec =
     work_conserving = true;
     faults = "chaos-mild";
     queue = "wheel";
+    sim_jobs = 2;
     sockets = 2;
     cores_per_socket = 4;
     horizon_sec = 0.4;
@@ -341,6 +342,7 @@ let mutation_spec =
     work_conserving = false;
     faults = "none";
     queue = "wheel";
+    sim_jobs = 1;
     sockets = 2;
     cores_per_socket = 2;
     horizon_sec = 0.14;

@@ -25,4 +25,5 @@ let () =
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
+      ("shard", Test_shard.suite);
     ]

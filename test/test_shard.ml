@@ -1,0 +1,195 @@
+(* Conservative PDES shard engine: window protocol, cross-shard
+   mailbox ordering, and the -j1-vs-jN determinism contract — both at
+   the Shard level (real partitioned queues) and at the scenario level
+   (the engine's coupled-mode sharding ledger behind --sim-jobs). *)
+
+open Sim_engine
+
+(* ----- window protocol ----- *)
+
+(* An event exactly at the lookahead edge belongs to the next window:
+   with lookahead 100 and events at t=0 and t=100, the first window's
+   horizon is 0 + 100, draining strictly below it — so the run takes
+   exactly two windows. *)
+let test_horizon_edge_defers () =
+  let t = Shard.create ~shards:1 ~lookahead:100 () in
+  let order = ref [] in
+  ignore (Shard.schedule t ~shard:0 ~time:0 (fun () -> order := 0 :: !order));
+  ignore
+    (Shard.schedule t ~shard:0 ~time:100 (fun () -> order := 100 :: !order));
+  Shard.run ~workers:1 t;
+  Alcotest.(check (list int)) "both fired in order" [ 0; 100 ] (List.rev !order);
+  Alcotest.(check int) "two windows" 2 (Shard.windows t)
+
+(* Events strictly inside the horizon all drain in one window. *)
+let test_within_horizon_one_window () =
+  let t = Shard.create ~shards:1 ~lookahead:100 () in
+  for time = 0 to 99 do
+    ignore (Shard.schedule t ~shard:0 ~time (fun () -> ()))
+  done;
+  Shard.run ~workers:1 t;
+  Alcotest.(check int) "one window" 1 (Shard.windows t);
+  Alcotest.(check int) "all fired" 100 (Shard.events_fired t)
+
+(* [until] clamps every shard clock even when queues still hold
+   events, mirroring Engine.run. *)
+let test_until_clamps_clocks () =
+  let t = Shard.create ~shards:2 ~lookahead:10 () in
+  ignore (Shard.schedule t ~shard:0 ~time:5 (fun () -> ()));
+  ignore (Shard.schedule t ~shard:1 ~time:500 (fun () -> ()));
+  Shard.run ~workers:1 ~until:50 t;
+  Alcotest.(check int) "shard 0 clock at until" 50 (Shard.clock t ~shard:0);
+  Alcotest.(check int) "shard 1 clock at until" 50 (Shard.clock t ~shard:1);
+  Alcotest.(check int) "late event still queued" 1 (Shard.events_fired t)
+
+(* ----- post contract ----- *)
+
+let test_post_below_lookahead_rejected () =
+  let t = Shard.create ~shards:2 ~lookahead:100 () in
+  ignore
+    (Shard.schedule t ~shard:0 ~time:50 (fun () ->
+         (* clock is 50; lookahead demands time >= 150. *)
+         Alcotest.check_raises "sub-lookahead post rejected"
+           (Invalid_argument
+              "Shard.post: time 149 violates lookahead (shard 0 clock 50 + 100)")
+           (fun () -> Shard.post t ~src:0 ~dst:1 ~time:149 (fun () -> ()))));
+  Shard.run ~workers:1 t
+
+let test_post_at_lookahead_accepted () =
+  let t = Shard.create ~shards:2 ~lookahead:100 () in
+  let delivered = ref (-1) in
+  ignore
+    (Shard.schedule t ~shard:0 ~time:50 (fun () ->
+         Shard.post t ~src:0 ~dst:1 ~time:150 (fun () ->
+             delivered := Shard.clock t ~shard:1)));
+  Shard.run ~workers:1 t;
+  Alcotest.(check int) "delivered exactly at lookahead edge" 150 !delivered;
+  Alcotest.(check int) "one cross post" 1 (Shard.cross_posts t)
+
+(* Cross-shard mail is delivered in (time, src, per-src seq) order no
+   matter the order the posts were made in. *)
+let test_mail_order () =
+  let t = Shard.create ~shards:3 ~lookahead:10 () in
+  let log = ref [] in
+  let arrival tag () = log := tag :: !log in
+  (* Shard 0 and shard 1 each post to shard 2 from their t=0 events;
+     posts land at mixed times and are issued in an order that
+     disagrees with (time, src, seq). *)
+  ignore
+    (Shard.schedule t ~shard:0 ~time:0 (fun () ->
+         Shard.post t ~src:0 ~dst:2 ~time:30 (arrival "t30-src0-a");
+         Shard.post t ~src:0 ~dst:2 ~time:20 (arrival "t20-src0");
+         Shard.post t ~src:0 ~dst:2 ~time:30 (arrival "t30-src0-b")));
+  ignore
+    (Shard.schedule t ~shard:1 ~time:0 (fun () ->
+         Shard.post t ~src:1 ~dst:2 ~time:30 (arrival "t30-src1");
+         Shard.post t ~src:1 ~dst:2 ~time:20 (arrival "t20-src1")));
+  Shard.run ~workers:1 t;
+  Alcotest.(check (list string))
+    "delivery order is (time, src, seq)"
+    [ "t20-src0"; "t20-src1"; "t30-src0-a"; "t30-src0-b"; "t30-src1" ]
+    (List.rev !log)
+
+(* ----- determinism contracts ----- *)
+
+(* A deterministic little workload: self-rescheduling chains whose
+   delays derive from (pcpu, fire time) only, plus cross-shard posts —
+   the same partition-independent construction the pdes bench uses. *)
+let build_chains t ~pcpus ~shards ~lookahead:la =
+  let shard_of p = p * shards / pcpus in
+  let mix v =
+    let h = v * 0x15813 in
+    (h lxor (h lsr 17)) land 0xFFFFFF
+  in
+  for p = 0 to pcpus - 1 do
+    let sp = shard_of p in
+    let sdst = shard_of ((p + (pcpus / 2)) mod pcpus) in
+    let rec act () =
+      let time = Shard.clock t ~shard:sp in
+      let m = mix ((time * 61) + p) in
+      if m land 7 = 0 then
+        Shard.post t ~src:sp ~dst:sdst
+          ~time:(time + la + 1 + (m lsr 3))
+          (fun () -> ());
+      ignore (Shard.schedule t ~shard:sp ~time:(time + 1 + (m lsr 4)) act)
+    in
+    ignore (Shard.schedule t ~shard:sp ~time:(1 + mix (p * 977)) act)
+  done
+
+(* Same partition, different worker counts: identical per-shard
+   streams, checked via the order-sensitive fingerprint. *)
+let test_workers_irrelevant () =
+  let run workers =
+    let t = Shard.create ~shards:4 ~lookahead:1000 () in
+    build_chains t ~pcpus:16 ~shards:4 ~lookahead:1000;
+    Shard.run ~workers ~until:100_000 t;
+    (Shard.fingerprint t, Shard.events_fired t)
+  in
+  let seq = run 1 in
+  let par = run 4 in
+  Alcotest.(check (pair string int)) "1 worker = 4 workers" seq par
+
+(* Different partitions of the same chains: identical event multiset,
+   checked via the commutative digest — the -j1-vs-jN oracle. *)
+let test_partition_independent_digest () =
+  let run shards =
+    let t = Shard.create ~shards ~lookahead:1000 () in
+    build_chains t ~pcpus:16 ~shards ~lookahead:1000;
+    Shard.run ~workers:1 ~until:100_000 t;
+    (Shard.digest t, Shard.events_fired t)
+  in
+  let d1, e1 = run 1 in
+  let d2, e2 = run 2 in
+  let d4, e4 = run 4 in
+  Alcotest.(check int) "-j1 = -j2 events" e1 e2;
+  Alcotest.(check int) "-j1 = -j4 events" e1 e4;
+  Alcotest.(check int) "-j1 = -j2 digest" d1 d2;
+  Alcotest.(check int) "-j1 = -j4 digest" d1 d4
+
+(* A worker raising mid-window must not wedge or kill the team: the
+   exception propagates to the caller after the window barrier. *)
+let test_worker_exception_propagates () =
+  let t = Shard.create ~shards:4 ~lookahead:10 () in
+  ignore (Shard.schedule t ~shard:2 ~time:5 (fun () -> failwith "boom"));
+  Alcotest.check_raises "action exception reaches run" (Failure "boom")
+    (fun () -> Shard.run ~workers:4 t)
+
+(* ----- scenario level: --sim-jobs is outcome-invariant ----- *)
+
+(* The engine's coupled-mode ledger must never change scheduler-visible
+   results: fig1a outcomes are byte-identical at sim-jobs 1/2/4. *)
+let test_fig1a_identical_across_sim_jobs () =
+  let exp =
+    match Asman.Experiments.find "fig1a" with
+    | Some e -> e
+    | None -> Alcotest.fail "fig1a not registered"
+  in
+  let run sim_jobs =
+    let config =
+      Asman.Config.{ default with scale = 0.02; seed = 5L; sim_jobs }
+    in
+    exp.Asman.Experiments.run config
+  in
+  let base = run 1 in
+  Alcotest.(check bool) "sim-jobs 2 = sim-jobs 1" true (run 2 = base);
+  Alcotest.(check bool) "sim-jobs 4 = sim-jobs 1" true (run 4 = base)
+
+let suite =
+  [
+    Alcotest.test_case "horizon edge defers" `Quick test_horizon_edge_defers;
+    Alcotest.test_case "within horizon one window" `Quick
+      test_within_horizon_one_window;
+    Alcotest.test_case "until clamps clocks" `Quick test_until_clamps_clocks;
+    Alcotest.test_case "post below lookahead rejected" `Quick
+      test_post_below_lookahead_rejected;
+    Alcotest.test_case "post at lookahead accepted" `Quick
+      test_post_at_lookahead_accepted;
+    Alcotest.test_case "mail order (time, src, seq)" `Quick test_mail_order;
+    Alcotest.test_case "worker count irrelevant" `Quick test_workers_irrelevant;
+    Alcotest.test_case "partition-independent digest" `Quick
+      test_partition_independent_digest;
+    Alcotest.test_case "worker exception propagates" `Quick
+      test_worker_exception_propagates;
+    Alcotest.test_case "fig1a identical across sim-jobs" `Slow
+      test_fig1a_identical_across_sim_jobs;
+  ]
