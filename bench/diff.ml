@@ -10,7 +10,15 @@
    on it. Runs present in only one file are reported but not gated:
    the bench suite gains and loses entries across PRs. Runs whose old
    wall time is below --min-wall (default 0.25 s) are shown but not
-   gated either — at that duration the delta is scheduler noise. *)
+   gated either — at that duration the delta is scheduler noise.
+
+   Dumps from the theft figure additionally carry a "fairness"
+   section (per-cell attained/entitled ratios). Unlike wall time
+   these are deterministic simulator outputs, so they are gated in
+   *both* directions with the much tighter --fairness-threshold
+   (default 5%): any drift means the scheduler/accounting behaviour
+   changed, which a perf PR must not do silently. A file without the
+   section (the figure didn't run) is reported, never gated. *)
 
 (* ----- minimal JSON reader (no external dependency) ----- *)
 
@@ -218,6 +226,15 @@ let micro_of json =
       | _ -> None)
     (as_arr (member "micro" json))
 
+(* (id, attained/entitled ratio) per theft-figure cell. *)
+let fairness_of json =
+  List.filter_map
+    (fun m ->
+      match (as_str (member "id" m), as_num (member "ratio" m)) with
+      | Some id, Some r -> Some (id, r)
+      | _ -> None)
+    (as_arr (member "fairness" json))
+
 (* ----- comparison ----- *)
 
 let pct old fresh = (fresh -. old) /. old *. 100.
@@ -282,12 +299,14 @@ let section_presence ~label name old_json new_json =
 
 let usage () =
   prerr_endline
-    "usage: diff.exe OLD.json NEW.json [--threshold PCT] [--min-wall SEC]";
+    "usage: diff.exe OLD.json NEW.json [--threshold PCT] [--min-wall SEC] \
+     [--fairness-threshold PCT]";
   exit 2
 
 let () =
   let threshold = ref 25. in
   let min_wall = ref 0.25 in
+  let fairness_threshold = ref 5. in
   let files = ref [] in
   let rec go = function
     | [] -> ()
@@ -301,6 +320,12 @@ let () =
       match float_of_string_opt v with
       | Some t when t >= 0. ->
         min_wall := t;
+        go rest
+      | Some _ | None -> usage ())
+    | "--fairness-threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t >= 0. ->
+        fairness_threshold := t;
         go rest
       | Some _ | None -> usage ())
     | f :: rest ->
@@ -343,14 +368,25 @@ let () =
           (micro_of new_json)
       else 0
     in
+    (* Deterministic outputs: drift in either direction is a
+       behaviour change, not noise, hence the tight symmetric gate. *)
+    let r3 =
+      if section_presence ~label:"fairness (attained/entitled)" "fairness"
+           old_json new_json
+      then
+        compare_section ~label:"fairness (attained/entitled)" ~unit:"ratio"
+          ~worse:Float.abs ~threshold:!fairness_threshold
+          (fairness_of old_json) (fairness_of new_json)
+      else 0
+    in
     (match (as_num (member "total_wall_sec" old_json),
             as_num (member "total_wall_sec" new_json))
      with
     | Some o, Some n when o > 0. ->
       Printf.printf "total wall: %.3f s -> %.3f s (%+.1f%%)\n" o n (pct o n)
     | _ -> ());
-    if r1 + r2 > 0 then begin
-      Printf.printf "\n%d regression(s) beyond %.0f%%\n" (r1 + r2) !threshold;
+    if r1 + r2 + r3 > 0 then begin
+      Printf.printf "\n%d regression(s) beyond threshold\n" (r1 + r2 + r3);
       exit 1
     end
     else print_endline "no regressions beyond threshold"

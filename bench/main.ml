@@ -85,9 +85,34 @@ let print_timing id wall_sec (stats : Pool.stats) =
 
 (* ----- figure regeneration ----- *)
 
+(* Fairness entries from the theft figure: one
+   "<series label> <attack>" -> attained/entitled ratio per cell.
+   Dumped as the "fairness" JSON section so scripts/bench_diff can
+   gate attained-share drift next to the wall-clock timings. *)
+let fairness_results : (string * float) list ref = ref []
+
+let capture_fairness (outcome : Experiments.outcome) =
+  let attack_of_x x =
+    match int_of_float x with
+    | 0 -> "dodge"
+    | 1 -> "steal"
+    | 2 -> "launder"
+    | i -> string_of_int i
+  in
+  fairness_results :=
+    !fairness_results
+    @ List.concat_map
+        (fun (s : Sim_stats.Series.t) ->
+          List.map
+            (fun (x, y) ->
+              (Printf.sprintf "%s %s" s.Sim_stats.Series.label (attack_of_x x), y))
+            (Sim_stats.Series.points s))
+        outcome.Experiments.series
+
 let run_experiment (e : Experiments.t) =
   let id = e.Experiments.id in
   let outcome, wall_sec, stats = timed id (fun () -> e.Experiments.run config) in
+  if id = "theft" then capture_fairness outcome;
   print_string (Report.outcome e outcome);
   print_timing id wall_sec stats
 
@@ -176,6 +201,20 @@ let write_json path =
       (speedup ~wall_sec:e.wall_sec e.stats)
       job_secs
   in
+  (* Section present only when the theft figure ran: bench_diff
+     reports (never gates) a section missing from one side. *)
+  let fairness_section =
+    match !fairness_results with
+    | [] -> ""
+    | entries ->
+      Printf.sprintf "  \"fairness\": [\n%s\n  ],\n"
+        (String.concat ",\n"
+           (List.map
+              (fun (id, ratio) ->
+                Printf.sprintf "    {\"id\":\"%s\",\"ratio\":%.6f}"
+                  (json_escape id) ratio)
+              entries))
+  in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -189,6 +228,7 @@ let write_json path =
      \  ],\n\
      \  \"micro\": [\n%s\n\
      \  ],\n\
+     %s\
      \  \"profile\": [%s]\n\
      }\n"
     (date_string ()) scale config.Config.seed (Pool.jobs ())
@@ -202,6 +242,7 @@ let write_json path =
             Micro.to_json_fragment !micro_results;
             Micro.pdes_to_json_fragment !pdes_results;
           ]))
+    fairness_section
     (Sim_obs.Prof.to_json_fragment prof);
   close_out oc;
   Printf.printf "timings written to %s\n%!" path

@@ -440,28 +440,91 @@ let run_cmd =
     let doc = "Simulated-time budget in seconds." in
     Arg.(value & opt float 120. & info [ "max-sec" ] ~doc)
   in
+  let accounting_arg =
+    let doc =
+      "Credit accounting: $(b,precise) (span-exact billing, the default) or \
+       $(b,sampled) (Xen-style periodic-tick sampling — the occupant at each \
+       tick pays a full quantum, which scheduler attacks exploit)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("precise", "precise"); ("sampled", "sampled") ]) "precise"
+      & info [ "accounting" ] ~doc ~docv:"MODE")
+  in
+  let attack_arg =
+    let doc =
+      "Add an adversarial guest VM (weight 128): $(b,dodge) (tick-dodging), \
+       $(b,steal) (low-rate cycle stealing) or $(b,launder) (a coordinated \
+       phase-offset pair). Attack programs never finish a round, so the run \
+       measures a fixed window of $(b,--max-sec) simulated seconds and \
+       reports attained vs entitled cycles per VM. Try with \
+       $(b,--accounting sampled) vs the precise default."
+    in
+    Arg.(
+      value
+      & opt
+          (some (enum [ ("dodge", "dodge"); ("steal", "steal"); ("launder", "launder") ]))
+          None
+      & info [ "attack" ] ~doc ~docv:"ATTACK")
+  in
   let run vms weight capped rounds max_sec sched scale seed queue chaos
-      invariants sim_jobs topology numa trace trace_cats metrics profile =
+      invariants sim_jobs topology numa accounting attack trace trace_cats
+      metrics profile =
     set_queue queue;
     let obs, export = obs_setup ~trace ~trace_cats ~metrics ~profile in
     let config = { (config_of ~scale ~seed ~chaos ~invariants) with Config.obs } in
     let config = apply_parallel config ~sim_jobs ~topology ~numa in
     let config = Config.with_work_conserving config (not capped) in
-    let specs =
-      List.mapi
-        (fun i w ->
-          let workload = build_workload config w in
+    let config =
+      match Sim_vmm.Vmm.accounting_of_name accounting with
+      | Some a -> { config with Config.accounting = a }
+      | None -> assert false (* Arg.enum already validated *)
+    in
+    let attackers =
+      match attack with
+      | None -> []
+      | Some "dodge" -> [ ("A1:attack-dodge", Scenario.W_attack_dodge { threads = 1 }) ]
+      | Some "steal" -> [ ("A1:attack-steal", Scenario.W_attack_steal { threads = 1 }) ]
+      | Some "launder" ->
+        [
+          ("A1:attack-launder", Scenario.W_attack_launder { threads = 1; phased = false });
+          ("A2:attack-launder", Scenario.W_attack_launder { threads = 1; phased = true });
+        ]
+      | Some _ -> assert false (* Arg.enum already validated *)
+    in
+    let attack_specs =
+      List.map
+        (fun (name, desc) ->
           {
-            Scenario.vm_name =
-              Printf.sprintf "V%d:%s" (i + 1) workload.Sim_workloads.Workload.name;
-            weight;
-            vcpus = 4;
-            workload = Some workload;
+            Scenario.vm_name = name;
+            weight = 128;
+            vcpus = 1;
+            workload = Some (Scenario.workload_of_desc config desc);
           })
-        vms
+        attackers
+    in
+    let specs =
+      attack_specs
+      @ List.mapi
+          (fun i w ->
+            let workload = build_workload config w in
+            {
+              Scenario.vm_name =
+                Printf.sprintf "V%d:%s" (i + 1)
+                  workload.Sim_workloads.Workload.name;
+              weight;
+              vcpus = 4;
+              workload = Some workload;
+            })
+          vms
     in
     let scenario = Scenario.build config ~sched ~vms:specs in
-    let metrics = Runner.run_rounds scenario ~rounds ~max_sec in
+    let metrics =
+      (* Attack programs never finish a round by design, so attack runs
+         measure a fixed window of [--max-sec] simulated seconds. *)
+      if attack <> None then Runner.run_window scenario ~sec:max_sec
+      else Runner.run_rounds scenario ~rounds ~max_sec
+    in
     Printf.printf "scheduler: %s   simulated: %.3f s   events: %d   ipis: %d\n\n"
       (Config.sched_name sched) metrics.Runner.wall_sec
       metrics.Runner.events_fired metrics.Runner.ipis;
@@ -510,8 +573,9 @@ let run_cmd =
     Term.(
       const run $ vms_arg $ weight_arg $ capped_arg $ rounds_arg $ max_sec_arg
       $ sched_arg $ scale_arg $ seed_arg $ queue_arg $ chaos_arg
-      $ invariants_arg $ sim_jobs_arg $ topology_arg $ numa_arg $ trace_arg
-      $ trace_cats_arg $ metrics_arg $ profile_arg)
+      $ invariants_arg $ sim_jobs_arg $ topology_arg $ numa_arg
+      $ accounting_arg $ attack_arg $ trace_arg $ trace_cats_arg $ metrics_arg
+      $ profile_arg)
 
 (* ----- trace ----- *)
 

@@ -27,6 +27,7 @@ let config_of_spec ?queue ?sim_jobs (spec : Spec.t) =
     scale = spec.Spec.scale;
     work_conserving = spec.Spec.work_conserving;
     faults = Spec.fault_profile spec;
+    accounting = Spec.accounting_mode spec;
     invariants = Sim_vmm.Vmm.Record;
     engine_queue = Some queue;
     sim_jobs = Option.value sim_jobs ~default:spec.Spec.sim_jobs;
@@ -99,6 +100,10 @@ let run_once ?queue ?sim_jobs (spec : Spec.t) =
               dom.Sim_vmm.Domain.vcpus;
           o_online_rate = vm.Runner.online_rate;
           o_expected_online = vm.Runner.expected_online;
+          o_attacker =
+            (match inst.Scenario.spec.Scenario.workload with
+            | Some w -> Sim_workloads.Attack.is_attack w
+            | None -> false);
         })
       s.Scenario.vms
   in
@@ -112,6 +117,8 @@ let run_once ?queue ?sim_jobs (spec : Spec.t) =
       clean = Sim_faults.Fault.is_none config.Config.faults;
       sched = spec.Spec.sched;
       check_fairness = spec.Spec.check_fairness;
+      accounting = spec.Spec.accounting;
+      check_entitlement = spec.Spec.check_entitlement;
       started;
       finished;
       entries = Trace.entries tr;

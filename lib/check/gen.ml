@@ -96,6 +96,8 @@ let base_spec rng =
     cores_per_socket;
     horizon_sec = 0.06 +. (0.02 *. float_of_int (Rng.int rng 8));
     check_fairness = false;
+    accounting = "precise";
+    check_entitlement = false;
     vms = [];
   }
 
@@ -158,6 +160,74 @@ let storm_shape rng spec =
   in
   { spec with Spec.sched = "asman"; faults = "none"; vms }
 
+(* The dedicated attack shape: the only generated shape where the
+   entitlement oracle's attacker-vs-victim comparison is sound.
+   Precise accounting (the defense under test: attacks must gain
+   nothing), a small host so attacker and victims genuinely contend,
+   attacker VMs running scheduler-attack guests, and victims running
+   sustained CPU-bound work whose demand provably never dips. *)
+let attack_shape rng spec =
+  let attackers =
+    if Rng.int rng 3 = 0 then
+      [
+        {
+          Spec.v_name = "attacker-a";
+          v_weight = 64;
+          v_vcpus = 1;
+          v_workload =
+            Some (Scenario.W_attack_launder { threads = 1; phased = false });
+        };
+        {
+          Spec.v_name = "attacker-b";
+          v_weight = 64;
+          v_vcpus = 1;
+          v_workload =
+            Some (Scenario.W_attack_launder { threads = 1; phased = true });
+        };
+      ]
+    else
+      [
+        {
+          Spec.v_name = "attacker";
+          v_weight = 64;
+          v_vcpus = 1;
+          v_workload =
+            Some
+              (if Rng.bool rng then Scenario.W_attack_dodge { threads = 1 }
+               else Scenario.W_attack_steal { threads = 1 });
+        };
+      ]
+  in
+  (* Saturation certificate: the attacker-vs-victim entitlement
+     comparison is only sound when demand exceeds capacity — on an
+     underloaded host a dodger's excess is legitimate work-conserving
+     slack, not theft (victims still attain their full entitlement).
+     Two victims sized to the host guarantee >= 2x oversubscription
+     whatever the core count. *)
+  let cores = if Rng.bool rng then 1 else 2 in
+  let victims =
+    List.init 2 (fun i ->
+        {
+          Spec.v_name = Printf.sprintf "victim%d" i;
+          v_weight = 512;
+          v_vcpus = cores;
+          v_workload =
+            Some (Scenario.W_speccpu (if Rng.bool rng then "gcc" else "bzip2"));
+        })
+  in
+  {
+    spec with
+    (* credit-family only: entitlement is an Eq. (2) statement *)
+    Spec.sched = (if Rng.bool rng then "credit" else "asman");
+    sockets = 1;
+    cores_per_socket = cores;
+    faults = "none";
+    accounting = "precise";
+    check_entitlement = true;
+    horizon_sec = 1.0;
+    vms = attackers @ victims;
+  }
+
 let fault_profiles =
   [| "chaos-mild"; "chaos-heavy"; "jitter"; "stall"; "hotplug";
      "ipi-loss-10"; "ipi-delay-20"; "vcrd-loss-20" |]
@@ -178,7 +248,14 @@ let mixed_shape rng spec =
             (if Rng.int rng 10 = 0 then None else Some (any_workload rng));
         })
   in
-  { spec with Spec.vms = vms }
+  {
+    spec with
+    (* occasional sampled-accounting case: fuzzes the tick-debit paths
+       for crashes and determinism (the entitlement oracle stays off —
+       theft under sampled accounting is modeled behaviour) *)
+    Spec.accounting = (if Rng.int rng 8 = 0 then "sampled" else "precise");
+    vms;
+  }
 
 let spec case_seed =
   let rng = Rng.create case_seed in
@@ -187,6 +264,7 @@ let spec case_seed =
   | 0 | 1 -> fairness_shape rng base
   | 2 -> storm_shape rng base
   | 3 | 4 -> chaos_shape rng (mixed_shape rng base)
+  | 5 -> attack_shape rng base
   | _ -> mixed_shape rng base
 
 (* Case seeds for a run: decorrelate neighbouring indices so

@@ -10,6 +10,7 @@ type vm_obs = {
   o_final_credits : int array;
   o_online_rate : float;
   o_expected_online : float;
+  o_attacker : bool;
 }
 
 type input = {
@@ -21,6 +22,8 @@ type input = {
   clean : bool;
   sched : string;
   check_fairness : bool;
+  accounting : string;
+  check_entitlement : bool;
   started : int;
   finished : int;
   entries : Trace.entry list;
@@ -208,6 +211,55 @@ let proportionality =
             failf "%s starved: online rate %.3f vs expected %.3f (tol %.3f)"
               vm got want tol
           | None -> Pass
+        end);
+  }
+
+(* Entitlement containment under precise accounting: only on the
+   generator's certified attack shape (attacker VMs running the
+   scheduler-attack guests of [Sim_workloads.Attack], victims running
+   sustained CPU-bound demand). Work-conserving slack makes an
+   absolute epsilon-band unsound — a lone hungry VM may legitimately
+   absorb the whole host — so the test is relative: the attackers'
+   aggregate attained/entitled ratio must not dominate the victims'.
+   An attacker that escapes accounting keeps maximal credit and with
+   it strict dispatch priority, landing at several times the victims'
+   ratio; a contained attacker lands within noise of it. Summing over
+   all attacker VMs is what catches the laundering pair, each half of
+   which looks individually modest. *)
+let entitlement =
+  {
+    name = "entitlement";
+    check =
+      (fun input ->
+        if not input.check_entitlement then Skip "not an attack-shape case"
+        else if input.accounting <> "precise" then
+          Skip "sampled accounting: theft is modeled behaviour, not a bug"
+        else if not input.clean then Skip "faulty run"
+        else begin
+          let norm vms =
+            let att, ent =
+              List.fold_left
+                (fun (a, e) vm ->
+                  let v = float_of_int (Array.length vm.o_vcpus) in
+                  ( a +. (vm.o_online_rate *. v),
+                    e +. (vm.o_expected_online *. v) ))
+                (0., 0.) vms
+            in
+            if ent <= 0. then None else Some (att /. ent)
+          in
+          let attackers, victims =
+            List.partition (fun vm -> vm.o_attacker) input.vms
+          in
+          match (norm attackers, norm victims) with
+          | None, _ -> Skip "no attacker entitlement to compare"
+          | _, None -> Skip "no victim entitlement to compare"
+          | Some a, Some v ->
+            if a > 1.3 && a > 2.0 *. Float.max v 0.10 then
+              failf
+                "attackers attained %.2fx their entitlement while victims \
+                 attained %.2fx"
+                a v
+            else Pass
         end);
   }
 
@@ -475,8 +527,8 @@ let trace_wellformed =
 
 let catalogue =
   [
-    invariants; credit_bounds; credit_burn; proportionality; gang_atomicity;
-    vcpu_conservation; monotonic_time; trace_wellformed;
+    invariants; credit_bounds; credit_burn; proportionality; entitlement;
+    gang_atomicity; vcpu_conservation; monotonic_time; trace_wellformed;
   ]
 
 type failure = { oracle : string; message : string }

@@ -20,6 +20,9 @@ type vm_obs = {
   o_final_credits : int array;  (** per-VCPU, at window end *)
   o_online_rate : float;  (** measured over the window *)
   o_expected_online : float;  (** Equation (2) *)
+  o_attacker : bool;
+      (** workload is one of the [Sim_workloads.Attack] guests (the
+          [W_attack_*] descriptors) *)
 }
 
 type input = {
@@ -31,6 +34,8 @@ type input = {
   clean : bool;  (** no fault profile *)
   sched : string;
   check_fairness : bool;  (** generator-certified fairness shape *)
+  accounting : string;  (** ["precise"] or ["sampled"] *)
+  check_entitlement : bool;  (** generator-certified attack shape *)
   started : int;  (** window start, cycles *)
   finished : int;  (** window end, cycles *)
   entries : Sim_obs.Trace.entry list;  (** the armed categories, oldest first *)
@@ -63,6 +68,13 @@ val credit_burn : t
 
 val proportionality : t
 (** Equation (2) CPU-share tolerance on fairness-shape cases. *)
+
+val entitlement : t
+(** Attack containment on attack-shape cases under precise
+    accounting: the attacker VMs' aggregate attained/entitled ratio
+    must not dominate the victims' (relative, because work-conserving
+    slack makes absolute bands unsound; aggregated, to catch the
+    laundering pair). *)
 
 val gang_atomicity : t
 (** Every trace-provably-Ready sibling runs within slot/4 of its gang

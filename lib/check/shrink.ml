@@ -91,6 +91,19 @@ let shrink_workload (w : Scenario.workload_desc) : Scenario.workload_desc list =
            Some (Scenario.W_random { threads; ops; nlocks = 1; prog_seed })
          else None);
       ]
+  (* attack programs are already the minimal semantic unit — only the
+     thread count shrinks; rewriting them into benign workloads would
+     change the question (is the attack contained?), not the size *)
+  | Scenario.W_attack_dodge { threads } ->
+    if threads > 1 then [ Scenario.W_attack_dodge { threads = half threads } ]
+    else []
+  | Scenario.W_attack_steal { threads } ->
+    if threads > 1 then [ Scenario.W_attack_steal { threads = half threads } ]
+    else []
+  | Scenario.W_attack_launder { threads; phased } ->
+    if threads > 1 then
+      [ Scenario.W_attack_launder { threads = half threads; phased } ]
+    else []
 
 let replace_nth l n x = List.mapi (fun i v -> if i = n then x else v) l
 
@@ -105,11 +118,12 @@ let candidates (spec : Spec.t) : Spec.t list =
         vms
     else []
   in
-  (* 2. shrink workloads — except on fairness shapes, whose oracle's
-     prediction is only exact under sustained demand; rewriting the
-     workload there changes the question, not just the size *)
+  (* 2. shrink workloads — except on fairness and entitlement shapes,
+     whose oracles are only sound under the generator-certified
+     sustained-demand workloads; rewriting the workload there changes
+     the question, not just the size *)
   let shrink_wl =
-    if spec.Spec.check_fairness then []
+    if spec.Spec.check_fairness || spec.Spec.check_entitlement then []
     else
       List.concat
       (List.mapi
@@ -127,9 +141,13 @@ let candidates (spec : Spec.t) : Spec.t list =
                (shrink_workload w))
          vms)
   in
-  (* 3. shrink VCPU counts *)
+  (* 3. shrink VCPU counts — victim VCPU counts carry the entitlement
+     shape's saturation certificate (demand must exceed capacity, or
+     work-conserving slack reads as theft), so they are pinned there *)
   let shrink_vcpus =
-    List.concat
+    if spec.Spec.check_entitlement then []
+    else
+      List.concat
       (List.mapi
          (fun i (vm : Spec.vm) ->
            if vm.Spec.v_vcpus > 1 then

@@ -22,6 +22,12 @@ type t = {
       (** generator-certified fairness shape: capped mode, restarting
           CPU-bound workloads, distinct weights — the only shape where
           the proportionality oracle's Eq. (2) prediction is exact *)
+  accounting : string;  (** ["precise"] (default) or ["sampled"] *)
+  check_entitlement : bool;
+      (** generator-certified attack shape: attacker VMs (recognisable
+          from their workload descriptors) plus sustained CPU-bound
+          victims — the only shape where the entitlement oracle's
+          attacker-vs-victim comparison is sound *)
   vms : vm list;
 }
 
@@ -52,6 +58,10 @@ let workload_to_json (w : Scenario.workload_desc) =
     o "random"
       [ i "threads" threads; i "ops" ops; i "nlocks" nlocks;
         i "prog_seed" prog_seed ]
+  | Scenario.W_attack_dodge { threads } -> o "attack_dodge" [ i "threads" threads ]
+  | Scenario.W_attack_steal { threads } -> o "attack_steal" [ i "threads" threads ]
+  | Scenario.W_attack_launder { threads; phased } ->
+    o "attack_launder" [ i "threads" threads; ("phased", Cjson.Bool phased) ]
 
 let workload_of_json j : Scenario.workload_desc =
   let geti n = Cjson.get n j ~of_:Cjson.to_int in
@@ -79,6 +89,12 @@ let workload_of_json j : Scenario.workload_desc =
     Scenario.W_random
       { threads = geti "threads"; ops = geti "ops"; nlocks = geti "nlocks";
         prog_seed = geti "prog_seed" }
+  | "attack_dodge" -> Scenario.W_attack_dodge { threads = geti "threads" }
+  | "attack_steal" -> Scenario.W_attack_steal { threads = geti "threads" }
+  | "attack_launder" ->
+    Scenario.W_attack_launder
+      { threads = geti "threads";
+        phased = Cjson.get "phased" j ~of_:Cjson.to_bool }
   | k -> raise (Cjson.Parse_error (Printf.sprintf "unknown workload kind %S" k))
 
 let vm_to_json v =
@@ -119,6 +135,8 @@ let to_json t =
       ("cores_per_socket", Cjson.Int t.cores_per_socket);
       ("horizon_sec", Cjson.Float t.horizon_sec);
       ("check_fairness", Cjson.Bool t.check_fairness);
+      ("accounting", Cjson.String t.accounting);
+      ("check_entitlement", Cjson.Bool t.check_entitlement);
       ("vms", Cjson.List (List.map vm_to_json t.vms));
     ]
 
@@ -144,6 +162,16 @@ let of_json j =
     cores_per_socket = Cjson.get "cores_per_socket" j ~of_:Cjson.to_int;
     horizon_sec = Cjson.get "horizon_sec" j ~of_:Cjson.to_float;
     check_fairness = Cjson.get "check_fairness" j ~of_:Cjson.to_bool;
+    (* both absent in pre-accounting corpus files: precise accounting,
+       oracle ungated — the committed corpus replays unchanged *)
+    accounting =
+      (match Cjson.member "accounting" j with
+      | None -> "precise"
+      | Some v -> Cjson.to_string_v v);
+    check_entitlement =
+      (match Cjson.member "check_entitlement" j with
+      | None -> false
+      | Some v -> Cjson.to_bool v);
     vms = Cjson.get "vms" j ~of_:(fun v -> List.map vm_of_json (Cjson.to_list v));
   }
 
@@ -180,6 +208,8 @@ let validate t =
   else if t.queue <> "wheel" && t.queue <> "heap" then
     err "unknown queue backend %S" t.queue
   else if t.sim_jobs < 1 then err "non-positive sim_jobs"
+  else if Sim_vmm.Vmm.accounting_of_name t.accounting = None then
+    err "unknown accounting discipline %S" t.accounting
   else if
     List.exists (fun v -> v.v_weight <= 0 || v.v_vcpus <= 0) t.vms
   then err "non-positive VM weight or vcpus"
@@ -199,6 +229,19 @@ let fault_profile t =
   match Sim_faults.Fault.of_name t.faults with
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Spec.fault_profile: %S" t.faults)
+
+let accounting_mode t =
+  match Sim_vmm.Vmm.accounting_of_name t.accounting with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Spec.accounting_mode: %S" t.accounting)
+
+let is_attack_vm v =
+  match v.v_workload with
+  | Some (Scenario.W_attack_dodge _)
+  | Some (Scenario.W_attack_steal _)
+  | Some (Scenario.W_attack_launder _) ->
+    true
+  | Some _ | None -> false
 
 let vm_descs t =
   List.map

@@ -33,6 +33,14 @@ type t = {
       (** set only by the generator's dedicated fairness shape (capped
           mode, restarting CPU-bound workloads, distinct weights); the
           proportionality oracle runs only on such cases *)
+  accounting : string;
+      (** credit-accounting discipline: ["precise"] (default when
+          absent from older corpus JSON) or ["sampled"] *)
+  check_entitlement : bool;
+      (** set only by the generator's dedicated attack shape (attacker
+          VMs plus sustained CPU-bound victims; false when absent from
+          older corpus JSON); the entitlement oracle runs only on such
+          cases, where attacker-vs-victim attainment is meaningful *)
   vms : vm list;
 }
 
@@ -59,4 +67,9 @@ val validate : t -> (unit, string) result
 val sched_kind : t -> Asman.Config.sched_kind
 val queue_kind : t -> Sim_engine.Engine.queue_kind
 val fault_profile : t -> Sim_faults.Fault.profile
+val accounting_mode : t -> Sim_vmm.Vmm.accounting
 val vm_descs : t -> Asman.Scenario.vm_desc list
+
+val is_attack_vm : vm -> bool
+(** The VM's workload descriptor is one of the [W_attack_*] shapes —
+    the entitlement oracle's attacker/victim split. *)

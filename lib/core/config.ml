@@ -61,6 +61,7 @@ type t = {
       (** [None] = the process default ([--engine-queue]) *)
   sim_jobs : int;
   numa : bool;
+  accounting : Sim_vmm.Vmm.accounting;
   obs : obs;
 }
 
@@ -81,6 +82,7 @@ let default =
     engine_queue = None;
     sim_jobs = 1;
     numa = false;
+    accounting = Sim_vmm.Vmm.Precise;
     obs = obs_off;
   }
 

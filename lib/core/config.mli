@@ -68,6 +68,12 @@ type t = {
       (** arm the NUMA host model (same-socket steal preference,
           cross-socket relocation penalty). Default off: flat-host
           behaviour, byte-identical to earlier builds. *)
+  accounting : Sim_vmm.Vmm.accounting;
+      (** credit-accounting discipline ([--accounting]). [Precise]
+          (default) charges span-exact cycles — byte-identical to
+          earlier builds. [Sampled] reproduces Xen's periodic-tick
+          debiting, the surface the Zhou et al. tick-dodging attack
+          exploits. *)
   obs : obs;  (** observability options (default {!obs_off}) *)
 }
 

@@ -8,6 +8,9 @@ type vm_metrics = {
   marks : int;
   online_rate : float;
   expected_online : float;
+  attained_cycles : int;
+  entitled_cycles : int;
+  theft_cycles : int;
   spin_over_threshold : int;
   adjusting_events : int;
   vcrd_transitions : int;
@@ -66,6 +69,12 @@ let collect (s : Scenario.t) ~round_times ~started ~base =
           marks = guest d "marks";
           online_rate = Sim_vmm.Vmm.online_rate s.Scenario.vmm inst.Scenario.domain;
           expected_online = Scenario.expected_online_rate s inst;
+          attained_cycles =
+            Sim_vmm.Vmm.attained_cycles s.Scenario.vmm inst.Scenario.domain;
+          entitled_cycles =
+            Sim_vmm.Vmm.entitled_cycles s.Scenario.vmm inst.Scenario.domain;
+          theft_cycles =
+            Sim_vmm.Vmm.theft_cycles s.Scenario.vmm inst.Scenario.domain;
           spin_over_threshold = guest snap "over_threshold";
           adjusting_events = guest snap "adjusting_events";
           vcrd_transitions =

@@ -21,6 +21,12 @@ type vm_metrics = {
   marks : int;  (** [Mark]s executed during the measurement *)
   online_rate : float;  (** measured over the run *)
   expected_online : float;  (** Equation (2) *)
+  attained_cycles : int;  (** VCPU-online cycles over the measurement *)
+  entitled_cycles : int;
+      (** Equation (2) share of the measurement window, in cycles *)
+  theft_cycles : int;
+      (** [max 0 (attained - entitled)] — cycles attained beyond the
+          weighted entitlement (see {!Sim_vmm.Vmm.theft_cycles}) *)
   spin_over_threshold : int;
   adjusting_events : int;
   vcrd_transitions : int;

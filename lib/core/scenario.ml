@@ -79,7 +79,8 @@ let build config ~sched ~vms =
   in
   let vmm =
     Sim_vmm.Vmm.create ~work_conserving:config.Config.work_conserving
-      ~credit_unit:config.Config.credit_unit ?watchdog ?numa machine
+      ~credit_unit:config.Config.credit_unit
+      ~accounting:config.Config.accounting ?watchdog ?numa machine
       ~sched:(Config.sched_maker sched)
   in
   Sim_vmm.Vmm.set_invariant_mode vmm config.Config.invariants;
@@ -212,10 +213,14 @@ type workload_desc =
   | W_barrier of { threads : int; rounds : int; compute_us : int; cv : float }
   | W_ping_pong of { rounds : int; compute_us : int }
   | W_random of { threads : int; ops : int; nlocks : int; prog_seed : int }
+  | W_attack_dodge of { threads : int }
+  | W_attack_steal of { threads : int }
+  | W_attack_launder of { threads : int; phased : bool }
 
 let workload_of_desc config desc =
   let freq = Config.freq config in
   let us n = Sim_engine.Units.cycles_of_us freq n in
+  let slot_cycles = Sim_hw.Cpu_model.slot_cycles config.Config.cpu in
   match desc with
   | W_nas name -> (
     match Sim_workloads.Nas.of_name name with
@@ -270,6 +275,12 @@ let workload_of_desc config desc =
       barriers = [];
       semaphores = [];
     }
+  | W_attack_dodge { threads } ->
+    Sim_workloads.Attack.tick_dodge ~threads ~slot_cycles ()
+  | W_attack_steal { threads } ->
+    Sim_workloads.Attack.cycle_steal ~threads ~slot_cycles ()
+  | W_attack_launder { threads; phased } ->
+    Sim_workloads.Attack.launder_half ~threads ~slot_cycles ~phased ()
 
 type vm_desc = {
   vd_name : string;

@@ -74,6 +74,14 @@ type workload_desc =
   | W_ping_pong of { rounds : int; compute_us : int }  (** semaphores *)
   | W_random of { threads : int; ops : int; nlocks : int; prog_seed : int }
       (** independent random programs from {!Sim_workloads.Synthetic.random_program} *)
+  | W_attack_dodge of { threads : int }
+      (** {!Sim_workloads.Attack.tick_dodge}: sleep across the
+          accounting tick *)
+  | W_attack_steal of { threads : int }
+      (** {!Sim_workloads.Attack.cycle_steal}: sub-tick bursts *)
+  | W_attack_launder of { threads : int; phased : bool }
+      (** one half of {!Sim_workloads.Attack.launder_pair}; put the
+          [phased] half in a second colocated VM *)
 
 val workload_of_desc : Config.t -> workload_desc -> Sim_workloads.Workload.t
 (** Deterministic in (config, desc). Raises [Invalid_argument] on an

@@ -161,6 +161,24 @@ let rec continue_thread t vc (thread : Thread.t) =
 and do_resume t vc (thread : Thread.t) =
   match thread.Thread.resume with
   | Thread.R_fetch -> fetch t vc thread
+  | Thread.R_sleep cycles ->
+    (* Timer sleep: release the VCPU and arm a wake at an exact
+       instant. Self-validating like every kernel timer — only a
+       thread still in [Blocked_sleep] is woken (a sleeping thread
+       cannot be re-dispatched, so the status check suffices). *)
+    thread.Thread.status <- Thread.Blocked_sleep;
+    thread.Thread.resume <- Thread.R_fetch;
+    ignore
+      (Engine.schedule_after t.engine ~delay:cycles (fun () ->
+           match thread.Thread.status with
+           | Thread.Blocked_sleep ->
+             thread.Thread.status <- Thread.Runnable;
+             wake_thread t thread
+           | Thread.Runnable | Thread.Spinning _ | Thread.Spin_barrier _
+           | Thread.Blocked_barrier _ | Thread.Blocked_sem _ | Thread.Finished
+             ->
+             ()));
+    rotate_or_halt t vc
   | Thread.R_acquire lock_id ->
     let lock = ensure_lock t lock_id in
     acquire_lock t vc thread lock ~cs:0 ~next:Thread.R_fetch
@@ -249,6 +267,8 @@ and fetch t vc (thread : Thread.t) =
     | Program.I_mark ->
       thread.Thread.marks <- thread.Thread.marks + 1;
       start_work t vc thread ~cycles:1 ~next:Thread.R_fetch
+    | Program.I_sleep n ->
+      start_work t vc thread ~cycles:overhead ~next:(Thread.R_sleep n)
   end
 
 and start_work t vc (thread : Thread.t) ~cycles ~next =
@@ -307,7 +327,7 @@ and handoff_check t lock =
     (match waiter.Thread.status with
     | Thread.Spinning id -> id = Spinlock.id lock
     | Thread.Runnable | Thread.Spin_barrier _ | Thread.Blocked_barrier _
-    | Thread.Blocked_sem _
+    | Thread.Blocked_sem _ | Thread.Blocked_sleep
     | Thread.Finished ->
       false)
     && occupying t waiter
@@ -327,7 +347,7 @@ and grant t lock (waiter : Thread.t) =
     match waiter.Thread.status with
     | Thread.Spinning id -> id = Spinlock.id lock
     | Thread.Runnable | Thread.Spin_barrier _ | Thread.Blocked_barrier _
-    | Thread.Blocked_sem _
+    | Thread.Blocked_sem _ | Thread.Blocked_sleep
     | Thread.Finished ->
       false
   in
@@ -368,7 +388,8 @@ and release_barrier t barrier =
           t.params.flag_latency + t.params.instr_overhead;
         wake_thread t thread
       | Thread.Spin_barrier _ | Thread.Blocked_barrier _ | Thread.Runnable
-      | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Finished ->
+      | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Blocked_sleep
+      | Thread.Finished ->
         ())
     t.threads_rev
 
@@ -386,7 +407,8 @@ and barrier_proceed t barrier (thread : Thread.t) =
     thread.Thread.pending_compute <- 0;
     continue_thread t (vctx_of t thread) thread
   | Thread.Spin_barrier _ | Thread.Blocked_barrier _ | Thread.Runnable
-  | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Finished ->
+  | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Blocked_sleep
+  | Thread.Finished ->
     ()
 
 (* Hardware pause-loop detection: while a thread busy-spins through a
@@ -404,7 +426,8 @@ and arm_ple t (thread : Thread.t) =
              | Thread.Spinning _ | Thread.Spin_barrier _ ->
                thread.Thread.spin_request = span
              | Thread.Runnable | Thread.Blocked_barrier _
-             | Thread.Blocked_sem _ | Thread.Finished ->
+             | Thread.Blocked_sem _ | Thread.Blocked_sleep
+             | Thread.Finished ->
                false
            in
            if still_spinning && occupying t thread then begin
@@ -428,7 +451,8 @@ and arm_spin_grace t (thread : Thread.t) barrier_id gen =
              rotate_or_halt t (vctx_of t thread)
            end
          | Thread.Spin_barrier _ | Thread.Blocked_barrier _ | Thread.Runnable
-         | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Finished ->
+         | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Blocked_sleep
+         | Thread.Finished ->
            ()))
 
 (* A blocked thread became runnable (semaphore token or launch). *)
@@ -481,7 +505,8 @@ and resume_active t vc =
         arm_spin_grace t thread bid gen;
         arm_ple t thread
       end
-    | Thread.Blocked_barrier _ | Thread.Blocked_sem _ | Thread.Finished ->
+    | Thread.Blocked_barrier _ | Thread.Blocked_sem _ | Thread.Blocked_sleep
+    | Thread.Finished ->
       rotate_or_halt t vc
   end
 

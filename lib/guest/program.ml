@@ -7,6 +7,7 @@ type op =
   | Sem_post of int
   | Barrier of int
   | Mark
+  | Sleep of int
   | Repeat of int * op list
 
 type instr =
@@ -17,6 +18,7 @@ type instr =
   | I_sem_post of int
   | I_barrier of int
   | I_mark
+  | I_sleep of int
 
 type t = { ops : op list }
 
@@ -28,6 +30,7 @@ let rec validate ops =
       | Compute_rand { mean; cv } ->
         if mean <= 0 then invalid_arg "Program: non-positive compute mean";
         if cv < 0. then invalid_arg "Program: negative cv"
+      | Sleep n -> if n <= 0 then invalid_arg "Program: non-positive sleep"
       | Repeat (n, body) ->
         if n < 0 then invalid_arg "Program: negative repeat count";
         validate body
@@ -46,7 +49,7 @@ let rec count_ops ops =
       match op with
       | Repeat (n, body) -> acc + (n * count_ops body)
       | Compute _ | Compute_rand _ | Lock _ | Unlock _ | Sem_wait _ | Sem_post _
-      | Barrier _ | Mark ->
+      | Barrier _ | Mark | Sleep _ ->
         acc + 1)
     0 ops
 
@@ -59,7 +62,9 @@ let rec compute_cycles ops =
       | Compute n -> acc + n
       | Compute_rand { mean; _ } -> acc + mean
       | Repeat (n, body) -> acc + (n * compute_cycles body)
-      | Lock _ | Unlock _ | Sem_wait _ | Sem_post _ | Barrier _ | Mark -> acc)
+      | Lock _ | Unlock _ | Sem_wait _ | Sem_post _ | Barrier _ | Mark
+      | Sleep _ ->
+        acc)
     0 ops
 
 let total_compute_cycles t = compute_cycles t.ops
@@ -106,6 +111,7 @@ let rec next c ~rng =
       | Sem_post id -> Some (I_sem_post id)
       | Barrier id -> Some (I_barrier id)
       | Mark -> Some I_mark
+      | Sleep n -> Some (I_sleep n)
       | Repeat (n, body) ->
         if n = 0 || body = [] then next c ~rng
         else begin

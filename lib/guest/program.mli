@@ -19,6 +19,10 @@ type op =
   | Barrier of int  (** arrive at barrier [id] and busy-wait *)
   | Mark  (** application-level completion marker (e.g. one
               SPECjbb transaction); counted by the kernel *)
+  | Sleep of int
+      (** block the thread for exactly this many cycles of simulated
+          time (a guest timer sleep, not busy-wait). The primitive
+          scheduler-attack guests use to dodge the accounting tick. *)
   | Repeat of int * op list  (** [Repeat (n, body)] runs [body] n times *)
 
 type instr =
@@ -29,12 +33,14 @@ type instr =
   | I_sem_post of int
   | I_barrier of int
   | I_mark
+  | I_sleep of int
 
 type t
 
 val make : op list -> t
 (** Raises [Invalid_argument] if any [Repeat] count or compute length
-    is negative, or a [Compute_rand] has non-positive mean. *)
+    is negative, a [Compute_rand] has non-positive mean, or a [Sleep]
+    is non-positive. *)
 
 val ops : t -> op list
 

@@ -4,10 +4,12 @@ type status =
   | Spin_barrier of int * int
   | Blocked_barrier of int * int
   | Blocked_sem of int
+  | Blocked_sleep
   | Finished
 
 type resume_point =
   | R_fetch
+  | R_sleep of int
   | R_acquire of int
   | R_unlock of int
   | R_sem_wait of int
@@ -60,12 +62,13 @@ let make ~id ~affinity ~restart ~rng program =
 let is_executable t =
   match t.status with
   | Runnable | Spinning _ | Spin_barrier _ -> true
-  | Blocked_barrier _ | Blocked_sem _ | Finished -> false
+  | Blocked_barrier _ | Blocked_sem _ | Blocked_sleep | Finished -> false
 
 let is_preemptible_by_guest t =
   match t.status with
   | Runnable -> t.locks_held = 0 && t.resume = R_fetch
-  | Spinning _ | Spin_barrier _ | Blocked_barrier _ | Blocked_sem _ | Finished ->
+  | Spinning _ | Spin_barrier _ | Blocked_barrier _ | Blocked_sem _
+  | Blocked_sleep | Finished ->
     false
 
 let pp fmt t =
@@ -76,6 +79,7 @@ let pp fmt t =
     | Spin_barrier (b, g) -> Printf.sprintf "spin(barrier %d gen %d)" b g
     | Blocked_barrier (b, g) -> Printf.sprintf "sleep(barrier %d gen %d)" b g
     | Blocked_sem s -> Printf.sprintf "blocked(sem %d)" s
+    | Blocked_sleep -> "sleeping"
     | Finished -> "finished"
   in
   Format.fprintf fmt "thread%d(vcpu %d %s rounds=%d)" t.id t.affinity status

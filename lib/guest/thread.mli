@@ -14,11 +14,15 @@ type status =
       (** barrier wait after the spin grace expired: the thread
           futex-sleeps (OpenMP spin-then-block), releasing the VCPU *)
   | Blocked_sem of int  (** descheduled, waiting on a semaphore *)
+  | Blocked_sleep
+      (** timer sleep ([Program.Sleep]): descheduled until a kernel
+          timer wakes it at an exact simulated instant *)
   | Finished
 
 (** Where execution continues once [pending_compute] reaches zero. *)
 type resume_point =
   | R_fetch  (** fetch the next instruction *)
+  | R_sleep of int  (** begin a timer sleep of this many cycles *)
   | R_acquire of int  (** attempt to take a user spinlock *)
   | R_unlock of int
   | R_sem_wait of int

@@ -14,19 +14,27 @@ type t =
   | Double_insert_reloc
       (** [Vmm.migrate] forgets to remove the VCPU from its old
           runqueue, leaving it queued twice *)
+  | Sampled_accounting
+      (** precise-mode [Vmm.charge] burns only in the periodic-tick
+          path, silently re-introducing Xen's sampled accounting: a
+          guest that blocks just before each tick is never debited *)
 
-let all = [ Skip_credit_burn; Drop_gang_sibling; Double_insert_reloc ]
+let all =
+  [ Skip_credit_burn; Drop_gang_sibling; Double_insert_reloc;
+    Sampled_accounting ]
 
 let to_name = function
   | Skip_credit_burn -> "skip-credit-burn"
   | Drop_gang_sibling -> "drop-gang-sibling"
   | Double_insert_reloc -> "double-insert-reloc"
+  | Sampled_accounting -> "sampled-accounting"
 
 let of_name s =
   match String.lowercase_ascii s with
   | "skip-credit-burn" -> Some Skip_credit_burn
   | "drop-gang-sibling" -> Some Drop_gang_sibling
   | "double-insert-reloc" -> Some Double_insert_reloc
+  | "sampled-accounting" -> Some Sampled_accounting
   | _ -> None
 
 let active : t option ref = ref None

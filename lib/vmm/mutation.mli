@@ -18,6 +18,11 @@ type t =
   | Double_insert_reloc
       (** {!Vmm.migrate} forgets to remove the VCPU from its source
           runqueue — a VCPU queued on two PCPUs at once *)
+  | Sampled_accounting
+      (** precise-mode {!Vmm.charge} burns only when called from the
+          periodic credit tick, never at span end — Xen's sampled
+          accounting smuggled back in, so a tick-dodging guest escapes
+          all debiting. Caught by the SimCheck entitlement oracle. *)
 
 val all : t list
 val to_name : t -> string

@@ -5,6 +5,16 @@ module Metrics = Sim_obs.Metrics
 
 type invariant_mode = Off | Record | Raise
 
+type accounting = Precise | Sampled
+
+let accounting_name = function Precise -> "precise" | Sampled -> "sampled"
+
+let accounting_of_name s =
+  match String.lowercase_ascii s with
+  | "precise" | "exact" -> Some Precise
+  | "sampled" | "sample" | "xen" -> Some Sampled
+  | _ -> None
+
 exception Invariant_violation of string
 
 (* Keep at most this many violation messages; the count keeps going. *)
@@ -20,6 +30,7 @@ type t = {
   mutable sched : Sched_intf.t option;
   work_conserving : bool;
   credit_unit : int;
+  accounting : accounting;
   numa : Sched_intf.numa option;
   mutable numa_remote_relocs : int;
   mutable next_vcpu_id : int;
@@ -53,6 +64,8 @@ let pcpu_count t = Machine.pcpu_count t.machine
 let sched_name t =
   match t.sched with Some s -> s.Sched_intf.name | None -> "(none)"
 
+let accounting t = t.accounting
+
 let domains t = List.rev t.domains_rev
 
 let find_domain t id =
@@ -69,8 +82,16 @@ let slot_cycles t = Cpu_model.slot_cycles t.cpu_model
 (* Charge the VCPU for the span it has been online and accumulate its
    online time. Called exactly once per online span, when it ends.
    Like Xen, debt is floored at one accounting period's worth of burn
-   so a VCPU that overdraws cannot be starved for many periods. *)
-let charge t (v : Vcpu.t) =
+   so a VCPU that overdraws cannot be starved for many periods.
+
+   [at_tick] marks the periodic credit-tick call site
+   ([charge_current] from the slot handler), the only place [Sampled]
+   accounting debits: whoever occupies the PCPU at the tick pays one
+   full tick quantum, however briefly it actually ran — Xen's
+   discipline, and exactly the surface the tick-dodging attack
+   exploits. [Precise] burns span-exact cycles everywhere and is the
+   defense. *)
+let charge ?(at_tick = false) t (v : Vcpu.t) =
   let ran = now t - v.Vcpu.last_dispatch in
   (* A pending cross-socket relocation penalty is consumed time the
      flat-host model never sees: it inflates the burned span (still
@@ -84,9 +105,19 @@ let charge t (v : Vcpu.t) =
   in
   let burned =
     if Mutation.enabled Mutation.Skip_credit_burn then 0
-    else
-      Credit.burn ~credit_unit:t.credit_unit ~slot_cycles:(slot_cycles t)
-        ~run_cycles:ran_capped
+    else begin
+      match t.accounting with
+      | Precise ->
+        if Mutation.enabled Mutation.Sampled_accounting && not at_tick then 0
+        else
+          Credit.burn ~credit_unit:t.credit_unit ~slot_cycles:(slot_cycles t)
+            ~run_cycles:ran_capped
+      | Sampled ->
+        if at_tick then
+          Credit.burn ~credit_unit:t.credit_unit ~slot_cycles:(slot_cycles t)
+            ~run_cycles:(slot_cycles t)
+        else 0
+    end
   in
   v.Vcpu.credit <- max floor (v.Vcpu.credit - burned);
   v.Vcpu.online_cycles <- v.Vcpu.online_cycles + ran;
@@ -191,6 +222,36 @@ let domain_online_cycles t dom =
 
 let domain_online_now = domain_online_cycles
 
+(* ----- attained vs entitled (theft accounting) ----- *)
+
+(* Online cycles attained by the domain over the current measurement
+   window (counts open spans). *)
+let attained_cycles t dom =
+  let base =
+    match Hashtbl.find_opt t.acct_online_base dom.Domain.id with
+    | Some b -> b
+    | None -> 0
+  in
+  domain_online_now t dom - base
+
+(* The domain's proportional-share entitlement over the same window:
+   Eq.(2)'s per-VCPU expected online rate times elapsed wall time and
+   VCPU count. *)
+let entitled_cycles t dom =
+  let elapsed = now t - t.acct_start in
+  if elapsed <= 0 then 0
+  else begin
+    let e =
+      Domain.expected_online_rate dom ~all:(domains t) ~pcpus:(pcpu_count t)
+    in
+    int_of_float
+      (e *. float_of_int elapsed *. float_of_int (Domain.vcpu_count dom))
+  end
+
+(* Cycles attained beyond entitlement — the theft a scheduler-attack
+   guest extracts. Zero for any domain at or below its share. *)
+let theft_cycles t dom = max 0 (attained_cycles t dom - entitled_cycles t dom)
+
 (* Register the standing gauges: closures over counters the
    subsystems already keep, evaluated only at snapshot time so the
    hot paths are untouched. One registry per Vmm (never global) keeps
@@ -245,7 +306,7 @@ let api t : Sched_intf.api =
   }
 
 let create ?(work_conserving = true) ?(credit_unit = Credit.default_credit_unit)
-    ?watchdog ?numa machine ~sched =
+    ?(accounting = Precise) ?watchdog ?numa machine ~sched =
   let n = Machine.pcpu_count machine in
   let t =
     {
@@ -258,6 +319,7 @@ let create ?(work_conserving = true) ?(credit_unit = Credit.default_credit_unit)
       sched = None;
       work_conserving;
       credit_unit;
+      accounting;
       numa;
       numa_remote_relocs = 0;
       next_vcpu_id = 0;
@@ -306,6 +368,15 @@ let create_domain t ?(concurrent_type = false) ~name ~weight ~vcpus () =
     Domain.make ~concurrent_type ~id:domain_id ~name ~weight ~vcpus:vcpu_array ()
   in
   t.domains_rev <- dom :: t.domains_rev;
+  (* Fairness gauges: attained vs entitled share over the current
+     accounting window, and the excess (theft). Evaluated only at
+     snapshot time, like every gauge. *)
+  Metrics.gauge t.metrics ~subsystem:"vmm" ~vm:name ~name:"attained_cycles"
+    (fun () -> attained_cycles t dom);
+  Metrics.gauge t.metrics ~subsystem:"vmm" ~vm:name ~name:"entitled_cycles"
+    (fun () -> entitled_cycles t dom);
+  Metrics.gauge t.metrics ~subsystem:"vmm" ~vm:name ~name:"theft_cycles"
+    (fun () -> theft_cycles t dom);
   dom
 
 (* Least-loaded online PCPU (ties broken towards the lowest index, so
@@ -339,7 +410,7 @@ let charge_current t pcpu =
   match t.current.(pcpu) with
   | None -> ()
   | Some v ->
-    charge t v;
+    charge ~at_tick:true t v;
     v.Vcpu.last_dispatch <- now t
 
 let check_invariants t =
@@ -574,16 +645,9 @@ let reset_accounting t =
 let online_rate t dom =
   let elapsed = now t - t.acct_start in
   if elapsed <= 0 then 0.
-  else begin
-    let base =
-      match Hashtbl.find_opt t.acct_online_base dom.Domain.id with
-      | Some b -> b
-      | None -> 0
-    in
-    let online = domain_online_now t dom - base in
-    float_of_int online
+  else
+    float_of_int (attained_cycles t dom)
     /. (float_of_int elapsed *. float_of_int (Domain.vcpu_count dom))
-  end
 
 let idle_fraction t =
   let elapsed = now t - t.acct_start in

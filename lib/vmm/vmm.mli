@@ -15,22 +15,41 @@ type invariant_mode =
   | Record  (** log violations, keep running *)
   | Raise  (** raise {!Invariant_violation} on the first violation *)
 
+type accounting =
+  | Precise
+      (** span-exact charging at every span end (the default, and the
+          theft defense): a VCPU pays for exactly the cycles it ran *)
+  | Sampled
+      (** Xen-faithful periodic-tick debiting: whoever occupies the
+          PCPU at each credit tick pays one full tick quantum,
+          regardless of how long it actually ran. Reproduces the
+          Zhou et al. tick-dodging vulnerability. *)
+
+val accounting_name : accounting -> string
+val accounting_of_name : string -> accounting option
+(** Recognises ["precise"] and ["sampled"] (case-insensitive). *)
+
 exception Invariant_violation of string
 
 val create :
   ?work_conserving:bool ->
   ?credit_unit:int ->
+  ?accounting:accounting ->
   ?watchdog:Watchdog.params ->
   ?numa:Sched_intf.numa ->
   Sim_hw.Machine.t ->
   sched:Sched_intf.maker ->
   t
 (** [work_conserving] defaults to [true]; [credit_unit] to
-    {!Credit.default_credit_unit}. [watchdog] (default off) arms the
-    gang scheduler's coscheduling watchdog — see {!Watchdog}. [numa]
-    (default off) arms the NUMA host model: schedulers prefer
-    same-socket steals and cross-socket relocations charge a cold-
-    cache penalty at the next accounting — see {!Sched_intf.numa}. *)
+    {!Credit.default_credit_unit}; [accounting] to [Precise]
+    (byte-identical to builds without the accounting knob).
+    [watchdog] (default off) arms the gang scheduler's coscheduling
+    watchdog — see {!Watchdog}. [numa] (default off) arms the NUMA
+    host model: schedulers prefer same-socket steals and cross-socket
+    relocations charge a cold-cache penalty at the next accounting —
+    see {!Sched_intf.numa}. *)
+
+val accounting : t -> accounting
 
 val engine : t -> Sim_engine.Engine.t
 
@@ -108,6 +127,20 @@ val domain_online_cycles : t -> Domain.t -> int
 
 val idle_fraction : t -> float
 (** Fraction of PCPU time spent idle over the accounting window. *)
+
+val attained_cycles : t -> Domain.t -> int
+(** Online cycles the domain attained over the current accounting
+    window (counts open spans). *)
+
+val entitled_cycles : t -> Domain.t -> int
+(** The domain's proportional-share entitlement over the window:
+    Eq.(2)'s expected per-VCPU online rate times elapsed time and
+    VCPU count. *)
+
+val theft_cycles : t -> Domain.t -> int
+(** [max 0 (attained - entitled)] — cycles extracted beyond the fair
+    share, the quantity a scheduler attack maximises. Also exported
+    per VM as the [vmm/{attained,entitled,theft}_cycles] gauges. *)
 
 val ctx_switches : t -> int
 

@@ -50,7 +50,8 @@ let test_spec_json_roundtrip () =
 (* ----- oracles vs hand-built violating records ----- *)
 
 let vm_obs ?(domain = 1) ?(vcpus = [| 2; 3 |]) ?(weight = 256)
-    ?(concurrent = true) ?credits ?(rate = 0.5) ?(expected = 0.5) name =
+    ?(concurrent = true) ?credits ?(rate = 0.5) ?(expected = 0.5)
+    ?(attacker = false) name =
   {
     Oracle.o_name = name;
     o_domain = domain;
@@ -63,11 +64,13 @@ let vm_obs ?(domain = 1) ?(vcpus = [| 2; 3 |]) ?(weight = 256)
       | None -> Array.map (fun _ -> 0) vcpus);
     o_online_rate = rate;
     o_expected_online = expected;
+    o_attacker = attacker;
   }
 
 (* pcpus 2, slot 10 M cycles, 3 slots/period, unit 1000: floor -3000,
    cap 6000, gang window slot/4 = 2.5 M. *)
 let input ?(pcpus = 2) ?(sched = "asman") ?(check_fairness = false)
+    ?(accounting = "precise") ?(check_entitlement = false)
     ?(finished = 100_000_000) ?(entries = []) ?(runtime_violations = 0)
     ?(structural = Ok ()) ?(probe_errors = []) ?(vms = [ vm_obs "vm0" ]) () =
   {
@@ -79,6 +82,8 @@ let input ?(pcpus = 2) ?(sched = "asman") ?(check_fairness = false)
     clean = true;
     sched;
     check_fairness;
+    accounting;
+    check_entitlement;
     started = 0;
     finished;
     entries;
@@ -269,6 +274,8 @@ let big_spec =
     cores_per_socket = 4;
     horizon_sec = 0.4;
     check_fairness = false;
+    accounting = "precise";
+    check_entitlement = false;
     vms =
       List.init 4 (fun i ->
           {
@@ -329,6 +336,49 @@ let test_shrink_respects_budget () =
     (Printf.sprintf "at most 7 evaluations (got %d)" !evals)
     true (!evals <= 7)
 
+let test_oracle_entitlement () =
+  let attacker = vm_obs ~attacker:true ~vcpus:[| 9 |] ~rate:0.4 ~expected:0.1 "attacker" in
+  let victim = vm_obs ~rate:0.5 ~expected:0.5 "victim0" in
+  check_verdict "non-attack shape skips" Oracle.entitlement "skip"
+    (input ~vms:[ attacker; victim ] ());
+  check_verdict "sampled accounting skips (theft is modeled behaviour)"
+    Oracle.entitlement "skip"
+    (input ~accounting:"sampled" ~check_entitlement:true
+       ~vms:[ attacker; victim ] ());
+  check_verdict "faulty run skips" Oracle.entitlement "skip"
+    {
+      (input ~check_entitlement:true ~vms:[ attacker; victim ] ()) with
+      Oracle.clean = false;
+    };
+  check_verdict "attacker 4x entitlement over 1x victims fails"
+    Oracle.entitlement "fail"
+    (input ~check_entitlement:true ~vms:[ attacker; victim ] ());
+  check_verdict "attacker within entitlement passes" Oracle.entitlement "pass"
+    (input ~check_entitlement:true
+       ~vms:
+         [
+           vm_obs ~attacker:true ~vcpus:[| 9 |] ~rate:0.12 ~expected:0.1
+             "attacker";
+           victim;
+         ]
+       ());
+  (* work-conserving slack lifts everyone: the attacker is over its
+     entitlement but so are the victims, so nothing was stolen *)
+  check_verdict "shared slack passes the relative test" Oracle.entitlement
+    "pass"
+    (input ~check_entitlement:true
+       ~vms:
+         [
+           vm_obs ~attacker:true ~vcpus:[| 9 |] ~rate:0.3 ~expected:0.1
+             "attacker";
+           vm_obs ~rate:0.8 ~expected:0.5 "victim0";
+         ]
+       ());
+  check_verdict "no victims skips" Oracle.entitlement "skip"
+    (input ~check_entitlement:true ~vms:[ attacker ] ());
+  check_verdict "no attackers skips" Oracle.entitlement "skip"
+    (input ~check_entitlement:true ~vms:[ victim ] ())
+
 (* ----- planted mutation caught end to end ----- *)
 
 (* The shrunk shape the fuzzer itself converged to for this mutation:
@@ -347,6 +397,8 @@ let mutation_spec =
     cores_per_socket = 2;
     horizon_sec = 0.14;
     check_fairness = false;
+    accounting = "precise";
+    check_entitlement = false;
     vms =
       [
         {
@@ -372,6 +424,55 @@ let test_mutation_skip_credit_burn_caught () =
       Alcotest.(check bool)
         "credit-burn oracle catches the planted bug" true
         (List.exists (fun f -> f.Oracle.oracle = "credit-burn") failures))
+
+(* The committed tick-dodge corpus shape, pinned: replays clean with
+   real precise accounting, and the entitlement oracle must convict it
+   once the [Sampled_accounting] mutation silently turns the precise
+   charge path into tick-sampled debiting. *)
+let sampled_mutation_spec =
+  {
+    Spec.seed = -4619933354561587056L;
+    sched = "asman";
+    scale = 0.05;
+    work_conserving = false;
+    faults = "none";
+    queue = "heap";
+    sim_jobs = 1;
+    sockets = 1;
+    cores_per_socket = 1;
+    horizon_sec = 0.125;
+    check_fairness = false;
+    accounting = "precise";
+    check_entitlement = true;
+    vms =
+      [
+        {
+          Spec.v_name = "attacker";
+          v_weight = 64;
+          v_vcpus = 1;
+          v_workload = Some (Scenario.W_attack_dodge { threads = 1 });
+        };
+        {
+          Spec.v_name = "victim1";
+          v_weight = 512;
+          v_vcpus = 1;
+          v_workload = Some (Scenario.W_speccpu "bzip2");
+        };
+      ];
+  }
+
+let test_mutation_sampled_accounting_caught () =
+  Fun.protect
+    ~finally:(fun () -> Sim_vmm.Mutation.set None)
+    (fun () ->
+      Alcotest.(check (list string))
+        "attack spec passes unmutated" []
+        (List.map (fun f -> f.Oracle.oracle) (Case.run sampled_mutation_spec));
+      Sim_vmm.Mutation.set (Some Sim_vmm.Mutation.Sampled_accounting);
+      let failures = Case.run sampled_mutation_spec in
+      Alcotest.(check bool)
+        "entitlement oracle catches the planted bug" true
+        (List.exists (fun f -> f.Oracle.oracle = "entitlement") failures))
 
 (* ----- timed-out cases are reported, not dropped ----- *)
 
@@ -427,6 +528,7 @@ let suite =
       test_oracle_proportionality;
     Alcotest.test_case "oracle: gang-atomicity" `Quick
       test_oracle_gang_atomicity;
+    Alcotest.test_case "oracle: entitlement" `Quick test_oracle_entitlement;
     Alcotest.test_case "run_all reports failures" `Quick
       test_run_all_reports_failures;
     Alcotest.test_case "shrinker converges on a planted bug" `Quick
@@ -437,6 +539,8 @@ let suite =
       test_shrink_respects_budget;
     Alcotest.test_case "planted skip-credit-burn is caught" `Slow
       test_mutation_skip_credit_burn_caught;
+    Alcotest.test_case "planted sampled-accounting is caught" `Slow
+      test_mutation_sampled_accounting_caught;
     Alcotest.test_case "timed-out case reported with its seed" `Quick
       test_timeout_reported_with_seed;
     Alcotest.test_case "committed corpus replays clean" `Slow

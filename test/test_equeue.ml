@@ -158,6 +158,109 @@ let test_cancel_everywhere () =
   in
   Alcotest.(check bool) "cancel everywhere" true (check_script ops)
 
+(* ----- the fused drain loop under cancellation -----
+
+   [Equeue.drain] pops without materialising [pop_result] blocks, so
+   it has its own unlink/recycle path; cancelling events from inside
+   the drained window — including events later in the *same* window —
+   must leave both backends with identical fire sequences and queue
+   contents. *)
+
+(* Directed: a drain whose actions cancel later same-window events,
+   re-cancel already-fired ones (stale, must be [false]), and schedule
+   new events both inside and beyond the limit. *)
+let drain_cancel_trace kind =
+  let q = Equeue.create kind in
+  let fired = ref [] in
+  let n = 24 in
+  let handles = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    (* pairs share fire times, so cancellation also crosses seq
+       tie-breaks *)
+    handles.(i) <-
+      Equeue.schedule q
+        ~time:(10 * (i / 2))
+        (fun () ->
+          fired := i :: !fired;
+          (* cancel an event later in the same drained window *)
+          if i mod 3 = 0 && i + 5 < n then
+            ignore (Equeue.cancel q handles.(i + 5));
+          (* stale: this very event is firing, cancel must refuse *)
+          if Equeue.cancel q handles.(i) then fired := -1 :: !fired;
+          (* grow the window from inside the drain... *)
+          if i = 4 then
+            ignore
+              (Equeue.schedule q ~time:95 (fun () -> fired := 100 :: !fired));
+          (* ...and schedule beyond it, to be left queued *)
+          if i = 6 then
+            ignore (Equeue.schedule q ~time:5000 (fun () -> ())))
+  done;
+  Equeue.drain q ~limit:100 (fun _time action -> action ());
+  (List.rev !fired, Equeue.length q)
+
+let test_drain_cancel_directed () =
+  let wheel = drain_cancel_trace Equeue.Wheel_queue in
+  let heap = drain_cancel_trace Equeue.Heap_queue in
+  Alcotest.(check (pair (list int) int))
+    "drain/cancel trace agrees with heap oracle" heap wheel;
+  (* the cancellations actually bit: cancelled indices are absent *)
+  let fired, leftover = wheel in
+  Alcotest.(check bool) "i=5 cancelled by i=0" false (List.mem 5 fired);
+  Alcotest.(check bool) "i=11 cancelled by i=6" false (List.mem 11 fired);
+  Alcotest.(check bool) "no stale cancel succeeded" false (List.mem (-1) fired);
+  Alcotest.(check bool) "in-window growth fired" true (List.mem 100 fired);
+  Alcotest.(check int) "beyond-limit events left queued" 2 leftover
+
+(* Seeded interleavings of drain and cancel: every action flips a
+   coin per outstanding handle; both backends must agree event for
+   event. Deterministic per seed — no QCheck shrinking needed, a
+   failing seed is the repro. *)
+let drain_cancel_seeded seed kind =
+  let rng = Rng.create (Int64.of_int seed) in
+  let q = Equeue.create kind in
+  let fired = ref [] in
+  let handles = ref [] in
+  let tag = ref 0 in
+  let rec spawn time =
+    let id = !tag in
+    incr tag;
+    if id < 400 then begin
+      let h =
+        Equeue.schedule q ~time (fun () ->
+            fired := (time, id) :: !fired;
+            List.iter
+              (fun h -> if Rng.int rng 8 = 0 then ignore (Equeue.cancel q h))
+              !handles;
+            if Rng.int rng 3 = 0 then
+              spawn (time + Rng.int_in rng ~lo:0 ~hi:300))
+      in
+      handles := h :: !handles
+    end
+  in
+  for _ = 1 to 60 do
+    spawn (Rng.int_in rng ~lo:0 ~hi:900)
+  done;
+  Equeue.drain q ~limit:600 (fun _time action -> action ());
+  let rest = ref [] in
+  let rec pop_all () =
+    match Equeue.pop q with
+    | Equeue.Event (time, action) ->
+      rest := time :: !rest;
+      action ();
+      pop_all ()
+    | Equeue.Beyond | Equeue.Empty -> ()
+  in
+  pop_all ();
+  (List.rev !fired, List.rev !rest)
+
+let test_drain_cancel_seeded () =
+  for seed = 1 to 20 do
+    let wheel = drain_cancel_seeded seed Equeue.Wheel_queue in
+    let heap = drain_cancel_seeded seed Equeue.Heap_queue in
+    if wheel <> heap then
+      Alcotest.failf "drain/cancel seed %d: wheel and heap disagree" seed
+  done
+
 (* Periodic chains with jitter, through the Engine API: both backends
    must see identical firing orders and clocks. *)
 let engine_trace kind =
@@ -214,6 +317,9 @@ let suite =
     Alcotest.test_case "same-time burst" `Quick test_same_time_burst;
     Alcotest.test_case "far future" `Quick test_far_future;
     Alcotest.test_case "cancel everywhere" `Quick test_cancel_everywhere;
+    Alcotest.test_case "drain/cancel directed" `Quick test_drain_cancel_directed;
+    Alcotest.test_case "drain/cancel seeded vs heap oracle" `Quick
+      test_drain_cancel_seeded;
     Alcotest.test_case "periodic identical" `Quick test_engine_periodic_identical;
     QCheck_alcotest.to_alcotest prop_backends_agree;
     Alcotest.test_case "fig1a identical across backends" `Slow

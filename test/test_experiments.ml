@@ -9,7 +9,7 @@ let test_registry () =
   let ids = Experiments.ids () in
   Alcotest.(check (list string)) "paper order"
     [ "fig1a"; "fig1b"; "fig2"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11a";
-      "fig11b"; "fig12a"; "fig12b"; "resilience" ]
+      "fig11b"; "fig12a"; "fig12b"; "theft"; "resilience" ]
     ids;
   List.iter
     (fun id ->

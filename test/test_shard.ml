@@ -90,6 +90,73 @@ let test_mail_order () =
     [ "t20-src0"; "t20-src1"; "t30-src0-a"; "t30-src0-b"; "t30-src1" ]
     (List.rev !log)
 
+(* ----- cancel ----- *)
+
+(* Cancelling from inside the drained window: an early event unlinks a
+   later event of the same window mid-drain; the victim must not fire,
+   and re-cancelling (now stale) must refuse. *)
+let test_cancel_inside_drained_window () =
+  let t = Shard.create ~shards:1 ~lookahead:100 () in
+  let fired = ref [] in
+  let victim = ref (-1) in
+  let live = ref false in
+  let stale = ref true in
+  ignore
+    (Shard.schedule t ~shard:0 ~time:5 (fun () ->
+         fired := 5 :: !fired;
+         live := Shard.cancel t ~shard:0 !victim;
+         stale := Shard.cancel t ~shard:0 !victim));
+  ignore (Shard.schedule t ~shard:0 ~time:7 (fun () -> fired := 7 :: !fired));
+  victim := Shard.schedule t ~shard:0 ~time:8 (fun () -> fired := 8 :: !fired);
+  Shard.run ~workers:1 t;
+  Alcotest.(check (list int)) "victim never fired" [ 5; 7 ] (List.rev !fired);
+  Alcotest.(check bool) "live cancel succeeded" true !live;
+  Alcotest.(check bool) "second cancel is stale" false !stale;
+  Alcotest.(check int) "two events fired" 2 (Shard.events_fired t)
+
+(* Mailbox delivery recycles pooled queue slots on the destination
+   shard; cancelling a local decoy scheduled at the mailed event's
+   exact fire time must unlink the decoy, never the mail. *)
+let test_cancel_decoy_spares_mailed_event () =
+  let t = Shard.create ~shards:2 ~lookahead:100 () in
+  let fired = ref [] in
+  let decoy =
+    Shard.schedule t ~shard:1 ~time:200 (fun () -> fired := "decoy" :: !fired)
+  in
+  ignore
+    (Shard.schedule t ~shard:0 ~time:0 (fun () ->
+         Shard.post t ~src:0 ~dst:1 ~time:200 (fun () ->
+             fired := "mail" :: !fired)));
+  ignore
+    (Shard.schedule t ~shard:1 ~time:150 (fun () ->
+         Alcotest.(check bool)
+           "decoy cancel succeeds" true
+           (Shard.cancel t ~shard:1 decoy)));
+  Shard.run ~workers:1 t;
+  Alcotest.(check (list string))
+    "mail delivered, decoy suppressed" [ "mail" ] (List.rev !fired);
+  Alcotest.(check int) "one cross post" 1 (Shard.cross_posts t)
+
+(* Cancelling a not-yet-delivered window's event from a mailed
+   action: mail fires on the destination shard and may cancel
+   destination-local events like any local action. *)
+let test_mailed_action_cancels_local_event () =
+  let t = Shard.create ~shards:2 ~lookahead:50 () in
+  let fired = ref [] in
+  let doomed =
+    Shard.schedule t ~shard:1 ~time:120 (fun () -> fired := "doomed" :: !fired)
+  in
+  ignore
+    (Shard.schedule t ~shard:0 ~time:0 (fun () ->
+         Shard.post t ~src:0 ~dst:1 ~time:100 (fun () ->
+             fired := "mail" :: !fired;
+             Alcotest.(check bool)
+               "mailed action cancels ahead" true
+               (Shard.cancel t ~shard:1 doomed))));
+  Shard.run ~workers:1 t;
+  Alcotest.(check (list string))
+    "only the mail fired" [ "mail" ] (List.rev !fired)
+
 (* ----- determinism contracts ----- *)
 
 (* A deterministic little workload: self-rescheduling chains whose
@@ -185,6 +252,12 @@ let suite =
     Alcotest.test_case "post at lookahead accepted" `Quick
       test_post_at_lookahead_accepted;
     Alcotest.test_case "mail order (time, src, seq)" `Quick test_mail_order;
+    Alcotest.test_case "cancel inside drained window" `Quick
+      test_cancel_inside_drained_window;
+    Alcotest.test_case "cancel decoy spares mailed event" `Quick
+      test_cancel_decoy_spares_mailed_event;
+    Alcotest.test_case "mailed action cancels local event" `Quick
+      test_mailed_action_cancels_local_event;
     Alcotest.test_case "worker count irrelevant" `Quick test_workers_irrelevant;
     Alcotest.test_case "partition-independent digest" `Quick
       test_partition_independent_digest;
