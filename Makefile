@@ -7,7 +7,8 @@ SCALE ?= 0.05
 SEED ?= 5
 JOBS ?= 4
 
-.PHONY: all build test bench bench-compare figures chaos trace check repro clean
+.PHONY: all build test bench bench-compare compare report figures chaos trace \
+  check repro clean
 
 all: build
 
@@ -21,14 +22,27 @@ bench: build
 	$(DUNE) exec bench/main.exe -- -j $(JOBS)
 
 # Differential perf check: a scaled-down figure subset with the heap
-# oracle vs the timing wheel, diffed by scripts/bench_diff (fails on
-# regressions past the threshold). The CI perf-smoke job runs this.
+# oracle vs the timing wheel, diffed by the registry's regression
+# engine (fails on regressions past the threshold). The CI perf-smoke
+# job runs this.
 bench-compare: build
 	BENCH_SCALE=$(SCALE) BENCH_COST_CACHE= $(DUNE) exec bench/main.exe -- \
 	  -j $(JOBS) --engine-queue=heap --json bench_heap.json fig1a fig7 fig9
 	BENCH_SCALE=$(SCALE) BENCH_COST_CACHE= $(DUNE) exec bench/main.exe -- \
 	  -j $(JOBS) --engine-queue=wheel --json bench_wheel.json fig1a fig7 fig9
-	scripts/bench_diff bench_heap.json bench_wheel.json --threshold 50
+	$(DUNE) exec bin/asman_cli.exe -- compare bench_heap.json \
+	  bench_wheel.json --threshold 50 --strict-sections
+
+# Diff any two runs: registry ids, record files, or raw BENCH dumps.
+#   make compare OLD=BENCH_2026-08-06.json NEW=BENCH_2026-08-07.json
+compare: build
+	@test -n "$(OLD)" -a -n "$(NEW)" || \
+	  { echo "usage: make compare OLD=<run> NEW=<run>"; exit 2; }
+	$(DUNE) exec bin/asman_cli.exe -- compare $(OLD) $(NEW)
+
+# Render the run registry (runs/) as a self-contained HTML trend page.
+report: build
+	$(DUNE) exec bin/asman_cli.exe -- report --out report.html
 
 figures: build
 	$(DUNE) exec bin/asman_cli.exe -- experiment all --scale $(SCALE) \

@@ -1,393 +1,82 @@
-(* Compare two BENCH_*.json timing dumps (see bench/main.ml) and flag
-   regressions.
+(* Compare two bench dumps / registry records and flag regressions.
 
-     diff.exe OLD.json NEW.json [--threshold PCT]
+     diff.exe OLD NEW [--threshold PCT] [--min-wall SEC]
+                      [--fairness-threshold PCT] [--strict-sections]
 
-   Prints a per-run wall-clock table (old, new, delta) and the same
-   for the event-queue micro throughputs when both files carry them.
-   Exits 1 if any run's wall time grew — or any micro throughput
-   shrank — by more than the threshold (default 25%), so CI can gate
-   on it. Runs present in only one file are reported but not gated:
-   the bench suite gains and loses entries across PRs. Runs whose old
-   wall time is below --min-wall (default 0.25 s) are shown but not
-   gated either — at that duration the delta is scheduler noise.
+   A thin wrapper over the run registry's regression engine
+   (lib/registry/compare.ml): OLD and NEW may be raw BENCH_*.json
+   dumps (the historical input, ingested losslessly), registry record
+   files, or bare run ids resolved against the registry directory
+   ($ASMAN_RUNS, default runs/). `asman compare` exposes the same
+   engine; this executable survives for scripts/bench_diff and CI
+   muscle memory.
 
-   Dumps from the theft figure additionally carry a "fairness"
-   section (per-cell attained/entitled ratios). Unlike wall time
-   these are deterministic simulator outputs, so they are gated in
-   *both* directions with the much tighter --fairness-threshold
-   (default 5%): any drift means the scheduler/accounting behaviour
-   changed, which a perf PR must not do silently. A file without the
-   section (the figure didn't run) is reported, never gated. *)
-
-(* ----- minimal JSON reader (no external dependency) ----- *)
-
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-exception Parse_error of string
-
-let parse (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some d when d = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word value =
-    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      value
-    end
-    else fail ("expected " ^ word)
-  in
-  let string_lit () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string"
-      else
-        let c = s.[!pos] in
-        advance ();
-        if c = '"' then Buffer.contents buf
-        else if c = '\\' then begin
-          (if !pos >= n then fail "unterminated escape"
-           else
-             let e = s.[!pos] in
-             advance ();
-             match e with
-             | '"' -> Buffer.add_char buf '"'
-             | '\\' -> Buffer.add_char buf '\\'
-             | '/' -> Buffer.add_char buf '/'
-             | 'n' -> Buffer.add_char buf '\n'
-             | 't' -> Buffer.add_char buf '\t'
-             | 'r' -> Buffer.add_char buf '\r'
-             | 'b' -> Buffer.add_char buf '\b'
-             | 'f' -> Buffer.add_char buf '\012'
-             | 'u' ->
-               if !pos + 4 > n then fail "short \\u escape";
-               (* Keep the escape verbatim; ids here are ASCII. *)
-               Buffer.add_string buf ("\\u" ^ String.sub s !pos 4);
-               pos := !pos + 4
-             | _ -> fail "bad escape");
-          go ()
-        end
-        else begin
-          Buffer.add_char buf c;
-          go ()
-        end
-    in
-    go ()
-  in
-  let number () =
-    let start = !pos in
-    let is_num_char c =
-      (c >= '0' && c <= '9')
-      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    in
-    while !pos < n && is_num_char s.[!pos] do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> Num f
-    | None -> fail "bad number"
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = string_lit () in
-          skip_ws ();
-          expect ':';
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((k, v) :: acc)
-          | Some '}' ->
-            advance ();
-            Obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        members []
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        Arr []
-      end
-      else begin
-        let rec elements acc =
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements (v :: acc)
-          | Some ']' ->
-            advance ();
-            Arr (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        elements []
-      end
-    | Some '"' -> Str (string_lit ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> number ()
-    | None -> fail "unexpected end of input"
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let member k = function
-  | Obj kvs -> List.assoc_opt k kvs
-  | _ -> None
-
-let as_num = function Some (Num f) -> Some f | _ -> None
-
-let as_str = function Some (Str s) -> Some s | _ -> None
-
-let as_arr = function Some (Arr l) -> l | _ -> []
-
-(* ----- BENCH file model ----- *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
-
-(* (id, wall_sec) per figure/ablation run. *)
-let runs_of json =
-  List.filter_map
-    (fun run ->
-      match (as_str (member "id" run), as_num (member "wall_sec" run)) with
-      | Some id, Some w -> Some (id, w)
-      | _ -> None)
-    (as_arr (member "runs" json))
-
-(* ("bench backend [pN jN] pendingN", ops_per_sec) per micro
-   measurement. The PDES sweep rows (bench/micro.ml) carry pcpus and
-   sim_jobs; those go into the key so sweep points at the same pending
-   count stay distinct entries. *)
-let micro_of json =
-  List.filter_map
-    (fun m ->
-      match
-        ( as_str (member "bench" m),
-          as_str (member "backend" m),
-          as_num (member "pending" m),
-          as_num (member "ops_per_sec" m) )
-      with
-      | Some b, Some k, Some p, Some r ->
-        let opt name short =
-          match as_num (member name m) with
-          | Some v -> Printf.sprintf " %s%.0f" short v
-          | None -> ""
-        in
-        Some
-          ( Printf.sprintf "%s %s%s%s %.0f" b k (opt "pcpus" "p")
-              (opt "sim_jobs" "j") p,
-            r )
-      | _ -> None)
-    (as_arr (member "micro" json))
-
-(* (id, attained/entitled ratio) per theft-figure cell. *)
-let fairness_of json =
-  List.filter_map
-    (fun m ->
-      match (as_str (member "id" m), as_num (member "ratio" m)) with
-      | Some id, Some r -> Some (id, r)
-      | _ -> None)
-    (as_arr (member "fairness" json))
-
-(* ----- comparison ----- *)
-
-let pct old fresh = (fresh -. old) /. old *. 100.
-
-(* [worse] says which direction is a regression: wall time up, or
-   throughput down. [gate] can exempt entries (e.g. runs too short to
-   time reliably). Returns the number of entries past the
-   threshold. *)
-let compare_section ~label ~unit ~worse ?(gate = fun _ -> true) ~threshold
-    old_entries new_entries =
-  let regressions = ref 0 in
-  let shown = ref false in
-  let header () =
-    if not !shown then begin
-      shown := true;
-      Printf.printf "%s (%s):\n  %-28s %12s %12s %9s\n" label unit "entry" "old"
-        "new" "delta"
-    end
-  in
-  List.iter
-    (fun (id, old_v) ->
-      match List.assoc_opt id new_entries with
-      | None ->
-        header ();
-        Printf.printf "  %-28s %12.3f %12s %9s\n" id old_v "-" "gone"
-      | Some new_v ->
-        let delta = pct old_v new_v in
-        let regressed = worse delta > threshold && gate old_v in
-        if regressed then incr regressions;
-        header ();
-        Printf.printf "  %-28s %12.3f %12.3f %+8.1f%%%s%s\n" id old_v new_v
-          delta
-          (if regressed then "  <-- REGRESSION" else "")
-          (if worse delta > threshold && not (gate old_v) then
-             "  (ungated: too short)"
-           else ""))
-    old_entries;
-  List.iter
-    (fun (id, new_v) ->
-      if not (List.mem_assoc id old_entries) then begin
-        header ();
-        Printf.printf "  %-28s %12s %12.3f %9s\n" id "-" new_v "new"
-      end)
-    new_entries;
-  if !shown then print_newline ();
-  !regressions
-
-(* A whole section missing from one file (e.g. a BENCH dump from
-   before that suite existed) is reported, never gated: perf-smoke
-   compares across PR boundaries where sections come and go. *)
-let section_presence ~label name old_json new_json =
-  match (member name old_json, member name new_json) with
-  | None, Some _ ->
-    Printf.printf "%s: section added in new file (nothing to compare)\n\n"
-      label;
-    false
-  | Some _, None ->
-    Printf.printf "%s: section removed in new file (nothing to compare)\n\n"
-      label;
-    false
-  | None, None | Some _, Some _ -> true
+   Exits 1 if any gated entry regressed past its threshold; see
+   Sim_registry.Compare for the per-section verdict rules.
+   --strict-sections additionally turns a section that disappeared
+   (present in OLD, absent in NEW) into a regression, so a broken
+   suite cannot pass by emitting fewer sections. *)
 
 let usage () =
   prerr_endline
-    "usage: diff.exe OLD.json NEW.json [--threshold PCT] [--min-wall SEC] \
-     [--fairness-threshold PCT]";
+    "usage: diff.exe OLD NEW [--threshold PCT] [--min-wall SEC] \
+     [--fairness-threshold PCT] [--strict-sections]";
   exit 2
 
 let () =
-  let threshold = ref 25. in
-  let min_wall = ref 0.25 in
-  let fairness_threshold = ref 5. in
   let files = ref [] in
-  let rec go = function
+  let t = ref Sim_registry.Compare.default in
+  let rec parse = function
     | [] -> ()
     | "--threshold" :: v :: rest -> (
       match float_of_string_opt v with
-      | Some t when t >= 0. ->
-        threshold := t;
-        go rest
-      | Some _ | None -> usage ())
+      | Some pct when pct > 0. ->
+        t := { !t with Sim_registry.Compare.threshold = pct };
+        parse rest
+      | Some _ | None ->
+        prerr_endline "--threshold needs a positive number";
+        usage ())
     | "--min-wall" :: v :: rest -> (
       match float_of_string_opt v with
-      | Some t when t >= 0. ->
-        min_wall := t;
-        go rest
-      | Some _ | None -> usage ())
+      | Some sec when sec >= 0. ->
+        t := { !t with Sim_registry.Compare.min_wall = sec };
+        parse rest
+      | Some _ | None ->
+        prerr_endline "--min-wall needs a non-negative number";
+        usage ())
     | "--fairness-threshold" :: v :: rest -> (
       match float_of_string_opt v with
-      | Some t when t >= 0. ->
-        fairness_threshold := t;
-        go rest
-      | Some _ | None -> usage ())
-    | f :: rest ->
-      files := f :: !files;
-      go rest
+      | Some pct when pct > 0. ->
+        t := { !t with Sim_registry.Compare.fairness_threshold = pct };
+        parse rest
+      | Some _ | None ->
+        prerr_endline "--fairness-threshold needs a positive number";
+        usage ())
+    | "--strict-sections" :: rest ->
+      t := { !t with Sim_registry.Compare.strict_sections = true };
+      parse rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "unknown option %s\n" arg;
+      usage ()
+    | file :: rest ->
+      files := file :: !files;
+      parse rest
   in
-  go (List.tl (Array.to_list Sys.argv));
+  parse (List.tl (Array.to_list Sys.argv));
   match List.rev !files with
-  | [ old_path; new_path ] ->
-    let load p =
-      match parse (read_file p) with
-      | j -> j
-      | exception Parse_error msg ->
-        Printf.eprintf "%s: %s\n" p msg;
-        exit 2
-      | exception Sys_error msg ->
+  | [ old_file; new_file ] ->
+    let resolve s =
+      try Sim_registry.Registry.resolve s
+      with
+      | Sys_error msg ->
         Printf.eprintf "%s\n" msg;
         exit 2
+      | Sim_registry.Cjson.Parse_error msg ->
+        Printf.eprintf "%s: %s\n" s msg;
+        exit 2
     in
-    let old_json = load old_path and new_json = load new_path in
-    Printf.printf "bench diff: %s -> %s (threshold %.0f%%)\n\n" old_path
-      new_path !threshold;
-    let r1 =
-      if section_presence ~label:"figure/ablation wall time" "runs" old_json
-           new_json
-      then
-        compare_section ~label:"figure/ablation wall time" ~unit:"sec"
-          ~worse:(fun d -> d)
-          ~gate:(fun old_v -> old_v >= !min_wall)
-          ~threshold:!threshold (runs_of old_json) (runs_of new_json)
-      else 0
-    in
-    let r2 =
-      if section_presence ~label:"event-queue micro throughput" "micro"
-           old_json new_json
-      then
-        compare_section ~label:"event-queue micro throughput"
-          ~unit:"events/sec"
-          ~worse:(fun d -> -.d) ~threshold:!threshold (micro_of old_json)
-          (micro_of new_json)
-      else 0
-    in
-    (* Deterministic outputs: drift in either direction is a
-       behaviour change, not noise, hence the tight symmetric gate. *)
-    let r3 =
-      if section_presence ~label:"fairness (attained/entitled)" "fairness"
-           old_json new_json
-      then
-        compare_section ~label:"fairness (attained/entitled)" ~unit:"ratio"
-          ~worse:Float.abs ~threshold:!fairness_threshold
-          (fairness_of old_json) (fairness_of new_json)
-      else 0
-    in
-    (match (as_num (member "total_wall_sec" old_json),
-            as_num (member "total_wall_sec" new_json))
-     with
-    | Some o, Some n when o > 0. ->
-      Printf.printf "total wall: %.3f s -> %.3f s (%+.1f%%)\n" o n (pct o n)
-    | _ -> ());
-    if r1 + r2 + r3 > 0 then begin
-      Printf.printf "\n%d regression(s) beyond threshold\n" (r1 + r2 + r3);
-      exit 1
-    end
-    else print_endline "no regressions beyond threshold"
+    let old_r = resolve old_file and new_r = resolve new_file in
+    let result = Sim_registry.Compare.records !t old_r new_r in
+    print_string result.Sim_registry.Compare.text;
+    if result.Sim_registry.Compare.regressions > 0 then exit 1
   | _ -> usage ()

@@ -17,11 +17,18 @@
    (-j N or ASMAN_JOBS; default: cores - 1; -j 1 = sequential). With
    --json [FILE] the per-figure and per-job wall-clock timings plus
    the worker count are dumped to FILE (default BENCH_<date>.json) so
-   the perf trajectory is tracked across PRs; scripts/bench_diff
-   compares two dumps. --engine-queue selects the event-queue backend
-   (default wheel; results are byte-identical either way). Per-job
-   wall times persist in BENCH_COST_CACHE (default BENCH_cost_cache,
-   empty disables) so repeat runs schedule longest jobs first. *)
+   the perf trajectory is tracked across PRs; scripts/bench_diff (or
+   `asman compare`) compares two dumps. --engine-queue selects the
+   event-queue backend (default wheel; results are byte-identical
+   either way). Per-job wall times persist in BENCH_COST_CACHE
+   (default runs/cost_cache, falling back to the pre-registry
+   BENCH_cost_cache path for one release when the new path is absent;
+   empty disables) so repeat runs schedule longest jobs first.
+
+   Every invocation also drops a metadata-stamped record into the run
+   registry (runs/ by default; ASMAN_RUNS= disables) — see
+   lib/registry. Recording is observation-only: the note goes to
+   stderr and stdout is byte-identical with recording on or off. *)
 
 open Asman
 
@@ -92,22 +99,7 @@ let print_timing id wall_sec (stats : Pool.stats) =
 let fairness_results : (string * float) list ref = ref []
 
 let capture_fairness (outcome : Experiments.outcome) =
-  let attack_of_x x =
-    match int_of_float x with
-    | 0 -> "dodge"
-    | 1 -> "steal"
-    | 2 -> "launder"
-    | i -> string_of_int i
-  in
-  fairness_results :=
-    !fairness_results
-    @ List.concat_map
-        (fun (s : Sim_stats.Series.t) ->
-          List.map
-            (fun (x, y) ->
-              (Printf.sprintf "%s %s" s.Sim_stats.Series.label (attack_of_x x), y))
-            (Sim_stats.Series.points s))
-        outcome.Experiments.series
+  fairness_results := !fairness_results @ Experiments.fairness_entries outcome
 
 let run_experiment (e : Experiments.t) =
   let id = e.Experiments.id in
@@ -215,6 +207,16 @@ let write_json path =
                   (json_escape id) ratio)
               entries))
   in
+  (* Provenance stamps (satellite of the run registry): which tree,
+     which machine axes. Older dumps without them still ingest — the
+     readers default every stamp. *)
+  let git_stamp =
+    match Sim_registry.Meta.git_info () with
+    | None -> ""
+    | Some (sha, dirty) ->
+      Printf.sprintf "  \"git_sha\": \"%s\",\n  \"git_dirty\": %b,\n"
+        (json_escape sha) dirty
+  in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -223,6 +225,11 @@ let write_json path =
      \  \"seed\": %Ld,\n\
      \  \"workers\": %d,\n\
      \  \"queue\": \"%s\",\n\
+     %s\
+     \  \"accounting\": \"%s\",\n\
+     \  \"sim_jobs\": %d,\n\
+     \  \"topology\": \"%s\",\n\
+     \  \"numa\": %b,\n\
      \  \"total_wall_sec\": %.6f,\n\
      \  \"runs\": [\n%s\n\
      \  ],\n\
@@ -233,7 +240,11 @@ let write_json path =
      }\n"
     (date_string ()) scale config.Config.seed (Pool.jobs ())
     (Sim_engine.Equeue.kind_name (Sim_engine.Engine.default_queue ()))
-    total_wall
+    git_stamp
+    (Sim_vmm.Vmm.accounting_name config.Config.accounting)
+    config.Config.sim_jobs
+    (json_escape (Sim_hw.Topology.to_string config.Config.topology))
+    config.Config.numa total_wall
     (String.concat ",\n" (List.map entry_json entries))
     (String.concat ",\n"
        (List.filter
@@ -246,6 +257,99 @@ let write_json path =
     (Sim_obs.Prof.to_json_fragment prof);
   close_out oc;
   Printf.printf "timings written to %s\n%!" path
+
+(* ----- run-registry record (lib/registry) ----- *)
+
+module Reg = Sim_registry
+
+(* The record's sections mirror the --json dump shapes so `asman
+   compare` treats a record and a raw dump interchangeably. Micro rows
+   are round-tripped through Cjson from the same fragments write_json
+   emits. *)
+let registry_sections () =
+  let entries = List.rev !recorded in
+  let runs =
+    Reg.Cjson.List
+      (List.map
+         (fun e ->
+           Reg.Cjson.Obj
+             [
+               ("id", Reg.Cjson.String e.entry_id);
+               ("wall_sec", Reg.Cjson.Float e.wall_sec);
+               ("busy_sec", Reg.Cjson.Float e.stats.Pool.busy_sec);
+               ("jobs", Reg.Cjson.Int (List.length e.stats.Pool.timings));
+               ("workers", Reg.Cjson.Int e.stats.Pool.jobs_used);
+               ("speedup", Reg.Cjson.Float (speedup ~wall_sec:e.wall_sec e.stats));
+             ])
+         entries)
+  in
+  let micro_rows =
+    String.concat ","
+      (List.filter
+         (fun s -> s <> "")
+         [
+           Micro.to_json_fragment !micro_results;
+           Micro.pdes_to_json_fragment !pdes_results;
+         ])
+  in
+  let micro = Reg.Cjson.of_string ("[" ^ micro_rows ^ "]") in
+  let fairness =
+    Reg.Cjson.List
+      (List.map
+         (fun (id, ratio) ->
+           Reg.Cjson.Obj
+             [ ("id", Reg.Cjson.String id); ("ratio", Reg.Cjson.Float ratio) ])
+         !fairness_results)
+  in
+  Reg.Cjson.Obj
+    (("runs", runs) :: ("micro", micro)
+    ::
+    (match !fairness_results with
+    | [] -> []
+    | _ -> [ ("fairness", fairness) ]))
+
+let record_run ~ids ~json =
+  let label =
+    match ids with
+    | [] -> "bench all"
+    | ids -> "bench " ^ String.concat " " ids
+  in
+  let kind = match ids with [ "theft" ] -> "theft" | _ -> "bench" in
+  let entries = List.rev !recorded in
+  let wall_sec = List.fold_left (fun s e -> s +. e.wall_sec) 0. entries in
+  let busy_sec =
+    List.fold_left (fun s e -> s +. e.stats.Pool.busy_sec) 0. entries
+  in
+  let spec =
+    Reg.Cjson.Obj
+      [
+        ( "argv",
+          Reg.Cjson.List
+            (List.map
+               (fun s -> Reg.Cjson.String s)
+               (List.tl (Array.to_list Sys.argv))) );
+        ("scale", Reg.Cjson.Float scale);
+      ]
+  in
+  let r =
+    Reg.Record.make
+      ~id:(Reg.Registry.fresh_id ~kind)
+      ~kind ~seed:config.Config.seed ~scale
+      ~queue:(Sim_engine.Equeue.kind_name (Sim_engine.Engine.default_queue ()))
+      ~workers:(Pool.jobs ()) ~sim_jobs:config.Config.sim_jobs
+      ~topology:(Sim_hw.Topology.to_string config.Config.topology)
+      ~numa:config.Config.numa
+      ~accounting:(Sim_vmm.Vmm.accounting_name config.Config.accounting)
+      ~label ~spec ~wall_sec ~busy_sec
+      ~sections:(registry_sections ())
+      ~exports:(match json with Some p -> [ p ] | None -> [])
+      ()
+  in
+  (* Observation-only: the note goes to stderr so stdout stays
+     byte-identical with recording on or off. *)
+  match Reg.Registry.save_if_enabled r with
+  | Some path -> Printf.eprintf "run recorded: %s\n%!" path
+  | None -> ()
 
 (* ----- Bechamel micro-benchmarks ----- *)
 
@@ -417,12 +521,32 @@ let parse_args args =
   go { jobs = None; json = None; queue = None; ids = [] } args
 
 (* Persistent LPT cost cache: per-job wall times from earlier bench
-   runs, used to start each figure's longest jobs first. *)
+   runs, used to start each figure's longest jobs first. Lives next to
+   the registry records (runs/cost_cache); the pre-registry
+   BENCH_cost_cache path is still read for one release when the new
+   path is absent. *)
 let cost_cache_file =
   match Sys.getenv_opt "BENCH_COST_CACHE" with
   | Some "" -> None
   | Some f -> Some f
-  | None -> Some "BENCH_cost_cache"
+  | None -> Some (Filename.concat "runs" "cost_cache")
+
+let legacy_cost_cache = "BENCH_cost_cache"
+
+let load_cost_cache () =
+  match cost_cache_file with
+  | None -> ()
+  | Some f ->
+    if (not (Sys.file_exists f)) && Sys.file_exists legacy_cost_cache then
+      Pool.load_cost_cache legacy_cost_cache
+    else Pool.load_cost_cache f
+
+let save_cost_cache () =
+  match cost_cache_file with
+  | None -> ()
+  | Some f ->
+    Reg.Registry.ensure_dir (Filename.dirname f);
+    Pool.save_cost_cache f
 
 let () =
   let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
@@ -430,7 +554,7 @@ let () =
   (match opts.queue with
   | Some k -> Sim_engine.Engine.set_default_queue k
   | None -> ());
-  (match cost_cache_file with Some f -> Pool.load_cost_cache f | None -> ());
+  load_cost_cache ();
   (match opts.ids with
   | [] ->
     run_figures (Experiments.ids ());
@@ -448,8 +572,9 @@ let () =
         | None, Some a -> run_ablation a
         | None, None -> Printf.eprintf "unknown id %s\n" id)
       ids);
-  (match cost_cache_file with Some f -> Pool.save_cost_cache f | None -> ());
+  save_cost_cache ();
   (match opts.json with Some path -> write_json path | None -> ());
+  record_run ~ids:opts.ids ~json:opts.json;
   if not !pdes_ok then begin
     prerr_endline "pdes: -j1-vs-jN fingerprint mismatch";
     exit 1

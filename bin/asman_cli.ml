@@ -9,11 +9,22 @@
      validate-json <file>      check an exported trace/metrics file parses
      learn                     demonstrate the Roth-Erev estimator on a
                                synthetic locality trace
+     compare OLD NEW           diff two runs (registry ids, record files
+                               or raw BENCH_*.json dumps); exit 1 on
+                               regression
+     report [--out FILE]       render the registry as a self-contained
+                               HTML trend page
 
    run/experiment accept --trace[=FILE] --trace-cats CATS
    --metrics[=FILE] --profile; all default off, and with them off the
    simulation results are byte-identical to a build without the
-   observability layer. *)
+   observability layer.
+
+   run/experiment/check additionally drop a metadata-stamped record
+   into the run registry (runs/ by default; ASMAN_RUNS= disables, see
+   lib/registry). Recording is observation-only: it happens after the
+   simulation finished, the note goes to stderr, and stdout is
+   byte-identical with recording on or off. *)
 
 open Cmdliner
 open Asman
@@ -247,6 +258,7 @@ let obs_setup ~trace ~trace_cats ~metrics ~profile =
     | None -> ()
     | Some file ->
       write_file file (Obs_hub.chrome_json entries);
+      Obs_hub.note_export file;
       let events =
         List.fold_left
           (fun n (e : Obs_hub.entry) -> n + Sim_obs.Trace.length e.Obs_hub.trace)
@@ -257,7 +269,9 @@ let obs_setup ~trace ~trace_cats ~metrics ~profile =
     (match metrics with
     | None -> ()
     | Some "-" -> print_string (Obs_hub.metrics_text entries)
-    | Some file -> write_file file (Obs_hub.metrics_json entries));
+    | Some file ->
+      write_file file (Obs_hub.metrics_json entries);
+      Obs_hub.note_export file);
     match prof with
     | None -> ()
     | Some p ->
@@ -265,6 +279,47 @@ let obs_setup ~trace ~trace_cats ~metrics ~profile =
       print_string (Sim_obs.Prof.to_text p)
   in
   (obs, export)
+
+(* ----- run-registry recording (lib/registry) ----- *)
+
+module Reg = Sim_registry
+
+(* One record per invocation, stamped with the config axes; exports
+   written by obs_setup's hook are picked up as pointers. Failure to
+   record never fails the run — the record is an observation. *)
+let record_invocation ~kind ~config ?workers ~label ~spec ~wall_sec ?busy_sec
+    ?sections ?metrics () =
+  let r =
+    Reg.Record.make
+      ~id:(Reg.Registry.fresh_id ~kind)
+      ~kind ~seed:config.Config.seed ~scale:config.Config.scale
+      ~queue:(Sim_engine.Equeue.kind_name (Sim_engine.Engine.default_queue ()))
+      ~workers:(Option.value workers ~default:(Pool.jobs ()))
+      ~sim_jobs:config.Config.sim_jobs
+      ~topology:(Sim_hw.Topology.to_string config.Config.topology)
+      ~numa:config.Config.numa
+      ~accounting:(Sim_vmm.Vmm.accounting_name config.Config.accounting)
+      ~chaos:config.Config.faults.Sim_faults.Fault.pname ~label ~spec ~wall_sec
+      ?busy_sec ?sections ?metrics
+      ~exports:(Obs_hub.drain_exports ())
+      ()
+  in
+  match
+    try Reg.Registry.save_if_enabled r
+    with Sys_error msg ->
+      Printf.eprintf "registry: %s\n%!" msg;
+      None
+  with
+  | Some path -> Printf.eprintf "run recorded: %s\n%!" path
+  | None -> ()
+
+let kv_section entries =
+  Reg.Cjson.List
+    (List.map
+       (fun (id, v) ->
+         Reg.Cjson.Obj
+           [ ("id", Reg.Cjson.String id); ("value", Reg.Cjson.Float v) ])
+       entries)
 
 (* ----- list ----- *)
 
@@ -311,11 +366,16 @@ let experiment_cmd =
     let obs, export = obs_setup ~trace ~trace_cats ~metrics ~profile in
     let config = { (config_of ~scale ~seed ~chaos ~invariants) with Config.obs } in
     let config = apply_parallel config ~sim_jobs ~topology ~numa in
+    let timings = ref [] and fairness = ref [] in
     let run_one (e : Experiments.t) =
       (match cost_cache with
       | Some _ -> Pool.set_job_group (Some e.Experiments.id)
       | None -> ());
+      let t0 = Unix.gettimeofday () in
       let outcome = e.Experiments.run config in
+      timings := (e.Experiments.id, Unix.gettimeofday () -. t0) :: !timings;
+      if e.Experiments.id = "theft" then
+        fairness := !fairness @ Experiments.fairness_entries outcome;
       Pool.set_job_group None;
       print_string (Report.outcome e outcome);
       if csv then print_string (Report.series_csv outcome.Experiments.series);
@@ -331,6 +391,48 @@ let experiment_cmd =
     end;
     (match cost_cache with Some f -> Pool.save_cost_cache f | None -> ());
     export ();
+    let timings = List.rev !timings in
+    let runs_section =
+      Reg.Cjson.List
+        (List.map
+           (fun (fid, wall) ->
+             Reg.Cjson.Obj
+               [
+                 ("id", Reg.Cjson.String fid); ("wall_sec", Reg.Cjson.Float wall);
+               ])
+           timings)
+    in
+    record_invocation
+      ~kind:(if id = "theft" then "theft" else "experiment")
+      ~config
+      ~label:("experiment " ^ id)
+      ~spec:
+        (Reg.Cjson.Obj
+           [
+             ("subcommand", Reg.Cjson.String "experiment");
+             ("id", Reg.Cjson.String id);
+           ])
+      ~wall_sec:(List.fold_left (fun s (_, w) -> s +. w) 0. timings)
+      ~sections:
+        (Reg.Cjson.Obj
+           (("runs", runs_section)
+           ::
+           (match !fairness with
+           | [] -> []
+           | f ->
+             [
+               ( "fairness",
+                 Reg.Cjson.List
+                   (List.map
+                      (fun (fid, ratio) ->
+                        Reg.Cjson.Obj
+                          [
+                            ("id", Reg.Cjson.String fid);
+                            ("ratio", Reg.Cjson.Float ratio);
+                          ])
+                      f) );
+             ])))
+      ();
     0
   in
   Cmd.v
@@ -519,12 +621,14 @@ let run_cmd =
           vms
     in
     let scenario = Scenario.build config ~sched ~vms:specs in
+    let host_t0 = Unix.gettimeofday () in
     let metrics =
       (* Attack programs never finish a round by design, so attack runs
          measure a fixed window of [--max-sec] simulated seconds. *)
       if attack <> None then Runner.run_window scenario ~sec:max_sec
       else Runner.run_rounds scenario ~rounds ~max_sec
     in
+    let host_wall = Unix.gettimeofday () -. host_t0 in
     Printf.printf "scheduler: %s   simulated: %.3f s   events: %d   ipis: %d\n\n"
       (Config.sched_name sched) metrics.Runner.wall_sec
       metrics.Runner.events_fired metrics.Runner.ipis;
@@ -566,6 +670,32 @@ let run_cmd =
       Printf.printf "  ... and %d more\n" (List.length violations - 5)
     | _ -> ());
     export ();
+    let vm_names =
+      List.map (fun (s : Scenario.vm_spec) -> s.Scenario.vm_name) specs
+    in
+    record_invocation ~kind:"run" ~config
+      ~label:
+        (Printf.sprintf "run %s %s" (Config.sched_name sched)
+           (String.concat "," vm_names))
+      ~spec:
+        (Reg.Cjson.Obj
+           [
+             ("subcommand", Reg.Cjson.String "run");
+             ("sched", Reg.Cjson.String (Config.sched_name sched));
+             ( "vms",
+               Reg.Cjson.List
+                 (List.map (fun n -> Reg.Cjson.String n) vm_names) );
+             ("weight", Reg.Cjson.Int weight);
+             ("capped", Reg.Cjson.Bool capped);
+             ("rounds", Reg.Cjson.Int rounds);
+             ("max_sec", Reg.Cjson.Float max_sec);
+             ( "attack",
+               match attack with
+               | None -> Reg.Cjson.Null
+               | Some a -> Reg.Cjson.String a );
+           ])
+      ~wall_sec:host_wall
+      ~metrics:(Runner.metrics_kv metrics) ();
     if metrics.Runner.invariant_violations > 0 then 1 else 0
   in
   Cmd.v
@@ -774,10 +904,12 @@ let check_cmd =
   in
   let run cases seed jobs timeout shrink_budget repro_dir mutate =
     Sim_vmm.Mutation.set mutate;
+    let host_t0 = Unix.gettimeofday () in
     let report =
       Sim_check.Check.run ~jobs ~timeout_sec:timeout ~shrink_budget ~cases
         ~seed ()
     in
+    let host_wall = Unix.gettimeofday () -. host_t0 in
     List.iter
       (fun (t : Sim_check.Check.timeout_report) ->
         Printf.printf
@@ -790,6 +922,27 @@ let check_cmd =
       report.Sim_check.Check.failures;
     let repros = Sim_check.Check.write_repros ~dir:repro_dir report in
     List.iter (Printf.printf "repro written: %s\n") repros;
+    List.iter Obs_hub.note_export repros;
+    record_invocation ~kind:"check"
+      ~config:(Config.with_seed Config.default seed)
+      ~workers:jobs ~label:(Printf.sprintf "check %d cases" cases)
+      ~spec:
+        (Reg.Cjson.Obj
+           [
+             ("subcommand", Reg.Cjson.String "check");
+             ("cases", Reg.Cjson.Int cases);
+             ("timeout_sec", Reg.Cjson.Float timeout);
+             ("shrink_budget", Reg.Cjson.Int shrink_budget);
+             ( "mutate",
+               match mutate with
+               | None -> Reg.Cjson.Null
+               | Some m -> Reg.Cjson.String (Sim_vmm.Mutation.to_name m) );
+           ])
+      ~wall_sec:host_wall
+      ~sections:
+        (Reg.Cjson.Obj
+           [ ("check", kv_section (Sim_check.Check.summary_kv report)) ])
+      ();
     if Sim_check.Check.passed report then begin
       Printf.printf "check: %d cases, seed %Ld: all oracles passed\n"
         report.Sim_check.Check.cases seed;
@@ -881,12 +1034,122 @@ let learn_cmd =
        ~doc:"Exercise the Roth-Erev estimator on a synthetic locality trace")
     Term.(const run $ seed_arg)
 
+(* ----- compare ----- *)
+
+let runs_dir_arg =
+  let doc =
+    "Registry directory for resolving bare run ids (default: $(b,ASMAN_RUNS) \
+     or runs/)."
+  in
+  Arg.(value & opt (some string) None & info [ "runs-dir" ] ~doc ~docv:"DIR")
+
+let compare_cmd =
+  let old_arg =
+    let doc = "Baseline: a run id, a record file, or a raw BENCH_*.json dump." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc)
+  in
+  let new_arg =
+    let doc = "Candidate, same forms as $(i,OLD)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Regression threshold in percent (wall time, micro throughput)." in
+    Arg.(
+      value
+      & opt float Reg.Compare.default.Reg.Compare.threshold
+      & info [ "threshold" ] ~doc ~docv:"PCT")
+  in
+  let min_wall_arg =
+    let doc = "Runs with an old wall time under $(docv) seconds are not gated." in
+    Arg.(
+      value
+      & opt float Reg.Compare.default.Reg.Compare.min_wall
+      & info [ "min-wall" ] ~doc ~docv:"SEC")
+  in
+  let fairness_threshold_arg =
+    let doc = "Symmetric gate on fairness-ratio drift, in percent." in
+    Arg.(
+      value
+      & opt float Reg.Compare.default.Reg.Compare.fairness_threshold
+      & info [ "fairness-threshold" ] ~doc ~docv:"PCT")
+  in
+  let strict_sections_arg =
+    let doc =
+      "Treat a metric section that disappeared (present in OLD, absent in \
+       NEW) as a regression: a broken suite must not pass by emitting fewer \
+       sections."
+    in
+    Arg.(value & flag & info [ "strict-sections" ] ~doc)
+  in
+  let run old_file new_file threshold min_wall fairness_threshold
+      strict_sections runs_dir =
+    let resolve s =
+      try Reg.Registry.resolve ?dir:runs_dir s with
+      | Sys_error msg -> raise (Usage_error msg)
+      | Reg.Cjson.Parse_error msg ->
+        raise (Usage_error (Printf.sprintf "%s: %s" s msg))
+    in
+    let old_r = resolve old_file and new_r = resolve new_file in
+    let t =
+      {
+        Reg.Compare.threshold;
+        min_wall;
+        fairness_threshold;
+        strict_sections;
+      }
+    in
+    let result = Reg.Compare.records t old_r new_r in
+    print_string result.Reg.Compare.text;
+    if result.Reg.Compare.regressions > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Diff two runs (performance, fairness and fuzzer health); exit 1 on \
+          regression")
+    Term.(
+      const run $ old_arg $ new_arg $ threshold_arg $ min_wall_arg
+      $ fairness_threshold_arg $ strict_sections_arg $ runs_dir_arg)
+
+(* ----- report ----- *)
+
+let report_cmd =
+  let out_arg =
+    let doc = "Output file for the HTML page." in
+    Arg.(value & opt string "report.html" & info [ "out"; "o" ] ~doc ~docv:"FILE")
+  in
+  let run out runs_dir =
+    let records = Reg.Registry.list ?dir:runs_dir () in
+    if records = [] then
+      raise
+        (Usage_error
+           (Printf.sprintf "no records in %s — run something first"
+              (match runs_dir with
+              | Some d -> d
+              | None -> Option.value (Reg.Registry.dir ()) ~default:"runs")));
+    let html = Reg.Html.report records in
+    (* The page promises to be self-contained; hold it to that. *)
+    (match Sim_obs.Json.validate_html html with
+    | Ok () -> ()
+    | Error msg -> failwith (Printf.sprintf "generated report invalid: %s" msg));
+    write_file out html;
+    Printf.printf "report: wrote %s (%d runs)\n" out (List.length records);
+    0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render the run registry as a self-contained HTML page of metric \
+          trend lines (no external assets)")
+    Term.(const run $ out_arg $ runs_dir_arg)
+
 let main =
   let doc = "ASMan: dynamic adaptive scheduling for virtual machines (HPDC'11)" in
   Cmd.group (Cmd.info "asman_cli" ~doc)
     [
       list_cmd; experiment_cmd; ablation_cmd; run_cmd; trace_cmd; lhp_cmd;
-      validate_json_cmd; learn_cmd; check_cmd; repro_cmd;
+      validate_json_cmd; learn_cmd; check_cmd; repro_cmd; compare_cmd;
+      report_cmd;
     ]
 
 (* Exit codes: 0 success, 1 run failure, 2 usage error. *)

@@ -96,3 +96,15 @@ let write_repros ?(dir = ".") report =
       Spec.save fr.fr_shrunk path;
       path)
     report.failures
+
+(* Fuzzer-health counters for the run registry's "check" section. *)
+let summary_kv r =
+  [
+    ("cases", float_of_int r.cases);
+    ("failures", float_of_int (List.length r.failures));
+    ("timeouts", float_of_int (List.length r.timeouts));
+    ( "shrunk",
+      float_of_int
+        (List.length
+           (List.filter (fun fr -> fr.fr_shrunk_failures <> []) r.failures)) );
+  ]

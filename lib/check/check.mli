@@ -39,6 +39,11 @@ val run :
   unit ->
   report
 
+val summary_kv : report -> (string * float) list
+(** Fuzzer-health counters for a run-registry record's ["check"]
+    section: [cases], [failures], [timeouts] and [shrunk] (failures
+    whose minimized spec still fails). *)
+
 val failure_summary : failure_report -> string
 
 val repro_filename : failure_report -> string

@@ -1053,3 +1053,22 @@ let all =
 let find id = List.find_opt (fun e -> e.id = id) all
 
 let ids () = List.map (fun e -> e.id) all
+
+(* Theft-figure cells flattened to "<series label> <attack>" ->
+   attained/entitled ratio — the bench dump's "fairness" section and
+   the run registry's fairness entries come from here. *)
+let fairness_entries (o : outcome) =
+  let attack_of_x x =
+    match int_of_float x with
+    | 0 -> "dodge"
+    | 1 -> "steal"
+    | 2 -> "launder"
+    | i -> string_of_int i
+  in
+  List.concat_map
+    (fun (s : Series.t) ->
+      List.map
+        (fun (x, y) ->
+          (Printf.sprintf "%s %s" s.Series.label (attack_of_x x), y))
+        (Series.points s))
+    o.series

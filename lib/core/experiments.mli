@@ -45,6 +45,13 @@ val nas_runtime :
 (** Run one NAS benchmark alone in V1 (non-work-conserving, §5.2) and
     return its run time in simulated seconds. *)
 
+val fairness_entries : outcome -> (string * float) list
+(** Flatten the theft figure's outcome into
+    [("<series label> <attack>", attained/entitled ratio)] cells —
+    the ["fairness"] section of bench dumps and registry records.
+    (Meaningful on the [theft] outcome; other outcomes produce
+    entries keyed by their own series labels.) *)
+
 val wait_bucket_counts :
   Sim_guest.Monitor.t -> (string * int) list
 (** Counts of monitored waits in the paper's bands: [>=2^10],

@@ -30,6 +30,21 @@ let drain () =
 
 let clear () = Mutex.protect mutex (fun () -> store := [])
 
+(* Paths of written exports, newest first; registry records drain
+   them to carry pointers at the artifacts of their invocation. *)
+let export_store : string list ref = ref []
+
+let note_export p =
+  Mutex.protect mutex (fun () -> export_store := p :: !export_store)
+
+let exports () = Mutex.protect mutex (fun () -> List.rev !export_store)
+
+let drain_exports () =
+  Mutex.protect mutex (fun () ->
+      let l = !export_store in
+      export_store := [];
+      List.rev l)
+
 let chrome_json entries =
   let events = Buffer.create 65536 in
   List.iteri

@@ -37,3 +37,17 @@ val metrics_text : entry list -> string
 
 val metrics_json : entry list -> string
 (** [{"label": {...}, ...}] — one metrics snapshot object per entry. *)
+
+(** {1 Export pointers}
+
+    When the CLI writes an Obs export (trace/metrics file), it notes
+    the path here so the run-registry record of the invocation can
+    point at it. *)
+
+val note_export : string -> unit
+
+val exports : unit -> string list
+(** Noted paths in write order (does not clear). *)
+
+val drain_exports : unit -> string list
+(** Like {!exports} but also empties the list. *)

@@ -228,3 +228,29 @@ let monitor_of (s : Scenario.t) ~vm =
   match inst.Scenario.kernel with
   | Some k -> Sim_guest.Kernel.monitor k
   | None -> invalid_arg (Printf.sprintf "Runner.monitor_of: VM %s is idle" vm)
+
+(* Flat snapshot of a metrics record for run-registry records. *)
+let metrics_kv (m : metrics) =
+  let global =
+    [
+      ("wall_sec", m.wall_sec);
+      ("events_fired", float_of_int m.events_fired);
+      ("ipis", float_of_int m.ipis);
+      ("ctx_switches", float_of_int m.ctx_switches);
+      ("invariant_violations", float_of_int m.invariant_violations);
+    ]
+  in
+  let per_vm =
+    List.concat_map
+      (fun vm ->
+        let k suffix = Printf.sprintf "vm.%s.%s" vm.vm_name suffix in
+        [
+          (k "rounds", float_of_int vm.rounds);
+          (k "online_rate", vm.online_rate);
+          (k "attained_cycles", float_of_int vm.attained_cycles);
+          (k "entitled_cycles", float_of_int vm.entitled_cycles);
+          (k "theft_cycles", float_of_int vm.theft_cycles);
+        ])
+      m.vms
+  in
+  global @ per_vm

@@ -83,6 +83,12 @@ val mean_round_sec : metrics -> vm:string -> float
 
 val vm_metrics : metrics -> vm:string -> vm_metrics
 
+val metrics_kv : metrics -> (string * float) list
+(** Flatten a metrics record into (key, value) pairs for a
+    run-registry snapshot: the global counters plus, per VM,
+    rounds / online rate / attained / entitled / theft cycles.
+    Pure observation — reads the record, touches nothing. *)
+
 val monitor_of : Scenario.t -> vm:string -> Sim_guest.Monitor.t
 (** The VM's Monitoring Module (histograms and traces survive the
     run). Raises [Invalid_argument] for an idle VM. *)

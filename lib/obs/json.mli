@@ -5,3 +5,10 @@
 val validate : string -> (unit, string) result
 (** [Ok ()] iff the whole string is one well-formed JSON value
     (ignoring surrounding whitespace). *)
+
+val validate_html : string -> (unit, string) result
+(** Sanity checks for a self-contained HTML export (the registry's
+    trend report): non-void tags must balance, and the document must
+    carry no external references — no [http(s)://] or [file://]
+    URLs, no [<link>], no [src=] attributes, no [@import]. Not a
+    full HTML parser: it validates what the exporters emit. *)

@@ -1,4 +1,5 @@
-(** Minimal JSON reader/writer for SimCheck case files.
+(** Minimal JSON reader/writer shared by SimCheck case files and the
+    run registry.
 
     Self-contained (the repo carries no JSON dependency). Integers
     and floats are distinct constructors and floats print losslessly,

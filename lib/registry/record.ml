@@ -1,0 +1,173 @@
+(* The registry's record type. Serialization notes: the seed is
+   written as a JSON int when it fits 63 bits and as a decimal string
+   otherwise, so any int64 round-trips exactly; absent git info is
+   "git_sha": null, distinct from a present-but-dirty sha. *)
+
+type t = {
+  id : string;
+  kind : string;
+  date : string;
+  git_sha : string option;
+  git_dirty : bool;
+  seed : int64;
+  scale : float;
+  queue : string;
+  workers : int;
+  sim_jobs : int;
+  topology : string;
+  numa : bool;
+  accounting : string;
+  chaos : string;
+  label : string;
+  spec_digest : string;
+  wall_sec : float;
+  busy_sec : float;
+  sections : Cjson.t;
+  metrics : (string * float) list;
+  exports : string list;
+}
+
+(* ----- canonical digest ----- *)
+
+let rec canonicalize (v : Cjson.t) : Cjson.t =
+  match v with
+  | Cjson.Obj fields ->
+    Cjson.Obj
+      (List.sort
+         (fun (a, _) (b, _) -> compare a b)
+         (List.map (fun (k, x) -> (k, canonicalize x)) fields))
+  | Cjson.List items -> Cjson.List (List.map canonicalize items)
+  | v -> v
+
+let canonical_digest v =
+  Digest.to_hex (Digest.string (Cjson.to_string (canonicalize v)))
+
+(* ----- construction ----- *)
+
+let make ~id ~kind ?date ?git ~seed ~scale ~queue ~workers ?(sim_jobs = 1)
+    ?(topology = "") ?(numa = false) ?(accounting = "precise")
+    ?(chaos = "none") ~label ~spec ~wall_sec ?(busy_sec = 0.)
+    ?(sections = Cjson.Obj []) ?(metrics = []) ?(exports = []) () =
+  let date = match date with Some d -> d | None -> Meta.timestamp () in
+  let git = match git with Some g -> g | None -> Meta.git_info () in
+  let git_sha, git_dirty =
+    match git with Some (sha, dirty) -> (Some sha, dirty) | None -> (None, false)
+  in
+  {
+    id; kind; date; git_sha; git_dirty; seed; scale; queue; workers;
+    sim_jobs; topology; numa; accounting; chaos; label;
+    spec_digest = canonical_digest spec; wall_sec; busy_sec; sections;
+    metrics; exports;
+  }
+
+(* ----- JSON ----- *)
+
+let seed_json s =
+  if Int64.of_int (Int64.to_int s) = s then Cjson.Int (Int64.to_int s)
+  else Cjson.String (Int64.to_string s)
+
+let seed_of_json = function
+  | Cjson.Int i -> Int64.of_int i
+  | Cjson.String s -> (
+    match Int64.of_string_opt s with
+    | Some v -> v
+    | None -> raise (Cjson.Parse_error "bad seed"))
+  | Cjson.Float f when Float.is_integer f -> Int64.of_float f
+  | _ -> raise (Cjson.Parse_error "bad seed")
+
+let to_json r =
+  Cjson.Obj
+    [
+      ("record", Cjson.Int 1);
+      ("id", Cjson.String r.id);
+      ("kind", Cjson.String r.kind);
+      ("date", Cjson.String r.date);
+      ( "git_sha",
+        match r.git_sha with Some s -> Cjson.String s | None -> Cjson.Null );
+      ("git_dirty", Cjson.Bool r.git_dirty);
+      ("seed", seed_json r.seed);
+      ("scale", Cjson.Float r.scale);
+      ("queue", Cjson.String r.queue);
+      ("workers", Cjson.Int r.workers);
+      ("sim_jobs", Cjson.Int r.sim_jobs);
+      ("topology", Cjson.String r.topology);
+      ("numa", Cjson.Bool r.numa);
+      ("accounting", Cjson.String r.accounting);
+      ("chaos", Cjson.String r.chaos);
+      ("label", Cjson.String r.label);
+      ("spec_digest", Cjson.String r.spec_digest);
+      ("wall_sec", Cjson.Float r.wall_sec);
+      ("busy_sec", Cjson.Float r.busy_sec);
+      ("sections", r.sections);
+      ( "metrics",
+        Cjson.Obj (List.map (fun (k, v) -> (k, Cjson.Float v)) r.metrics) );
+      ("exports", Cjson.List (List.map (fun p -> Cjson.String p) r.exports));
+    ]
+
+let is_record v =
+  match Cjson.member "record" v with Some (Cjson.Int _) -> true | _ -> false
+
+let opt_string key v ~default =
+  match Cjson.member key v with
+  | Some (Cjson.String s) -> s
+  | Some _ | None -> default
+
+let opt_float key v ~default =
+  match Cjson.member key v with
+  | Some (Cjson.Float f) -> f
+  | Some (Cjson.Int i) -> float_of_int i
+  | Some _ | None -> default
+
+let opt_int key v ~default =
+  match Cjson.member key v with
+  | Some (Cjson.Int i) -> i
+  | Some _ | None -> default
+
+let opt_bool key v ~default =
+  match Cjson.member key v with
+  | Some (Cjson.Bool b) -> b
+  | Some _ | None -> default
+
+let of_json v =
+  if not (is_record v) then
+    raise (Cjson.Parse_error "not a registry record (no \"record\" field)");
+  let req key = Cjson.get key v ~of_:Cjson.to_string_v in
+  {
+    id = req "id";
+    kind = req "kind";
+    date = req "date";
+    git_sha =
+      (match Cjson.member "git_sha" v with
+      | Some (Cjson.String s) -> Some s
+      | Some Cjson.Null | None -> None
+      | Some _ -> raise (Cjson.Parse_error "bad git_sha"));
+    git_dirty = opt_bool "git_dirty" v ~default:false;
+    seed = Cjson.get "seed" v ~of_:seed_of_json;
+    scale = opt_float "scale" v ~default:1.;
+    queue = opt_string "queue" v ~default:"wheel";
+    workers = opt_int "workers" v ~default:1;
+    sim_jobs = opt_int "sim_jobs" v ~default:1;
+    topology = opt_string "topology" v ~default:"";
+    numa = opt_bool "numa" v ~default:false;
+    accounting = opt_string "accounting" v ~default:"precise";
+    chaos = opt_string "chaos" v ~default:"none";
+    label = opt_string "label" v ~default:"";
+    spec_digest = opt_string "spec_digest" v ~default:"";
+    wall_sec = opt_float "wall_sec" v ~default:0.;
+    busy_sec = opt_float "busy_sec" v ~default:0.;
+    sections =
+      (match Cjson.member "sections" v with
+      | Some (Cjson.Obj _ as s) -> s
+      | Some _ | None -> Cjson.Obj []);
+    metrics =
+      (match Cjson.member "metrics" v with
+      | Some (Cjson.Obj fields) ->
+        List.map (fun (k, x) -> (k, Cjson.to_float x)) fields
+      | Some _ | None -> []);
+    exports =
+      (match Cjson.member "exports" v with
+      | Some (Cjson.List items) -> List.map Cjson.to_string_v items
+      | Some _ | None -> []);
+  }
+
+let section r name = Cjson.member name r.sections

@@ -1,0 +1,146 @@
+(* runs/ directory management. Records are pretty-printed JSON (they
+   are occasionally committed or diffed by hand) named by their id. *)
+
+let dir () =
+  match Sys.getenv_opt "ASMAN_RUNS" with
+  | Some "" -> None
+  | Some d -> Some d
+  | None -> Some "runs"
+
+let id_counter = ref 0
+
+let fresh_id ~kind =
+  let tm = Unix.localtime (Unix.time ()) in
+  let stamp =
+    Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  incr id_counter;
+  let base = Printf.sprintf "%s-%s-%d" stamp kind (Unix.getpid ()) in
+  if !id_counter = 1 then base else Printf.sprintf "%s-%d" base !id_counter
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let ensure_dir = mkdir_p
+
+let save ?dir:d (r : Record.t) =
+  let d =
+    match d with
+    | Some d -> d
+    | None -> (
+      match dir () with
+      | Some d -> d
+      | None -> invalid_arg "Registry.save: recording disabled (ASMAN_RUNS=)")
+  in
+  mkdir_p d;
+  let path = Filename.concat d (r.Record.id ^ ".json") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Cjson.to_string ~indent:true (Record.to_json r)));
+  path
+
+let save_if_enabled r =
+  match dir () with None -> None | Some d -> Some (save ~dir:d r)
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let load path = Record.of_json (Cjson.of_string (read_file path))
+
+let list ?dir:d () =
+  let d = match d with Some d -> d | None -> Option.value (dir ()) ~default:"runs" in
+  let files = try Sys.readdir d with Sys_error _ -> [||] in
+  let records =
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.filter_map (fun f ->
+           match load (Filename.concat d f) with
+           | r -> Some r
+           | exception (Cjson.Parse_error _ | Sys_error _) -> None)
+  in
+  List.sort
+    (fun (a : Record.t) (b : Record.t) ->
+      compare (a.Record.date, a.Record.id) (b.Record.date, b.Record.id))
+    records
+
+(* ----- raw BENCH_*.json back-compat ----- *)
+
+let ingest_bench ?(id = "bench-ingest") v =
+  let str key default =
+    match Cjson.member key v with
+    | Some (Cjson.String s) -> s
+    | Some _ | None -> default
+  in
+  let num key default =
+    match Cjson.member key v with
+    | Some (Cjson.Float f) -> f
+    | Some (Cjson.Int i) -> float_of_int i
+    | Some _ | None -> default
+  in
+  let int key default = int_of_float (num key (float_of_int default)) in
+  let bool key default =
+    match Cjson.member key v with
+    | Some (Cjson.Bool b) -> b
+    | Some _ | None -> default
+  in
+  let sections =
+    Cjson.Obj
+      (List.filter_map
+         (fun name ->
+           match Cjson.member name v with
+           | Some s -> Some (name, s)
+           | None -> None)
+         [ "runs"; "micro"; "fairness"; "check" ])
+  in
+  let seed =
+    match Cjson.member "seed" v with
+    | Some (Cjson.Int i) -> Int64.of_int i
+    | Some (Cjson.Float f) -> Int64.of_float f
+    | Some (Cjson.String s) -> Option.value (Int64.of_string_opt s) ~default:0L
+    | Some _ | None -> 0L
+  in
+  Record.make ~id ~kind:"bench"
+    ~date:(str "date" "")
+    ~git:
+      (match Cjson.member "git_sha" v with
+      | Some (Cjson.String sha) -> Some (sha, bool "git_dirty" false)
+      | Some _ | None -> None)
+    ~seed ~scale:(num "scale" 1.)
+    ~queue:(str "queue" "wheel")
+    ~workers:(int "workers" 1) ~sim_jobs:(int "sim_jobs" 1)
+    ~topology:(str "topology" "") ~numa:(bool "numa" false)
+    ~accounting:(str "accounting" "precise")
+    ~label:("ingested " ^ id) ~spec:v
+    ~wall_sec:(num "total_wall_sec" 0.)
+    ~sections ()
+
+let resolve ?dir:d s =
+  let parse path =
+    let v = Cjson.of_string (read_file path) in
+    if Record.is_record v then Record.of_json v
+    else
+      ingest_bench
+        ~id:(Filename.remove_extension (Filename.basename path))
+        v
+  in
+  if Sys.file_exists s && not (Sys.is_directory s) then parse s
+  else begin
+    let d =
+      match d with Some d -> d | None -> Option.value (dir ()) ~default:"runs"
+    in
+    let candidate = Filename.concat d (s ^ ".json") in
+    if Sys.file_exists candidate then parse candidate
+    else
+      raise
+        (Sys_error
+           (Printf.sprintf "%s: not a file, and %s does not exist" s candidate))
+  end

@@ -26,4 +26,5 @@ let () =
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
       ("shard", Test_shard.suite);
+      ("registry", Test_registry.suite);
     ]
