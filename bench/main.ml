@@ -21,9 +21,8 @@
    `asman compare`) compares two dumps. --engine-queue selects the
    event-queue backend (default wheel; results are byte-identical
    either way). Per-job wall times persist in BENCH_COST_CACHE
-   (default runs/cost_cache, falling back to the pre-registry
-   BENCH_cost_cache path for one release when the new path is absent;
-   empty disables) so repeat runs schedule longest jobs first.
+   (default runs/cost_cache; empty disables) so repeat runs schedule
+   longest jobs first.
 
    Every invocation also drops a metadata-stamped record into the run
    registry (runs/ by default; ASMAN_RUNS= disables) — see
@@ -174,6 +173,12 @@ let pdes_results : Micro.pdes_result list ref = ref []
 
 let pdes_ok = ref true
 
+(* Decoupled-VMM scenario rows and the w1-vs-wN digest verdict, when
+   that suite ran; rows merge into the same "micro" JSON array. *)
+let vmm_results : Micro.vmm_result list ref = ref []
+
+let vmm_ok = ref true
+
 let write_json path =
   let entries = List.rev !recorded in
   let total_wall = List.fold_left (fun s e -> s +. e.wall_sec) 0. entries in
@@ -252,6 +257,7 @@ let write_json path =
           [
             Micro.to_json_fragment !micro_results;
             Micro.pdes_to_json_fragment !pdes_results;
+            Micro.vmm_to_json_fragment !vmm_results;
           ]))
     fairness_section
     (Sim_obs.Prof.to_json_fragment prof);
@@ -290,6 +296,7 @@ let registry_sections () =
          [
            Micro.to_json_fragment !micro_results;
            Micro.pdes_to_json_fragment !pdes_results;
+           Micro.vmm_to_json_fragment !vmm_results;
          ])
   in
   let micro = Reg.Cjson.of_string ("[" ^ micro_rows ^ "]") in
@@ -359,6 +366,12 @@ let pdes_suite () =
   pdes_ok := ok;
   Micro.print_pdes (results, ok)
 
+let pdes_vmm_suite () =
+  let results, ok = Micro.run_vmm_all () in
+  vmm_results := results;
+  vmm_ok := ok;
+  Micro.print_vmm (results, ok)
+
 let microbenchmarks () =
   (* Event-queue throughput first: plain wall-clock over fixed op
      counts (bechamel's small quotas don't fit 10^7-pending setups). *)
@@ -366,6 +379,7 @@ let microbenchmarks () =
   micro_results := eq;
   Micro.print eq;
   pdes_suite ();
+  pdes_vmm_suite ();
   let open Bechamel in
   let freq = Config.freq config in
   (* One Test.make per core primitive of the simulator. *)
@@ -483,7 +497,7 @@ type opts = {
 let usage () =
   prerr_endline
     "usage: main.exe [-j N] [--json [FILE]] [--engine-queue=wheel|heap] \
-     [micro|pdes|ablations|chaos|<figure ids>]";
+     [micro|pdes|pdes-vmm|ablations|chaos|<figure ids>]";
   exit 2
 
 let parse_args args =
@@ -522,24 +536,17 @@ let parse_args args =
 
 (* Persistent LPT cost cache: per-job wall times from earlier bench
    runs, used to start each figure's longest jobs first. Lives next to
-   the registry records (runs/cost_cache); the pre-registry
-   BENCH_cost_cache path is still read for one release when the new
-   path is absent. *)
+   the registry records (runs/cost_cache). *)
 let cost_cache_file =
   match Sys.getenv_opt "BENCH_COST_CACHE" with
   | Some "" -> None
   | Some f -> Some f
   | None -> Some (Filename.concat "runs" "cost_cache")
 
-let legacy_cost_cache = "BENCH_cost_cache"
-
 let load_cost_cache () =
   match cost_cache_file with
   | None -> ()
-  | Some f ->
-    if (not (Sys.file_exists f)) && Sys.file_exists legacy_cost_cache then
-      Pool.load_cost_cache legacy_cost_cache
-    else Pool.load_cost_cache f
+  | Some f -> Pool.load_cost_cache f
 
 let save_cost_cache () =
   match cost_cache_file with
@@ -562,6 +569,7 @@ let () =
     microbenchmarks ()
   | [ "micro" ] -> microbenchmarks ()
   | [ "pdes" ] -> pdes_suite ()
+  | [ "pdes-vmm" ] -> pdes_vmm_suite ()
   | [ "ablations" ] -> run_ablations ()
   | [ "chaos" ] -> run_figures [ "resilience" ]
   | ids ->
@@ -577,5 +585,9 @@ let () =
   record_run ~ids:opts.ids ~json:opts.json;
   if not !pdes_ok then begin
     prerr_endline "pdes: -j1-vs-jN fingerprint mismatch";
+    exit 1
+  end;
+  if not !vmm_ok then begin
+    prerr_endline "pdes-vmm: w1-vs-wN decoupled digest mismatch";
     exit 1
   end

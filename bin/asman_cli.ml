@@ -136,12 +136,32 @@ let config_of ~scale ~seed ~chaos ~invariants =
 
 let sim_jobs_arg =
   let doc =
-    "Shards for the engine's conservative-sharding ledger (clamped to the \
-     PCPU count). Scheduler-visible outcomes are byte-identical at any \
-     value; N > 1 additionally reports windows, cross-shard events and \
-     coupling density. 1 (the default) leaves the ledger unarmed."
+    "Simulation shards. Without $(b,--decouple): arms the engine's \
+     conservative-sharding ledger (clamped to the PCPU count); \
+     scheduler-visible outcomes stay byte-identical at any value, N > 1 \
+     additionally reports windows, cross-shard events and coupling \
+     density. With $(b,--decouple): the number of sub-hosts that really \
+     run in parallel. 1 (the default) leaves both off."
   in
   Arg.(value & opt int 1 & info [ "sim-jobs" ] ~doc ~docv:"N")
+
+let decouple_arg =
+  let doc =
+    "Actually decouple the VMM: partition the host socket-aligned into \
+     $(b,--sim-jobs) sub-hosts and run them in parallel on the windowed \
+     PDES fabric, with work-stealing VM migration between shards. \
+     Deterministic and worker-count invariant; requires a clean (no \
+     --chaos/--attack) run and a socket count divisible by --sim-jobs."
+  in
+  Arg.(value & flag & info [ "decouple" ] ~doc)
+
+let workers_arg =
+  let doc =
+    "Worker domains driving a $(b,--decouple) run (capped at the shard \
+     count; default: all available cores). Changes wall-clock speed only, \
+     never the simulation outcome."
+  in
+  Arg.(value & opt (some int) None & info [ "workers" ] ~doc ~docv:"W")
 
 let topology_arg =
   let doc =
@@ -286,12 +306,17 @@ module Reg = Sim_registry
 
 (* One record per invocation, stamped with the config axes; exports
    written by obs_setup's hook are picked up as pointers. Failure to
-   record never fails the run — the record is an observation. *)
-let record_invocation ~kind ~config ?workers ~label ~spec ~wall_sec ?busy_sec
-    ?sections ?metrics () =
+   record never fails the run — the record is an observation. [id]
+   lets a caller mint the record id up front (check stamps it into
+   repro provenance before recording). *)
+let record_invocation ~kind ?id ~config ?workers ~label ~spec ~wall_sec
+    ?busy_sec ?sections ?metrics () =
   let r =
     Reg.Record.make
-      ~id:(Reg.Registry.fresh_id ~kind)
+      ~id:
+        (match id with
+        | Some i -> i
+        | None -> Reg.Registry.fresh_id ~kind)
       ~kind ~seed:config.Config.seed ~scale:config.Config.scale
       ~queue:(Sim_engine.Equeue.kind_name (Sim_engine.Engine.default_queue ()))
       ~workers:(Option.value workers ~default:(Pool.jobs ()))
@@ -570,8 +595,8 @@ let run_cmd =
       & info [ "attack" ] ~doc ~docv:"ATTACK")
   in
   let run vms weight capped rounds max_sec sched scale seed queue chaos
-      invariants sim_jobs topology numa accounting attack trace trace_cats
-      metrics profile =
+      invariants sim_jobs decouple workers topology numa accounting attack
+      trace trace_cats metrics profile =
     set_queue queue;
     let obs, export = obs_setup ~trace ~trace_cats ~metrics ~profile in
     let config = { (config_of ~scale ~seed ~chaos ~invariants) with Config.obs } in
@@ -620,6 +645,76 @@ let run_cmd =
             })
           vms
     in
+    let vm_names =
+      List.map (fun (s : Scenario.vm_spec) -> s.Scenario.vm_name) specs
+    in
+    if decouple then begin
+      if attack <> None then
+        raise
+          (Usage_error
+             "--decouple does not support --attack (fixed-window attack runs \
+              need the coupled engine)");
+      let config = { config with Config.decouple = true } in
+      let d =
+        try Decouple.build config ~sched ~vms:specs
+        with Invalid_argument msg -> raise (Usage_error msg)
+      in
+      let host_t0 = Unix.gettimeofday () in
+      let r = Decouple.run ?workers d ~rounds ~max_sec in
+      let host_wall = Unix.gettimeofday () -. host_t0 in
+      Printf.printf
+        "scheduler: %s   decoupled: %d shards x %d workers   simulated: %.3f \
+         s   events: %d\n\n"
+        (Config.sched_name sched) r.Decouple.rp_shards r.Decouple.rp_workers
+        r.Decouple.rp_sim_sec r.Decouple.rp_events;
+      let headers = [ "VM"; "rounds"; "migrations"; "final shard" ] in
+      let rows =
+        List.map
+          (fun (v : Decouple.vm_report) ->
+            [
+              v.Decouple.r_vm;
+              string_of_int v.Decouple.r_rounds;
+              string_of_int v.Decouple.r_migrations;
+              string_of_int v.Decouple.r_final_shard;
+            ])
+          r.Decouple.rp_vms
+      in
+      print_string (Sim_stats.Table.render ~headers rows);
+      print_newline ();
+      Printf.printf
+        "fabric: %d windows, %d cross-shard posts (max %d per window), \
+         lookahead %d cycles\n"
+        r.Decouple.rp_windows r.Decouple.rp_cross_posts
+        r.Decouple.rp_max_window_mail (Decouple.lookahead d);
+      Printf.printf
+        "steals: %d requests, %d grants, %d nacks, mean latency %.0f cycles\n"
+        r.Decouple.rp_steal_reqs r.Decouple.rp_grants r.Decouple.rp_nacks
+        r.Decouple.rp_mean_steal_latency_cycles;
+      Printf.printf "decoupled digest: %08x\n"
+        (r.Decouple.rp_digest land 0xffffffff);
+      export ();
+      record_invocation ~kind:"run" ~config ~workers:r.Decouple.rp_workers
+        ~label:
+          (Printf.sprintf "run-decoupled %s %s" (Config.sched_name sched)
+             (String.concat "," vm_names))
+        ~spec:
+          (Reg.Cjson.Obj
+             [
+               ("subcommand", Reg.Cjson.String "run");
+               ("decouple", Reg.Cjson.Bool true);
+               ("sched", Reg.Cjson.String (Config.sched_name sched));
+               ( "vms",
+                 Reg.Cjson.List
+                   (List.map (fun n -> Reg.Cjson.String n) vm_names) );
+               ("weight", Reg.Cjson.Int weight);
+               ("rounds", Reg.Cjson.Int rounds);
+               ("max_sec", Reg.Cjson.Float max_sec);
+             ])
+        ~wall_sec:host_wall
+        ~metrics:(Decouple.report_metrics r) ();
+      0
+    end
+    else begin
     let scenario = Scenario.build config ~sched ~vms:specs in
     let host_t0 = Unix.gettimeofday () in
     let metrics =
@@ -670,9 +765,6 @@ let run_cmd =
       Printf.printf "  ... and %d more\n" (List.length violations - 5)
     | _ -> ());
     export ();
-    let vm_names =
-      List.map (fun (s : Scenario.vm_spec) -> s.Scenario.vm_name) specs
-    in
     record_invocation ~kind:"run" ~config
       ~label:
         (Printf.sprintf "run %s %s" (Config.sched_name sched)
@@ -697,13 +789,15 @@ let run_cmd =
       ~wall_sec:host_wall
       ~metrics:(Runner.metrics_kv metrics) ();
     if metrics.Runner.invariant_violations > 0 then 1 else 0
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an ad-hoc scenario")
     Term.(
       const run $ vms_arg $ weight_arg $ capped_arg $ rounds_arg $ max_sec_arg
       $ sched_arg $ scale_arg $ seed_arg $ queue_arg $ chaos_arg
-      $ invariants_arg $ sim_jobs_arg $ topology_arg $ numa_arg
+      $ invariants_arg $ sim_jobs_arg $ decouple_arg $ workers_arg
+      $ topology_arg $ numa_arg
       $ accounting_arg $ attack_arg $ trace_arg $ trace_cats_arg $ metrics_arg
       $ profile_arg)
 
@@ -904,6 +998,14 @@ let check_cmd =
   in
   let run cases seed jobs timeout shrink_budget repro_dir mutate =
     Sim_vmm.Mutation.set mutate;
+    (* Mint the record id before the run so repro provenance can name
+       the record that will describe it; no id when recording is off
+       (a stamp pointing at a record that won't exist would lie). *)
+    let record_id =
+      match Reg.Registry.dir () with
+      | None -> None
+      | Some _ -> Some (Reg.Registry.fresh_id ~kind:"check")
+    in
     let host_t0 = Unix.gettimeofday () in
     let report =
       Sim_check.Check.run ~jobs ~timeout_sec:timeout ~shrink_budget ~cases
@@ -920,10 +1022,12 @@ let check_cmd =
     List.iter
       (fun fr -> print_endline (Sim_check.Check.failure_summary fr))
       report.Sim_check.Check.failures;
-    let repros = Sim_check.Check.write_repros ~dir:repro_dir report in
+    let repros =
+      Sim_check.Check.write_repros ~dir:repro_dir ?record_id report
+    in
     List.iter (Printf.printf "repro written: %s\n") repros;
     List.iter Obs_hub.note_export repros;
-    record_invocation ~kind:"check"
+    record_invocation ~kind:"check" ?id:record_id
       ~config:(Config.with_seed Config.default seed)
       ~workers:jobs ~label:(Printf.sprintf "check %d cases" cases)
       ~spec:
@@ -973,6 +1077,12 @@ let repro_cmd =
       | Sim_check.Cjson.Parse_error e ->
         raise (Usage_error (Printf.sprintf "%s: %s" file e))
     in
+    (match spec.Sim_check.Spec.provenance with
+    | None -> ()
+    | Some p ->
+      Printf.printf "found by: %s (case seed %Ld)\n"
+        (Option.value p.Sim_check.Spec.pv_record ~default:"unrecorded run")
+        p.Sim_check.Spec.pv_seed);
     match Sim_check.Case.run spec with
     | [] ->
       Printf.printf "%s: all oracles passed\n" file;

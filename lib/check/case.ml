@@ -156,9 +156,70 @@ let flip = function
   | Sim_engine.Engine.Wheel_queue -> Sim_engine.Engine.Heap_queue
   | Sim_engine.Engine.Heap_queue -> Sim_engine.Engine.Wheel_queue
 
+(* ----- decoupled cases ----- *)
+
+(* A modest round target: enough simulated work for cross-shard
+   steals to happen, bounded by the spec's horizon either way. *)
+let decouple_rounds = 2
+
+let run_decoupled_once ~workers (spec : Spec.t) =
+  let config = { (config_of_spec spec) with Config.decouple = true } in
+  let vms =
+    List.map
+      (fun (d : Scenario.vm_desc) ->
+        {
+          Scenario.vm_name = d.Scenario.vd_name;
+          weight = d.Scenario.vd_weight;
+          vcpus = d.Scenario.vd_vcpus;
+          workload =
+            Option.map (Scenario.workload_of_desc config) d.Scenario.vd_workload;
+        })
+      (Spec.vm_descs spec)
+  in
+  let d = Decouple.build config ~sched:(Spec.sched_kind spec) ~vms in
+  let r =
+    Decouple.run ~workers d ~rounds:decouple_rounds
+      ~max_sec:spec.Spec.horizon_sec
+  in
+  (r.Decouple.rp_digest, r.Decouple.rp_events, r.Decouple.rp_fingerprint)
+
+(* A decoupled case's contract is worker-count invariance: the same
+   scenario run on one worker and on two must produce byte-identical
+   fabric digests. The coupled trace oracles don't apply — each
+   sub-host runs dark (no trace), and the interesting state (steals,
+   relocations) lives in the fabric, which the digest covers. *)
+let run_decoupled (spec : Spec.t) : Oracle.failure list =
+  match run_decoupled_once ~workers:1 spec with
+  | exception e ->
+    [ { Oracle.oracle = "no-crash"; message = Printexc.to_string e } ]
+  | d1, ev1, fp1 -> (
+    match run_decoupled_once ~workers:2 spec with
+    | exception e ->
+      [
+        {
+          Oracle.oracle = "decouple-workers";
+          message =
+            Printf.sprintf "rerun with 2 workers crashed: %s"
+              (Printexc.to_string e);
+        };
+      ]
+    | d2, ev2, fp2 ->
+      if d1 = d2 && ev1 = ev2 then []
+      else
+        [
+          {
+            Oracle.oracle = "decouple-workers";
+            message =
+              Printf.sprintf
+                "1-vs-2 worker divergence: digest %x/%x events %d/%d\n\
+                 w1: %s\nw2: %s" d1 d2 ev1 ev2 fp1 fp2;
+          };
+        ])
+
 let run (spec : Spec.t) : Oracle.failure list =
   match Spec.validate spec with
   | Error e -> [ { Oracle.oracle = "spec"; message = e } ]
+  | Ok () when spec.Spec.decouple -> run_decoupled spec
   | Ok () -> (
     match run_once spec with
     | exception e ->

@@ -89,11 +89,22 @@ let repro_filename fr =
   in
   Printf.sprintf "repro-%s-case%d.json" oracle fr.fr_index
 
-let write_repros ?(dir = ".") report =
+(* Each repro is stamped with where it came from — the check run's
+   registry record (when recording was on) and the case seed that
+   generated it — so a corpus file found months later still names the
+   run that produced it. *)
+let write_repros ?(dir = ".") ?record_id report =
   List.map
     (fun fr ->
       let path = Filename.concat dir (repro_filename fr) in
-      Spec.save fr.fr_shrunk path;
+      let stamped =
+        {
+          fr.fr_shrunk with
+          Spec.provenance =
+            Some { Spec.pv_record = record_id; pv_seed = fr.fr_seed };
+        }
+      in
+      Spec.save stamped path;
       path)
     report.failures
 

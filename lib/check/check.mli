@@ -48,6 +48,8 @@ val failure_summary : failure_report -> string
 
 val repro_filename : failure_report -> string
 
-val write_repros : ?dir:string -> report -> string list
+val write_repros : ?dir:string -> ?record_id:string -> report -> string list
 (** Write each failure's shrunk spec as a JSON case file (CI uploads
-    these as artifacts); returns the paths. *)
+    these as artifacts); returns the paths. Each file is stamped with
+    {!Spec.provenance} — the finding case seed, plus [record_id] (the
+    check run's registry record) when given — shown by [asman repro]. *)

@@ -92,6 +92,7 @@ let base_spec rng =
     faults = "none";
     queue = (if Rng.bool rng then "wheel" else "heap");
     sim_jobs = [| 1; 1; 2; 4 |].(Rng.int rng 4);
+    decouple = false;
     sockets;
     cores_per_socket;
     horizon_sec = 0.06 +. (0.02 *. float_of_int (Rng.int rng 8));
@@ -99,6 +100,7 @@ let base_spec rng =
     accounting = "precise";
     check_entitlement = false;
     vms = [];
+    provenance = None;
   }
 
 (* The dedicated fairness shape: the only generated shape where
@@ -228,6 +230,35 @@ let attack_shape rng spec =
     vms = attackers @ victims;
   }
 
+(* The decoupled shape: a multi-socket host split into socket-aligned
+   sub-hosts on the PDES fabric, judged by the worker-invariance
+   oracle. Small shards (the fabric's window protocol, not host scale,
+   is what's under test here), every VM loaded (idle VMs can't
+   migrate), no faults (the decoupled engine excludes injection). *)
+let decoupled_shape rng spec =
+  let shards = if Rng.bool rng then 2 else 4 in
+  let nvms = shards + Rng.int_in rng ~lo:1 ~hi:4 in
+  let vms =
+    List.init nvms (fun i ->
+        {
+          Spec.v_name = vm_name i;
+          v_weight = Rng.pick rng weights;
+          v_vcpus = [| 1; 2; 2; 4 |].(Rng.int rng 4);
+          v_workload = Some (any_workload rng);
+        })
+  in
+  {
+    spec with
+    Spec.sched = [| "credit"; "asman"; "con" |].(Rng.int rng 3);
+    faults = "none";
+    sim_jobs = shards;
+    decouple = true;
+    sockets = shards * (if Rng.bool rng then 1 else 2);
+    cores_per_socket = [| 2; 4 |].(Rng.int rng 2);
+    horizon_sec = 0.06 +. (0.02 *. float_of_int (Rng.int rng 4));
+    vms;
+  }
+
 let fault_profiles =
   [| "chaos-mild"; "chaos-heavy"; "jitter"; "stall"; "hotplug";
      "ipi-loss-10"; "ipi-delay-20"; "vcrd-loss-20" |]
@@ -265,6 +296,7 @@ let spec case_seed =
   | 2 -> storm_shape rng base
   | 3 | 4 -> chaos_shape rng (mixed_shape rng base)
   | 5 -> attack_shape rng base
+  | 6 -> decoupled_shape rng base
   | _ -> mixed_shape rng base
 
 (* Case seeds for a run: decorrelate neighbouring indices so

@@ -7,6 +7,12 @@ type vm = {
   v_workload : Scenario.workload_desc option;
 }
 
+type provenance = {
+  pv_record : string option;
+      (** run-registry record id of the check run that found it *)
+  pv_seed : int64;  (** the case seed that generated the failing spec *)
+}
+
 type t = {
   seed : int64;  (** the scenario engine's seed *)
   sched : string;
@@ -15,6 +21,10 @@ type t = {
   faults : string;  (** profile name, ["none"] for clean runs *)
   queue : string;  (** ["wheel"] or ["heap"] *)
   sim_jobs : int;  (** --sim-jobs shard count; 1 = ledger unarmed *)
+  decouple : bool;
+      (** run the scenario as [sim_jobs] decoupled sub-hosts on the
+          PDES fabric; judged by the worker-invariance oracle instead
+          of the coupled trace oracles *)
   sockets : int;
   cores_per_socket : int;
   horizon_sec : float;
@@ -29,6 +39,10 @@ type t = {
           victims — the only shape where the entitlement oracle's
           attacker-vs-victim comparison is sound *)
   vms : vm list;
+  provenance : provenance option;
+      (** corpus bookkeeping, not an input: which check run and case
+          seed produced this spec. [None] on freshly generated cases;
+          stamped onto shrunk repros by {!Check.write_repros}. *)
 }
 
 let pcpus t = t.sockets * t.cores_per_socket
@@ -122,7 +136,7 @@ let vm_of_json j =
 
 let to_json t =
   Cjson.Obj
-    [
+    ([
       (* int64 seeds exceed JSON's exact-integer range: as a string *)
       ("seed", Cjson.String (Int64.to_string t.seed));
       ("sched", Cjson.String t.sched);
@@ -131,6 +145,7 @@ let to_json t =
       ("faults", Cjson.String t.faults);
       ("queue", Cjson.String t.queue);
       ("sim_jobs", Cjson.Int t.sim_jobs);
+      ("decouple", Cjson.Bool t.decouple);
       ("sockets", Cjson.Int t.sockets);
       ("cores_per_socket", Cjson.Int t.cores_per_socket);
       ("horizon_sec", Cjson.Float t.horizon_sec);
@@ -139,6 +154,16 @@ let to_json t =
       ("check_entitlement", Cjson.Bool t.check_entitlement);
       ("vms", Cjson.List (List.map vm_to_json t.vms));
     ]
+    @
+    (* provenance is bookkeeping: absent keys keep pre-provenance
+       corpus files and their diffs untouched *)
+    (match t.provenance with
+    | None -> []
+    | Some p ->
+      [ ("found_seed", Cjson.String (Int64.to_string p.pv_seed)) ]
+      @ (match p.pv_record with
+        | None -> []
+        | Some id -> [ ("found_record", Cjson.String id) ])))
 
 let of_json j =
   {
@@ -158,6 +183,11 @@ let of_json j =
       (match Cjson.member "sim_jobs" j with
       | None -> 1
       | Some v -> Cjson.to_int v);
+    (* absent in pre-decouple corpus files: coupled, as before *)
+    decouple =
+      (match Cjson.member "decouple" j with
+      | None -> false
+      | Some v -> Cjson.to_bool v);
     sockets = Cjson.get "sockets" j ~of_:Cjson.to_int;
     cores_per_socket = Cjson.get "cores_per_socket" j ~of_:Cjson.to_int;
     horizon_sec = Cjson.get "horizon_sec" j ~of_:Cjson.to_float;
@@ -173,6 +203,25 @@ let of_json j =
       | None -> false
       | Some v -> Cjson.to_bool v);
     vms = Cjson.get "vms" j ~of_:(fun v -> List.map vm_of_json (Cjson.to_list v));
+    provenance =
+      (match Cjson.member "found_seed" j with
+      | None -> None
+      | Some v ->
+        let s = Cjson.to_string_v v in
+        let pv_seed =
+          match Int64.of_string_opt s with
+          | Some sv -> sv
+          | None ->
+            raise (Cjson.Parse_error (Printf.sprintf "bad found_seed %S" s))
+        in
+        Some
+          {
+            pv_seed;
+            pv_record =
+              (match Cjson.member "found_record" j with
+              | None | Some Cjson.Null -> None
+              | Some r -> Some (Cjson.to_string_v r));
+          });
   }
 
 let to_string t = Cjson.to_string ~indent:true (to_json t)
@@ -213,6 +262,19 @@ let validate t =
   else if
     List.exists (fun v -> v.v_weight <= 0 || v.v_vcpus <= 0) t.vms
   then err "non-positive VM weight or vcpus"
+  else if t.decouple then
+    (* mirror Decouple.build's preconditions so a decoupled case (or a
+       shrink candidate derived from one) fails validation instead of
+       crashing the builder *)
+    if t.sim_jobs < 2 then err "decouple needs sim_jobs >= 2"
+    else if t.faults <> "none" then err "decouple excludes fault injection"
+    else if t.sockets mod t.sim_jobs <> 0 then
+      err "%d sockets cannot split into %d shards" t.sockets t.sim_jobs
+    else if List.length t.vms < t.sim_jobs then
+      err "decouple needs at least one VM per shard"
+    else if List.for_all (fun v -> v.v_workload = None) t.vms then
+      err "decouple needs a workload VM"
+    else Ok ()
   else Ok ()
 
 let sched_kind t =

@@ -14,6 +14,16 @@ type vm = {
   v_workload : Asman.Scenario.workload_desc option;  (** [None] = idle VM *)
 }
 
+type provenance = {
+  pv_record : string option;
+      (** run-registry record id of the check run that found it;
+          [None] when the registry was disabled at write time *)
+  pv_seed : int64;  (** the case seed that generated the failing spec *)
+}
+(** Where a corpus file came from: stamped onto shrunk repros by
+    {!Check.write_repros}, shown by [asman repro], round-tripped
+    through the corpus JSON ([found_seed]/[found_record] keys). *)
+
 type t = {
   seed : int64;  (** the scenario engine's seed *)
   sched : string;  (** scheduler name, as {!Asman.Config.sched_of_name} *)
@@ -26,6 +36,13 @@ type t = {
           1 (the default when absent from older corpus JSON) leaves
           the ledger unarmed. Outcome-invariant by contract — the
           sim-jobs oracle reruns cases across values to enforce it. *)
+  decouple : bool;
+      (** [true]: run the scenario as [sim_jobs] decoupled sub-hosts
+          on the windowed PDES fabric and judge it with the
+          worker-invariance oracle (the fabric digest must not depend
+          on the worker count) instead of the coupled trace oracles.
+          [false] (the default when absent from older corpus JSON)
+          keeps the single-engine path. *)
   sockets : int;
   cores_per_socket : int;
   horizon_sec : float;  (** simulated measurement window *)
@@ -42,6 +59,9 @@ type t = {
           older corpus JSON); the entitlement oracle runs only on such
           cases, where attacker-vs-victim attainment is meaningful *)
   vms : vm list;
+  provenance : provenance option;
+      (** corpus bookkeeping, not a run input: [None] on freshly
+          generated cases and pre-provenance corpus files *)
 }
 
 val pcpus : t -> int

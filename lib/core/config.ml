@@ -60,6 +60,7 @@ type t = {
   engine_queue : Sim_engine.Engine.queue_kind option;
       (** [None] = the process default ([--engine-queue]) *)
   sim_jobs : int;
+  decouple : bool;
   numa : bool;
   accounting : Sim_vmm.Vmm.accounting;
   obs : obs;
@@ -81,6 +82,7 @@ let default =
     watchdog = None;
     engine_queue = None;
     sim_jobs = 1;
+    decouple = false;
     numa = false;
     accounting = Sim_vmm.Vmm.Precise;
     obs = obs_off;

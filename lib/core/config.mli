@@ -64,6 +64,11 @@ type t = {
           the ledger unarmed. Any value produces scheduler-visible
           outcomes byte-identical to 1: the ledger attributes and
           measures, it never reorders. *)
+  decouple : bool;
+      (** [--decouple]: run the scenario as [sim_jobs] decoupled
+          sub-hosts on the windowed PDES fabric ({!Decouple}) instead
+          of arming the coupled-mode ledger. Default off: the single
+          sequential engine, byte-identical to earlier builds. *)
   numa : bool;
       (** arm the NUMA host model (same-socket steal preference,
           cross-socket relocation penalty). Default off: flat-host

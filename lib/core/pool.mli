@@ -81,7 +81,7 @@ val accounting : unit -> stats
     and each job seeds its own simulation.
 
     The cache persists across processes via {!load_cost_cache} /
-    {!save_cost_cache} (the benchmark harness's [BENCH_cost_cache]
+    {!save_cost_cache} (the benchmark harness's [runs/cost_cache]
     file). *)
 
 val set_job_group : string option -> unit

@@ -25,7 +25,7 @@ type t = {
   injector : Sim_faults.Injector.t option;
 }
 
-let build config ~sched ~vms =
+let build ?(domain_id_base = 0) ?(vcpu_id_base = 0) config ~sched ~vms =
   if vms = [] then invalid_arg "Scenario.build: no VMs";
   List.iter
     (fun spec ->
@@ -78,7 +78,8 @@ let build config ~sched ~vms =
     else None
   in
   let vmm =
-    Sim_vmm.Vmm.create ~work_conserving:config.Config.work_conserving
+    Sim_vmm.Vmm.create ~domain_id_base ~vcpu_id_base
+      ~work_conserving:config.Config.work_conserving
       ~credit_unit:config.Config.credit_unit
       ~accounting:config.Config.accounting ?watchdog ?numa machine
       ~sched:(Config.sched_maker sched)

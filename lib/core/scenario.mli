@@ -40,8 +40,17 @@ type t = {
       (** present when [config.faults] is a real profile *)
 }
 
-val build : Config.t -> sched:Config.sched_kind -> vms:vm_spec list -> t
+val build :
+  ?domain_id_base:int ->
+  ?vcpu_id_base:int ->
+  Config.t ->
+  sched:Config.sched_kind ->
+  vms:vm_spec list ->
+  t
 (** Raises [Invalid_argument] on an empty or ill-formed VM list.
+    [domain_id_base]/[vcpu_id_base] offset the VMM's id counters so
+    that ids stay globally unique across the sub-hosts of a decoupled
+    ({!Decouple}) run.
     VMs whose workload is {!Sim_workloads.Workload.Concurrent} are
     marked [concurrent_type] (the static CON classification an
     administrator would apply).

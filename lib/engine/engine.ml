@@ -62,6 +62,10 @@ type t = {
   queue : Equeue.t;
   mutable stop : bool;
   mutable fired_count : int;
+  (* Order-sensitive rolling hash of fire times: the per-member stream
+     fingerprint the decoupled fabric's worker-count-invariance gate
+     reads. One multiply-add per fired event. *)
+  mutable stream_fp : int;
   root_rng : Rng.t;
   trace : Sim_obs.Trace.t;
   mutable sharding : sharding option;
@@ -76,6 +80,7 @@ let create ?(seed = 1L) ?queue () =
     queue = Equeue.create kind;
     stop = false;
     fired_count = 0;
+    stream_fp = 0;
     root_rng = Rng.create seed;
     trace = Sim_obs.Trace.create ();
     sharding = None;
@@ -226,6 +231,7 @@ let step t =
   | Equeue.Event (time, action) ->
     t.clock <- time;
     t.fired_count <- t.fired_count + 1;
+    t.stream_fp <- ((t.stream_fp * 31) + time + 1) land max_int;
     action ();
     true
 
@@ -245,6 +251,7 @@ let run ?until t =
     | Equeue.Event (time, action) ->
       t.clock <- time;
       t.fired_count <- t.fired_count + 1;
+      t.stream_fp <- ((t.stream_fp * 31) + time + 1) land max_int;
       action ()
     | Equeue.Beyond ->
       (match until with
@@ -258,6 +265,10 @@ let run ?until t =
   | _ -> ()
 
 let events_fired t = t.fired_count
+
+let stream_fp t = t.stream_fp
+
+let next_time t = Equeue.next_time t.queue
 
 (* Self-rescheduling event chains: the machine's slot/period clocks
    and the fault injector's recurring chaos windows. The action runs

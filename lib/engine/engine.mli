@@ -98,6 +98,17 @@ val halted : t -> bool
 val events_fired : t -> int
 (** Total events executed since creation (simulation-cost metric). *)
 
+val stream_fp : t -> int
+(** Order-sensitive rolling hash of every fired event's time since
+    creation. Two engines that executed the same event stream carry
+    equal fingerprints; the decoupled fabric's worker-count-invariance
+    gate compares these per member. *)
+
+val next_time : t -> int option
+(** Fire time of the earliest pending event, or [None] on an empty
+    queue. Cancelled events never surface. O(live queue descent), no
+    extraction — the fabric's window-bound probe. *)
+
 val periodic :
   ?shard:int ->
   t ->

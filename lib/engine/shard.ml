@@ -27,13 +27,6 @@
    partition, not on the worker team — Seq and Par runs fingerprint
    identically. *)
 
-type mail = {
-  m_time : int;
-  m_src : int;
-  m_seq : int;  (* per-source counter: FIFO among equal-time posts *)
-  m_act : unit -> unit;
-}
-
 type shard = {
   sid : int;
   q : Equeue.t;
@@ -45,8 +38,10 @@ type shard = {
      outcome digest; summed across shards it is invariant under
      repartitioning as long as the same events execute. *)
   mutable dg : int;
-  lock : Mutex.t;
-  mutable inbox : mail list;  (* newest first; sorted at flush *)
+  inbox : Mailbox.t;
+  (* Prebuilt flush sink (schedule into [q]): one closure per shard
+     for the mailbox's lifetime, nothing per delivery. *)
+  sink : time:int -> (unit -> unit) -> unit;
   mutable out_seq : int;
 }
 
@@ -63,15 +58,16 @@ let create ?(queue = Equeue.Wheel_queue) ~shards ~lookahead () =
   {
     shardv =
       Array.init shards (fun sid ->
+          let q = Equeue.create queue in
           {
             sid;
-            q = Equeue.create queue;
+            q;
             clock = 0;
             fired = 0;
             fp = 0;
             dg = 0;
-            lock = Mutex.create ();
-            inbox = [];
+            inbox = Mailbox.create ();
+            sink = (fun ~time act -> ignore (Equeue.schedule q ~time act));
             out_seq = 0;
           });
     lookahead;
@@ -102,37 +98,17 @@ let post t ~src ~dst ~time action =
       (Printf.sprintf
          "Shard.post: time %d violates lookahead (shard %d clock %d + %d)" time
          src s.clock t.lookahead);
-  let m = { m_time = time; m_src = src; m_seq = s.out_seq; m_act = action } in
-  s.out_seq <- s.out_seq + 1;
-  let d = t.shardv.(dst) in
-  Mutex.lock d.lock;
-  d.inbox <- m :: d.inbox;
-  Mutex.unlock d.lock
+  let seq = s.out_seq in
+  s.out_seq <- seq + 1;
+  Mailbox.post t.shardv.(dst).inbox ~time ~src ~seq action
 
 (* --- window execution ------------------------------------------------ *)
 
-let mail_order a b =
-  if a.m_time <> b.m_time then compare a.m_time b.m_time
-  else if a.m_src <> b.m_src then compare a.m_src b.m_src
-  else compare a.m_seq b.m_seq
-
 (* Coordinator-only, between windows: move mailbox contents into the
-   destination queues in deterministic order. *)
+   destination queues in deterministic (time, src, seq) order. *)
 let deliver t =
   Array.iter
-    (fun d ->
-      Mutex.lock d.lock;
-      let mail = d.inbox in
-      d.inbox <- [];
-      Mutex.unlock d.lock;
-      match mail with
-      | [] -> ()
-      | mail ->
-        List.iter
-          (fun m ->
-            t.cross_posts <- t.cross_posts + 1;
-            ignore (Equeue.schedule d.q ~time:m.m_time m.m_act))
-          (List.sort mail_order mail))
+    (fun d -> t.cross_posts <- t.cross_posts + Mailbox.flush d.inbox d.sink)
     t.shardv
 
 let next_global t =
@@ -159,107 +135,11 @@ let drain sh ~limit =
       sh.dg <- (sh.dg + dg_mix time) land max_int;
       action ())
 
-(* --- worker team ------------------------------------------------------
+(* --- main loop --------------------------------------------------------
 
-   A persistent team of [workers - 1] spawned domains plus the
-   coordinator. Each window the coordinator publishes (limit, gen+1)
-   under the mutex; workers grab shard indices from an atomic counter,
-   drain them, and check in. All shard state crosses domains inside
-   mutex-protected generation transitions, so every window's writes
-   happen-before the next window's reads. *)
-
-type team = {
-  mu : Mutex.t;
-  cv : Condition.t;
-  mutable gen : int;  (* window generation; bumped to start a window *)
-  mutable limit : int;
-  mutable stop : bool;
-  mutable checked_in : int;  (* workers finished with current gen *)
-  mutable failure : exn option;  (* first exception raised in a window *)
-  next_shard : int Atomic.t;
-}
-
-let team_make () =
-  {
-    mu = Mutex.create ();
-    cv = Condition.create ();
-    gen = 0;
-    limit = 0;
-    stop = false;
-    checked_in = 0;
-    failure = None;
-    next_shard = Atomic.make 0;
-  }
-
-(* Drain shards off the grab counter until it runs out; record (don't
-   propagate) the first exception so the barrier still completes. *)
-let team_grab t tm =
-  let n = Array.length t.shardv in
-  let continue_ = ref true in
-  while !continue_ do
-    let i = Atomic.fetch_and_add tm.next_shard 1 in
-    if i >= n then continue_ := false
-    else
-      try drain t.shardv.(i) ~limit:tm.limit
-      with e ->
-        Mutex.lock tm.mu;
-        if tm.failure = None then tm.failure <- Some e;
-        Mutex.unlock tm.mu
-  done
-
-let team_worker t tm () =
-  let gen_seen = ref 0 in
-  let continue_ = ref true in
-  while !continue_ do
-    Mutex.lock tm.mu;
-    while (not tm.stop) && tm.gen = !gen_seen do
-      Condition.wait tm.cv tm.mu
-    done;
-    if tm.stop then begin
-      Mutex.unlock tm.mu;
-      continue_ := false
-    end
-    else begin
-      gen_seen := tm.gen;
-      Mutex.unlock tm.mu;
-      team_grab t tm;
-      Mutex.lock tm.mu;
-      tm.checked_in <- tm.checked_in + 1;
-      Condition.broadcast tm.cv;
-      Mutex.unlock tm.mu
-    end
-  done
-
-(* Run one window on the team (coordinator participates). Re-raises a
-   worker exception only after the barrier, so the team is never left
-   mid-window. *)
-let team_window t tm ~workers ~limit =
-  Mutex.lock tm.mu;
-  tm.limit <- limit;
-  tm.checked_in <- 0;
-  Atomic.set tm.next_shard 0;
-  tm.gen <- tm.gen + 1;
-  Condition.broadcast tm.cv;
-  Mutex.unlock tm.mu;
-  team_grab t tm;
-  Mutex.lock tm.mu;
-  tm.checked_in <- tm.checked_in + 1;
-  while tm.checked_in < workers do
-    Condition.wait tm.cv tm.mu
-  done;
-  let failure = tm.failure in
-  tm.failure <- None;
-  Mutex.unlock tm.mu;
-  match failure with None -> () | Some e -> raise e
-
-let team_shutdown tm domains =
-  Mutex.lock tm.mu;
-  tm.stop <- true;
-  Condition.broadcast tm.cv;
-  Mutex.unlock tm.mu;
-  Array.iter Domain.join domains
-
-(* --- main loop -------------------------------------------------------- *)
+   Window execution runs on a persistent {!Team} of worker domains
+   (extracted from the original in-module team so {!Fabric} drives the
+   same machinery). *)
 
 let run ?workers ?until t =
   let n = Array.length t.shardv in
@@ -274,7 +154,11 @@ let run ?workers ?until t =
     | Some u ->
       Array.iter (fun sh -> if sh.clock < u then sh.clock <- u) t.shardv
   in
-  let rec loop window =
+  let tm =
+    Team.create ~workers ~tasks:n ~work:(fun i ~limit ->
+        drain t.shardv.(i) ~limit)
+  in
+  let rec loop () =
     deliver t;
     match next_global t with
     | None -> finish ()
@@ -290,21 +174,14 @@ let run ?workers ?until t =
         match until with Some u -> min l u | None -> l
       in
       t.windows <- t.windows + 1;
-      window limit;
-      loop window
+      Team.window tm ~limit;
+      loop ()
   in
-  if workers = 1 then loop (fun limit -> Array.iter (drain ~limit) t.shardv)
-  else begin
-    let tm = team_make () in
-    let domains =
-      Array.init (workers - 1) (fun _ -> Domain.spawn (team_worker t tm))
-    in
-    match loop (fun limit -> team_window t tm ~workers ~limit) with
-    | () -> team_shutdown tm domains
-    | exception e ->
-      team_shutdown tm domains;
-      raise e
-  end
+  match loop () with
+  | () -> Team.shutdown tm
+  | exception e ->
+    Team.shutdown tm;
+    raise e
 
 let events_fired t = Array.fold_left (fun acc sh -> acc + sh.fired) 0 t.shardv
 

@@ -32,9 +32,9 @@ type vcpu_ctx = {
 }
 
 type t = {
-  vmm : Sim_vmm.Vmm.t;
+  mutable vmm : Sim_vmm.Vmm.t;
   domain : Sim_vmm.Domain.t;
-  engine : Engine.t;
+  mutable engine : Engine.t;
   params : params;
   hypercall : Sim_vmm.Hypercall.t;
   monitor : Monitor.t;
@@ -48,6 +48,9 @@ type t = {
   mutable round_hook : Thread.t -> round:int -> duration:int -> unit;
   mutable finished_hook : Thread.t -> unit;
   mutable launched : bool;
+  mutable pending_untracked : int;
+      (** in-flight kernel timers not tracked through a vcpu_ctx
+          handle; must be 0 before the domain may migrate *)
 }
 
 let vmm t = t.vmm
@@ -141,6 +144,19 @@ let cancel_slice t vc =
    (distinct from its arrival lock's id, which is [-(id + 1)]). *)
 let flag_id barrier = -(1000 + Barrier.id barrier)
 
+(* Self-validating kernel timers that are not tracked through a
+   vcpu_ctx handle — sleep wakes, lock handoffs, barrier releases,
+   PLE windows, spin-grace fallbacks — are counted while in flight:
+   their events capture [t] and live on the current engine, so the
+   decoupled-VMM quiescence gate ({!quiescent}) refuses to migrate a
+   domain whose kernel still has one pending. *)
+let schedule_untracked t ~delay k =
+  t.pending_untracked <- t.pending_untracked + 1;
+  ignore
+    (Engine.schedule_after t.engine ~delay (fun () ->
+         t.pending_untracked <- t.pending_untracked - 1;
+         k ()))
+
 (* ----- execution machinery ----- *)
 
 let rec continue_thread t vc (thread : Thread.t) =
@@ -168,16 +184,14 @@ and do_resume t vc (thread : Thread.t) =
        cannot be re-dispatched, so the status check suffices). *)
     thread.Thread.status <- Thread.Blocked_sleep;
     thread.Thread.resume <- Thread.R_fetch;
-    ignore
-      (Engine.schedule_after t.engine ~delay:cycles (fun () ->
-           match thread.Thread.status with
-           | Thread.Blocked_sleep ->
-             thread.Thread.status <- Thread.Runnable;
-             wake_thread t thread
-           | Thread.Runnable | Thread.Spinning _ | Thread.Spin_barrier _
-           | Thread.Blocked_barrier _ | Thread.Blocked_sem _ | Thread.Finished
-             ->
-             ()));
+    schedule_untracked t ~delay:cycles (fun () ->
+        match thread.Thread.status with
+        | Thread.Blocked_sleep ->
+          thread.Thread.status <- Thread.Runnable;
+          wake_thread t thread
+        | Thread.Runnable | Thread.Spinning _ | Thread.Spin_barrier _
+        | Thread.Blocked_barrier _ | Thread.Blocked_sem _ | Thread.Finished ->
+          ());
     rotate_or_halt t vc
   | Thread.R_acquire lock_id ->
     let lock = ensure_lock t lock_id in
@@ -336,9 +350,8 @@ and handoff_check t lock =
   | None -> ()
   | Some waiter ->
     Spinlock.reserve_for lock waiter;
-    ignore
-      (Engine.schedule_after t.engine ~delay:t.params.handoff (fun () ->
-           grant t lock waiter))
+    schedule_untracked t ~delay:t.params.handoff (fun () ->
+        grant t lock waiter)
 
 (* Complete (or abort) an in-flight handoff. Self-validating: the
    grantee may have been preempted during the handoff latency. *)
@@ -377,9 +390,8 @@ and release_barrier t barrier =
       | Thread.Spin_barrier (bid, gen)
         when bid = Barrier.id barrier && Barrier.passed barrier ~gen ->
         if occupying t thread then
-          ignore
-            (Engine.schedule_after t.engine ~delay:t.params.flag_latency
-               (fun () -> barrier_proceed t barrier thread))
+          schedule_untracked t ~delay:t.params.flag_latency (fun () ->
+              barrier_proceed t barrier thread)
       | Thread.Blocked_barrier (bid, gen)
         when bid = Barrier.id barrier && Barrier.passed barrier ~gen ->
         thread.Thread.status <- Thread.Runnable;
@@ -419,41 +431,39 @@ and barrier_proceed t barrier (thread : Thread.t) =
 and arm_ple t (thread : Thread.t) =
   if t.params.ple_window > 0 then begin
     let span = thread.Thread.spin_request in
-    ignore
-      (Engine.schedule_after t.engine ~delay:t.params.ple_window (fun () ->
-           let still_spinning =
-             match thread.Thread.status with
-             | Thread.Spinning _ | Thread.Spin_barrier _ ->
-               thread.Thread.spin_request = span
-             | Thread.Runnable | Thread.Blocked_barrier _
-             | Thread.Blocked_sem _ | Thread.Blocked_sleep
-             | Thread.Finished ->
-               false
-           in
-           if still_spinning && occupying t thread then begin
-             let vc = vctx_of t thread in
-             Sim_vmm.Vmm.pause_loop_exit t.vmm vc.vcpu;
-             arm_ple t thread
-           end))
+    schedule_untracked t ~delay:t.params.ple_window (fun () ->
+        let still_spinning =
+          match thread.Thread.status with
+          | Thread.Spinning _ | Thread.Spin_barrier _ ->
+            thread.Thread.spin_request = span
+          | Thread.Runnable | Thread.Blocked_barrier _
+          | Thread.Blocked_sem _ | Thread.Blocked_sleep
+          | Thread.Finished ->
+            false
+        in
+        if still_spinning && occupying t thread then begin
+          let vc = vctx_of t thread in
+          Sim_vmm.Vmm.pause_loop_exit t.vmm vc.vcpu;
+          arm_ple t thread
+        end)
   end
 
 (* Spin-then-block: if the barrier flag has not flipped when the grace
    budget expires, the thread futex-sleeps and frees its VCPU. *)
 and arm_spin_grace t (thread : Thread.t) barrier_id gen =
-  ignore
-    (Engine.schedule_after t.engine ~delay:t.params.spin_grace (fun () ->
-         match thread.Thread.status with
-         | Thread.Spin_barrier (bid, g)
-           when bid = barrier_id && g = gen && occupying t thread ->
-           let barrier = get_barrier t bid in
-           if not (Barrier.passed barrier ~gen:g) then begin
-             thread.Thread.status <- Thread.Blocked_barrier (bid, g);
-             rotate_or_halt t (vctx_of t thread)
-           end
-         | Thread.Spin_barrier _ | Thread.Blocked_barrier _ | Thread.Runnable
-         | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Blocked_sleep
-         | Thread.Finished ->
-           ()))
+  schedule_untracked t ~delay:t.params.spin_grace (fun () ->
+      match thread.Thread.status with
+      | Thread.Spin_barrier (bid, g)
+        when bid = barrier_id && g = gen && occupying t thread ->
+        let barrier = get_barrier t bid in
+        if not (Barrier.passed barrier ~gen:g) then begin
+          thread.Thread.status <- Thread.Blocked_barrier (bid, g);
+          rotate_or_halt t (vctx_of t thread)
+        end
+      | Thread.Spin_barrier _ | Thread.Blocked_barrier _ | Thread.Runnable
+      | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Blocked_sleep
+      | Thread.Finished ->
+        ())
 
 (* A blocked thread became runnable (semaphore token or launch). *)
 and wake_thread t (thread : Thread.t) =
@@ -498,9 +508,8 @@ and resume_active t vc =
     | Thread.Spin_barrier (bid, gen) ->
       let barrier = get_barrier t bid in
       if Barrier.passed barrier ~gen then
-        ignore
-          (Engine.schedule_after t.engine ~delay:t.params.flag_latency
-             (fun () -> barrier_proceed t barrier thread))
+        schedule_untracked t ~delay:t.params.flag_latency (fun () ->
+            barrier_proceed t barrier thread)
       else begin
         arm_spin_grace t thread bid gen;
         arm_ple t thread
@@ -620,6 +629,7 @@ let create ?params:params_opt vmm domain () =
       round_hook = (fun _ ~round:_ ~duration:_ -> ());
       finished_hook = (fun _ -> ());
       launched = false;
+      pending_untracked = 0;
     }
   in
   Array.iter
@@ -653,6 +663,38 @@ let add_thread t ?(restart = false) ~affinity program =
   t.threads_rev <- thread :: t.threads_rev;
   Gsched.add t.vcpus.(affinity).gsched thread;
   thread
+
+(* ----- decoupled-VMM domain migration ----- *)
+
+(* The kernel-side quiescence gate: no VCPU online (every per-VCPU
+   compute/slice timer is cancelled on preemption and halt, so a
+   fully-offline domain holds none) and no untracked timer in flight.
+   Only then does the kernel own zero events on the current engine
+   and the domain may leave this host. *)
+let quiescent t =
+  t.pending_untracked = 0
+  && Array.for_all
+       (fun vc -> (not vc.online) && vc.timer = None && vc.slice_timer = None)
+       t.vcpus
+
+(* Domain migration is a two-phase handoff. [park] runs on the source
+   host (inside the grant decision): it verifies quiescence and
+   cancels the monitor's pending window event — a source-engine queue
+   mutation only the source side may perform. [retarget] runs on the
+   destination host one fabric window later: every closure the kernel
+   will schedule from here on reads [t.engine]/[t.vmm] through [t],
+   so the swap is complete and the VCPU hooks installed at creation
+   remain valid. *)
+let park t =
+  if not (quiescent t) then failwith "Kernel.park: kernel not quiescent";
+  Monitor.park t.monitor
+
+let retarget t ~vmm =
+  if not (quiescent t) then failwith "Kernel.retarget: kernel not quiescent";
+  t.vmm <- vmm;
+  t.engine <- Sim_vmm.Vmm.engine vmm;
+  Sim_vmm.Hypercall.retarget t.hypercall ~vmm;
+  Monitor.retarget t.monitor ~engine:t.engine
 
 let set_round_hook t hook = t.round_hook <- hook
 

@@ -85,6 +85,27 @@ val launch : t -> unit
 (** Wake every VCPU that has an executable thread. Requires the VMM to
     have been started (or to be started before the engine runs). *)
 
+(** {2 Decoupled-VMM domain migration} *)
+
+val quiescent : t -> bool
+(** The kernel-side quiescence gate: no VCPU online and no untracked
+    kernel timer (sleep wake, lock handoff, barrier release, PLE
+    window, spin-grace fallback) in flight — i.e. the kernel owns
+    zero pending events on its current engine, so the domain may
+    leave this host. *)
+
+val park : t -> unit
+(** Source-side half of a migration: verify {!quiescent} (fails
+    otherwise) and cancel the monitor's pending window event on the
+    source engine. Call before {!Sim_vmm.Vmm.detach_domain}. *)
+
+val retarget : t -> vmm:Sim_vmm.Vmm.t -> unit
+(** Destination-side half: re-point the kernel, its monitor and its
+    hypercall channel at the domain's new host. Fails unless
+    {!quiescent}. The caller pairs {!park}/[detach_domain] on the
+    source with [retarget]/{!Sim_vmm.Vmm.attach_domain} on the
+    destination. *)
+
 (** {2 Measurements} *)
 
 val min_rounds : t -> int

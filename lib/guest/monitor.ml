@@ -24,7 +24,7 @@ type trace_entry = { time : int; wait : int; lock_id : int }
 
 type t = {
   params : params;
-  engine : Engine.t;
+  mutable engine : Engine.t;
   hypercall : Sim_vmm.Hypercall.t;
   domain : Sim_vmm.Domain.t;
   estimator : Sim_learn.Estimator.t;
@@ -36,6 +36,7 @@ type t = {
   mutable window_end : Engine.handle option;
   mutable window_budget : int;  (** online cycles left in the HIGH window *)
   mutable window_anchor : int;  (** domain online cycles at the last re-arm *)
+  mutable parked : bool;  (** a HIGH window was cancelled by {!park} *)
 }
 
 let create params ~engine ~hypercall ~domain ~rng =
@@ -53,6 +54,7 @@ let create params ~engine ~hypercall ~domain ~rng =
     window_end = None;
     window_budget = 0;
     window_anchor = 0;
+    parked = false;
   }
 
 let params t = t.params
@@ -91,6 +93,31 @@ let rec arm_window t =
         end)
   in
   t.window_end <- Some handle
+
+(* Domain migration is a two-phase handoff because the two engines
+   run in different fabric windows, possibly on different OS threads:
+   [park] executes on the source host (cancelling [window_end], the
+   monitor's only engine event, is a queue mutation only the source
+   side may perform), [retarget] on the destination one window later.
+   The budget and anchor are metered in guest online cycles, which
+   are continuous across hosts, so a HIGH window survives the move
+   intact (modulo the re-check landing [delay] after the attach
+   instant instead of the original arm instant, part of the modeled
+   stop-and-copy latency). *)
+let park t =
+  match t.window_end with
+  | Some h ->
+    Engine.cancel t.engine h;
+    t.window_end <- None;
+    t.parked <- true
+  | None -> ()
+
+let retarget t ~engine =
+  t.engine <- engine;
+  if t.parked then begin
+    t.parked <- false;
+    arm_window t
+  end
 
 (* Algorithm 1: an over-threshold spinlock is an adjusting event.
    The estimator's clock is per-VCPU guest online time, not wall time:

@@ -1,10 +1,14 @@
 type stats = { mutable to_high : int; mutable to_low : int }
 
-type t = { vmm : Vmm.t; per_domain : (int, stats) Hashtbl.t }
+type t = { mutable vmm : Vmm.t; per_domain : (int, stats) Hashtbl.t }
 
 let create vmm = { vmm; per_domain = Hashtbl.create 8 }
 
 let vmm t = t.vmm
+
+(* Domain migration re-points the guest's hypercall channel at its new
+   host; per-domain call tallies travel with the channel. *)
+let retarget t ~vmm = t.vmm <- vmm
 
 let stats_for t (dom : Domain.t) =
   match Hashtbl.find_opt t.per_domain dom.Domain.id with

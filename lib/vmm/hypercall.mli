@@ -13,6 +13,10 @@ val create : Vmm.t -> t
 
 val vmm : t -> Vmm.t
 
+val retarget : t -> vmm:Vmm.t -> unit
+(** Re-point the channel at the domain's new host after a
+    decoupled-VMM migration; per-domain tallies travel with it. *)
+
 val do_vcrd_op : t -> Domain.t -> Domain.vcrd -> unit
 (** Forwards to {!Vmm.do_vcrd_op} and counts the call. *)
 

@@ -47,4 +47,4 @@ let make (api : api) : t =
   let on_vcrd_change _dom = () in
   let on_ple _v = () in
   { name = "credit"; on_slot; on_period; on_wake; on_block; on_vcrd_change;
-    on_ple; counters = (fun () -> []) }
+    on_ple; migratable = (fun _ -> true); counters = (fun () -> []) }

@@ -472,8 +472,36 @@ let make ?(oov = false) ?(ipi = true) ?(solidarity = true)
   let counters () =
     match wd with Some w -> Watchdog.counter_list w | None -> []
   in
+  (* Quiescence gate for whole-domain migration off this host (the
+     decoupled-VMM steal protocol). A domain with a pending watchdog
+     audit, an armed out-of-VM VCRD window, or a coscheduling launch
+     whose IPIs may still be in flight has scheduler state (or
+     scheduled engine events capturing its VCPUs) that would dangle
+     if it left now. IPI flight time is bounded by the cross-socket
+     latency, so a launch is definitely drained once that horizon has
+     passed — exact only while the IPI fault filter is off, which the
+     decoupled mode guarantees. Boost flags are *not* a blocker: they
+     are plain per-VCPU priority state that travels with the domain,
+     is consumed by runqueue picks on the new host and cleared by its
+     [on_vcrd_change] when the guest lowers VCRD. *)
+  let ipi_horizon =
+    2 * (Sim_hw.Machine.cpu_model api.machine).Sim_hw.Cpu_model
+        .ipi_latency_cycles
+  in
+  let migratable (dom : Domain.t) =
+    (match wd with
+    | None -> true
+    | Some w ->
+      not (Watchdog.dom_state w dom.Domain.id).Watchdog.check_pending)
+    && (match Hashtbl.find_opt oov_table dom.Domain.id with
+       | Some st -> st.window = None
+       | None -> true)
+    && (match Hashtbl.find_opt last_launch dom.Domain.id with
+       | Some at -> api.now () > at + ipi_horizon
+       | None -> true)
+  in
   { name; on_slot; on_period; on_wake; on_block; on_vcrd_change; on_ple;
-    counters }
+    migratable; counters }
 
 let make_asman api =
   make ~name:"asman"

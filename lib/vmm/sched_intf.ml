@@ -34,6 +34,7 @@ type t = {
   on_block : Vcpu.t -> unit;
   on_vcrd_change : Domain.t -> unit;
   on_ple : Vcpu.t -> unit;
+  migratable : Domain.t -> bool;
   counters : unit -> (string * int) list;
 }
 

@@ -75,6 +75,13 @@ type t = {
           full PLE window. The basis for out-of-VM VCRD detection (the
           paper's stated future work); ignored by the other
           schedulers. *)
+  migratable : Domain.t -> bool;
+      (** Whether the scheduler holds no pending state (armed windows,
+          in-flight coscheduling IPIs, watchdog audits) that would
+          dangle if the domain were detached from this host right
+          now. Per-VCPU flags like gang boosts travel with the domain
+          and don't block. Part of the decoupled-VMM quiescence gate;
+          always [true] for stateless schedulers. *)
   counters : unit -> (string * int) list;
       (** Scheduler-specific health counters (e.g. the gang watchdog's
           launch/timeout/demotion tallies); [[]] when none. *)

@@ -306,7 +306,8 @@ let api t : Sched_intf.api =
   }
 
 let create ?(work_conserving = true) ?(credit_unit = Credit.default_credit_unit)
-    ?(accounting = Precise) ?watchdog ?numa machine ~sched =
+    ?(accounting = Precise) ?watchdog ?numa ?(domain_id_base = 0)
+    ?(vcpu_id_base = 0) machine ~sched =
   let n = Machine.pcpu_count machine in
   let t =
     {
@@ -322,8 +323,8 @@ let create ?(work_conserving = true) ?(credit_unit = Credit.default_credit_unit)
       accounting;
       numa;
       numa_remote_relocs = 0;
-      next_vcpu_id = 0;
-      next_domain_id = 0;
+      next_vcpu_id = vcpu_id_base;
+      next_domain_id = domain_id_base;
       slot_counts = Array.make n 0;
       idle_since = Array.make n 0;
       idle_cycles = Array.make n 0;
@@ -626,6 +627,73 @@ let pause_loop_exit t v =
   (sched t).Sched_intf.on_ple v
 
 let current_on t pcpu = t.current.(pcpu)
+
+(* ----- decoupled-VMM domain migration ----- *)
+
+let domain_credit_sum (dom : Domain.t) =
+  Array.fold_left
+    (fun acc (v : Vcpu.t) -> acc + v.Vcpu.credit)
+    0 dom.Domain.vcpus
+
+(* Scheduler-state part of the quiescence gate; the structural part
+   (no VCPU Running, no pending guest-kernel events) belongs to the
+   caller, which also owns the engine events a detached domain must
+   not leave behind. *)
+let sched_migratable t dom = (sched t).Sched_intf.migratable dom
+
+(* Detach a quiescent domain from this host: its Ready VCPUs leave
+   their run queues, its accounting base entry is dropped, and its
+   credit leaves the conservation ledger so the next period check on
+   this host sees no spurious shrinkage. The domain record itself —
+   credit, online cycles, VCRD, per-VCPU counters — travels with the
+   caller; that is the state a steal Grant message carries. *)
+let detach_domain t (dom : Domain.t) =
+  Array.iter
+    (fun (v : Vcpu.t) ->
+      match v.Vcpu.state with
+      | Vcpu.Running _ ->
+        invalid_arg
+          (Printf.sprintf "Vmm.detach_domain: vcpu %d is running" v.Vcpu.id)
+      | Vcpu.Ready -> Runqueue.remove t.runqueues.(v.Vcpu.home) v
+      | Vcpu.Blocked -> ())
+    dom.Domain.vcpus;
+  if not (List.memq dom t.domains_rev) then
+    invalid_arg
+      (Printf.sprintf "Vmm.detach_domain: domain %d not on this host"
+         dom.Domain.id);
+  t.domains_rev <- List.filter (fun d -> d != dom) t.domains_rev;
+  (match t.last_credit_sum with
+  | Some sum -> t.last_credit_sum <- Some (sum - domain_credit_sum dom)
+  | None -> ());
+  Hashtbl.remove t.acct_online_base dom.Domain.id
+
+(* Attach a migrated-in domain. Unlike [create_domain] this is legal
+   after [start]: VCPUs are re-homed deterministically onto this
+   host's PCPUs (same spread rule as creation), Ready ones enter
+   their new home queues, and the domain's credit joins the
+   conservation ledger. The accounting base starts at the domain's
+   current online total, so cycles attained on previous hosts do not
+   count against this host's window. *)
+let attach_domain t (dom : Domain.t) =
+  let n = pcpu_count t in
+  Array.iter
+    (fun (v : Vcpu.t) ->
+      (match v.Vcpu.state with
+      | Vcpu.Running _ ->
+        invalid_arg
+          (Printf.sprintf "Vmm.attach_domain: vcpu %d is running" v.Vcpu.id)
+      | Vcpu.Ready | Vcpu.Blocked -> ());
+      let home = (dom.Domain.id + v.Vcpu.index) mod n in
+      v.Vcpu.home <-
+        (if Machine.pcpu_online t.machine home then home
+         else least_loaded_online t ());
+      if Vcpu.is_ready v then Runqueue.insert t.runqueues.(v.Vcpu.home) v)
+    dom.Domain.vcpus;
+  t.domains_rev <- dom :: t.domains_rev;
+  (match t.last_credit_sum with
+  | Some sum -> t.last_credit_sum <- Some (sum + domain_credit_sum dom)
+  | None -> ());
+  Hashtbl.replace t.acct_online_base dom.Domain.id (domain_online_now t dom)
 
 (* ----- accounting ----- *)
 

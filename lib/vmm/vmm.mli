@@ -37,6 +37,8 @@ val create :
   ?accounting:accounting ->
   ?watchdog:Watchdog.params ->
   ?numa:Sched_intf.numa ->
+  ?domain_id_base:int ->
+  ?vcpu_id_base:int ->
   Sim_hw.Machine.t ->
   sched:Sched_intf.maker ->
   t
@@ -47,7 +49,10 @@ val create :
     watchdog — see {!Watchdog}. [numa] (default off) arms the NUMA
     host model: schedulers prefer same-socket steals and cross-socket
     relocations charge a cold-cache penalty at the next accounting —
-    see {!Sched_intf.numa}. *)
+    see {!Sched_intf.numa}. [domain_id_base]/[vcpu_id_base] (default
+    0) seed the id counters — decoupled sub-hosts use disjoint bases
+    so domain and VCPU ids stay globally unique when domains migrate
+    between hosts. *)
 
 val accounting : t -> accounting
 
@@ -109,6 +114,33 @@ val pause_loop_exit : t -> Vcpu.t -> unit
 val current_on : t -> int -> Vcpu.t option
 
 val now : t -> int
+
+(** {2 Decoupled-VMM domain migration}
+
+    A sub-host shard steals load by moving a whole quiescent domain —
+    VCRD state, credit and counters travel inside the {!Domain.t} —
+    to another host. These calls are only legal on a domain with no
+    [Running] VCPU; the caller additionally owns the guest-kernel and
+    scheduler quiescence checks ({!sched_migratable} is the
+    scheduler-state part). *)
+
+val sched_migratable : t -> Domain.t -> bool
+(** Whether the scheduler holds no pending state (armed windows,
+    in-flight coscheduling IPIs, watchdog audits, boosts) for the
+    domain — see {!Sched_intf.t.migratable}. *)
+
+val detach_domain : t -> Domain.t -> unit
+(** Remove the domain from this host: Ready VCPUs leave their run
+    queues, the accounting base entry is dropped, and the domain's
+    credit leaves the conservation ledger. Raises [Invalid_argument]
+    if a VCPU is [Running] or the domain is not on this host. *)
+
+val attach_domain : t -> Domain.t -> unit
+(** Adopt a detached domain (legal after {!start}): VCPUs are
+    re-homed deterministically onto this host's PCPUs, Ready ones
+    enter their new home queues, the domain's credit joins the
+    conservation ledger, and its accounting window starts at its
+    current online total. *)
 
 (** {2 Accounting} *)
 

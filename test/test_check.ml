@@ -270,6 +270,7 @@ let big_spec =
     faults = "chaos-mild";
     queue = "wheel";
     sim_jobs = 2;
+    decouple = false;
     sockets = 2;
     cores_per_socket = 4;
     horizon_sec = 0.4;
@@ -286,6 +287,7 @@ let big_spec =
               Some
                 (Scenario.W_compute { threads = 4; chunks = 100; chunk_us = 500 });
           });
+    provenance = None;
   }
 
 let planted = [ { Oracle.oracle = "planted"; message = "bug" } ]
@@ -393,6 +395,7 @@ let mutation_spec =
     faults = "none";
     queue = "wheel";
     sim_jobs = 1;
+    decouple = false;
     sockets = 2;
     cores_per_socket = 2;
     horizon_sec = 0.14;
@@ -408,6 +411,7 @@ let mutation_spec =
           v_workload = Some (Scenario.W_nas "CG");
         };
       ];
+    provenance = None;
   }
 
 let test_mutation_skip_credit_burn_caught () =
@@ -438,6 +442,7 @@ let sampled_mutation_spec =
     faults = "none";
     queue = "heap";
     sim_jobs = 1;
+    decouple = false;
     sockets = 1;
     cores_per_socket = 1;
     horizon_sec = 0.125;
@@ -459,6 +464,7 @@ let sampled_mutation_spec =
           v_workload = Some (Scenario.W_speccpu "bzip2");
         };
       ];
+    provenance = None;
   }
 
 let test_mutation_sampled_accounting_caught () =

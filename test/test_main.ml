@@ -26,5 +26,6 @@ let () =
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
       ("shard", Test_shard.suite);
+      ("decouple", Test_decouple.suite);
       ("registry", Test_registry.suite);
     ]
