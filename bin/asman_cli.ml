@@ -348,12 +348,22 @@ let kv_section entries =
 
 (* ----- list ----- *)
 
+(* The cluster experiment lives in [Sim_cluster.Figure] (the cluster
+   layer depends on the asman library, so Experiments.all cannot list
+   it); the CLI is where the two registries meet. [all] keeps its
+   paper-figures meaning — the cluster figure runs by explicit id. *)
+let all_experiments = Experiments.all @ [ Sim_cluster.Figure.experiment ]
+
+let find_experiment id =
+  List.find_opt (fun (e : Experiments.t) -> e.Experiments.id = id)
+    all_experiments
+
 let list_cmd =
   let run () =
     List.iter
       (fun (e : Experiments.t) ->
         Printf.printf "%-16s  %s\n" e.Experiments.id e.Experiments.title)
-      Experiments.all;
+      all_experiments;
     List.iter
       (fun (a : Ablations.t) ->
         Printf.printf "%-16s  %s\n" a.Ablations.id a.Ablations.title)
@@ -391,7 +401,7 @@ let experiment_cmd =
     let obs, export = obs_setup ~trace ~trace_cats ~metrics ~profile in
     let config = { (config_of ~scale ~seed ~chaos ~invariants) with Config.obs } in
     let config = apply_parallel config ~sim_jobs ~topology ~numa in
-    let timings = ref [] and fairness = ref [] in
+    let timings = ref [] and fairness = ref [] and cluster = ref [] in
     let run_one (e : Experiments.t) =
       (match cost_cache with
       | Some _ -> Pool.set_job_group (Some e.Experiments.id)
@@ -401,6 +411,8 @@ let experiment_cmd =
       timings := (e.Experiments.id, Unix.gettimeofday () -. t0) :: !timings;
       if e.Experiments.id = "theft" then
         fairness := !fairness @ Experiments.fairness_entries outcome;
+      if e.Experiments.id = "cluster" then
+        cluster := !cluster @ Sim_cluster.Figure.registry_entries outcome;
       Pool.set_job_group None;
       print_string (Report.outcome e outcome);
       if csv then print_string (Report.series_csv outcome.Experiments.series);
@@ -408,7 +420,7 @@ let experiment_cmd =
     in
     if id = "all" then List.iter run_one Experiments.all
     else begin
-      match Experiments.find id with
+      match find_experiment id with
       | Some e -> run_one e
       | None ->
         raise
@@ -442,21 +454,25 @@ let experiment_cmd =
         (Reg.Cjson.Obj
            (("runs", runs_section)
            ::
-           (match !fairness with
+           ((match !fairness with
+            | [] -> []
+            | f ->
+              [
+                ( "fairness",
+                  Reg.Cjson.List
+                    (List.map
+                       (fun (fid, ratio) ->
+                         Reg.Cjson.Obj
+                           [
+                             ("id", Reg.Cjson.String fid);
+                             ("ratio", Reg.Cjson.Float ratio);
+                           ])
+                       f) );
+              ])
+           @
+           match !cluster with
            | [] -> []
-           | f ->
-             [
-               ( "fairness",
-                 Reg.Cjson.List
-                   (List.map
-                      (fun (fid, ratio) ->
-                        Reg.Cjson.Obj
-                          [
-                            ("id", Reg.Cjson.String fid);
-                            ("ratio", Reg.Cjson.Float ratio);
-                          ])
-                      f) );
-             ])))
+           | c -> [ ("cluster", kv_section c) ])))
       ();
     0
   in
@@ -510,6 +526,203 @@ let ablation_cmd =
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run an ablation study of a design choice")
     Term.(const run $ id_arg $ scale_arg $ seed_arg $ jobs_arg $ queue_arg)
+
+(* ----- cluster ----- *)
+
+let cluster_cmd =
+  let hosts_arg =
+    let doc = "Number of simulated hosts (each a full VMM stack)." in
+    Arg.(value & opt int 8 & info [ "hosts" ] ~doc ~docv:"N")
+  in
+  let vms_arg =
+    let doc = "Trace length: VMs arriving over the run." in
+    Arg.(value & opt int 24 & info [ "vms" ] ~doc ~docv:"N")
+  in
+  let policy_arg =
+    let doc = "Placement policy: first-fit, best-fit or lifetime." in
+    let parse s =
+      match Sim_cluster.Placement.policy_of_name s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+    in
+    let print fmt p =
+      Format.pp_print_string fmt (Sim_cluster.Placement.policy_name p)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Sim_cluster.Placement.Lifetime_aware
+      & info [ "policy" ] ~doc ~docv:"POLICY")
+  in
+  let dist_arg =
+    let doc = "Lifetime distribution: uniform, bimodal or heavy." in
+    let parse s =
+      match Sim_cluster.Vtrace.dist_of_name s with
+      | Some d -> Ok d
+      | None -> Error (`Msg (Printf.sprintf "unknown distribution %S" s))
+    in
+    let print fmt d =
+      Format.pp_print_string fmt (Sim_cluster.Vtrace.dist_name d)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Sim_cluster.Vtrace.Bimodal
+      & info [ "dist" ] ~doc ~docv:"DIST")
+  in
+  let horizon_arg =
+    let doc = "Simulated horizon in seconds." in
+    Arg.(value & opt float 2.0 & info [ "horizon" ] ~doc ~docv:"SEC")
+  in
+  let overcommit_arg =
+    let doc = "VCPU-slot capacity per host as a multiple of its PCPUs." in
+    Arg.(value & opt float 2.0 & info [ "overcommit" ] ~doc ~docv:"X")
+  in
+  let no_rebalance_arg =
+    let doc = "Disable pressure migrations (placement only)." in
+    Arg.(value & flag & info [ "no-rebalance" ] ~doc)
+  in
+  let penalty_arg =
+    let doc = "Lifetime-aware scorer's load-spreading penalty (seconds of \
+               drain extension per unit utilization)." in
+    Arg.(value & opt float 0.75 & info [ "penalty" ] ~doc ~docv:"SEC")
+  in
+  let log_arg =
+    let doc = "Print the controller's placement log." in
+    Arg.(value & flag & info [ "log" ] ~doc)
+  in
+  let run hosts vms policy dist horizon overcommit no_rebalance penalty log
+      scale seed sched queue invariants sim_jobs workers topology numa =
+    set_queue queue;
+    if hosts < 1 then raise (Usage_error "--hosts must be >= 1");
+    if vms < 1 then raise (Usage_error "--vms must be >= 1");
+    let config =
+      config_of ~scale ~seed ~chaos:Sim_faults.Fault.none ~invariants
+    in
+    let config = apply_parallel config ~sim_jobs ~topology ~numa in
+    let trace =
+      Sim_cluster.Vtrace.generate ~max_vcpus:(Config.pcpus config) ~seed ~vms
+        ~dist ~horizon_sec:horizon ()
+    in
+    let t =
+      Sim_cluster.Cluster.build ~overcommit ~penalty_sec:penalty
+        ~rebalance:(not no_rebalance) config ~sched ~policy ~hosts ~trace
+    in
+    (* --sim-jobs N drives the fabric with N workers (members are
+       always hosts+1); --workers overrides it. Outcomes are
+       worker-count invariant either way. *)
+    let workers =
+      match workers with Some w -> w | None -> max 1 sim_jobs
+    in
+    let wall0 = Unix.gettimeofday () in
+    let r = Sim_cluster.Cluster.run ~workers t ~horizon_sec:horizon in
+    let wall = Unix.gettimeofday () -. wall0 in
+    let errors = Sim_cluster.Cluster.conservation_errors t in
+    Printf.printf
+      "cluster: %d hosts (%s each), %d VMs (%s lifetimes), policy %s, sched \
+       %s, %d workers\n"
+      r.Sim_cluster.Cluster.cr_hosts
+      (Sim_hw.Topology.to_string config.Config.topology)
+      vms
+      (Sim_cluster.Vtrace.dist_name dist)
+      r.Sim_cluster.Cluster.cr_policy
+      (Config.sched_name sched) r.Sim_cluster.Cluster.cr_workers;
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-24s %s\n" k v)
+      [
+        ("density (VMs/host)",
+         Printf.sprintf "%.3f" r.Sim_cluster.Cluster.cr_density);
+        ("p99 stall (ms)",
+         Printf.sprintf "%.3f" r.Sim_cluster.Cluster.cr_p99_stall_ms);
+        ("mean stall (ms)",
+         Printf.sprintf "%.4f" r.Sim_cluster.Cluster.cr_mean_stall_ms);
+        ("stall samples",
+         string_of_int r.Sim_cluster.Cluster.cr_stall_samples);
+        ("stall tail",
+         String.concat " "
+           (List.map
+              (fun (k, c) -> Printf.sprintf ">=2^%d:%d" k c)
+              r.Sim_cluster.Cluster.cr_stall_tail));
+        ("placements", string_of_int r.Sim_cluster.Cluster.cr_placements);
+        ("deferrals", string_of_int r.Sim_cluster.Cluster.cr_deferrals);
+        ("evictions", string_of_int r.Sim_cluster.Cluster.cr_evictions);
+        ("migrations", string_of_int r.Sim_cluster.Cluster.cr_migrations);
+        ("nacks", string_of_int r.Sim_cluster.Cluster.cr_nacks);
+        ("departures", string_of_int r.Sim_cluster.Cluster.cr_departures);
+        ("repredictions",
+         string_of_int r.Sim_cluster.Cluster.cr_repredictions);
+        ("sim sec", Printf.sprintf "%.3f" r.Sim_cluster.Cluster.cr_sim_sec);
+        ("events", string_of_int r.Sim_cluster.Cluster.cr_events);
+        ("windows", string_of_int r.Sim_cluster.Cluster.cr_windows);
+        ("cross posts", string_of_int r.Sim_cluster.Cluster.cr_cross_posts);
+        ("wall sec", Printf.sprintf "%.2f" wall);
+        ("digest",
+         Printf.sprintf "%08x" (r.Sim_cluster.Cluster.cr_digest land 0xffffffff));
+      ];
+    List.iter
+      (fun (h : Sim_cluster.Cluster.host_report) ->
+        Printf.printf "  host %d: peak %d slots, final [%s]\n"
+          h.Sim_cluster.Cluster.h_host h.Sim_cluster.Cluster.h_peak_used
+          (String.concat " " h.Sim_cluster.Cluster.h_physical))
+      r.Sim_cluster.Cluster.cr_host_reports;
+    if log then
+      List.iter
+        (fun (time, s) -> Printf.printf "  @%-12d %s\n" time s)
+        r.Sim_cluster.Cluster.cr_log;
+    List.iter (fun e -> Printf.printf "CONSERVATION: %s\n" e) errors;
+    record_invocation ~kind:"cluster" ~config ~workers
+      ~label:
+        (Printf.sprintf "cluster %dh %dvm %s %s" hosts vms
+           r.Sim_cluster.Cluster.cr_policy (Config.sched_name sched))
+      ~spec:
+        (Reg.Cjson.Obj
+           [
+             ("subcommand", Reg.Cjson.String "cluster");
+             ("hosts", Reg.Cjson.Int hosts);
+             ("vms", Reg.Cjson.Int vms);
+             ("policy", Reg.Cjson.String r.Sim_cluster.Cluster.cr_policy);
+             ("dist", Reg.Cjson.String (Sim_cluster.Vtrace.dist_name dist));
+             ("horizon_sec", Reg.Cjson.Float horizon);
+             ("sched", Reg.Cjson.String (Config.sched_name sched));
+           ])
+      ~wall_sec:wall
+      ~sections:
+        (Reg.Cjson.Obj
+           [
+             ( "cluster",
+               kv_section
+                 [
+                   ("density", r.Sim_cluster.Cluster.cr_density);
+                   ("p99_stall_ms", r.Sim_cluster.Cluster.cr_p99_stall_ms);
+                   ("mean_stall_ms", r.Sim_cluster.Cluster.cr_mean_stall_ms);
+                   ("migrations",
+                    float_of_int r.Sim_cluster.Cluster.cr_migrations);
+                   ("evictions",
+                    float_of_int r.Sim_cluster.Cluster.cr_evictions);
+                   ("deferrals",
+                    float_of_int r.Sim_cluster.Cluster.cr_deferrals);
+                   ("departures",
+                    float_of_int r.Sim_cluster.Cluster.cr_departures);
+                   ("placements",
+                    float_of_int r.Sim_cluster.Cluster.cr_placements);
+                   ("repredictions",
+                    float_of_int r.Sim_cluster.Cluster.cr_repredictions);
+                 ] );
+           ])
+      ();
+    if errors = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Simulate a datacenter: N hosts on the PDES fabric, a seeded VM \
+          arrival/departure trace, pluggable placement (first-fit / \
+          best-fit / LAVA-style lifetime-aware) and live migration; \
+          self-checks the cluster-conservation oracle")
+    Term.(
+      const run $ hosts_arg $ vms_arg $ policy_arg $ dist_arg $ horizon_arg
+      $ overcommit_arg $ no_rebalance_arg $ penalty_arg $ log_arg $ scale_arg
+      $ seed_arg
+      $ sched_arg $ queue_arg $ invariants_arg $ sim_jobs_arg $ workers_arg
+      $ topology_arg $ numa_arg)
 
 (* ----- run ----- *)
 
@@ -1257,8 +1470,8 @@ let main =
   let doc = "ASMan: dynamic adaptive scheduling for virtual machines (HPDC'11)" in
   Cmd.group (Cmd.info "asman_cli" ~doc)
     [
-      list_cmd; experiment_cmd; ablation_cmd; run_cmd; trace_cmd; lhp_cmd;
-      validate_json_cmd; learn_cmd; check_cmd; repro_cmd; compare_cmd;
+      list_cmd; experiment_cmd; ablation_cmd; cluster_cmd; run_cmd; trace_cmd;
+      lhp_cmd; validate_json_cmd; learn_cmd; check_cmd; repro_cmd; compare_cmd;
       report_cmd;
     ]
 

@@ -216,9 +216,78 @@ let run_decoupled (spec : Spec.t) : Oracle.failure list =
           };
         ])
 
+(* ----- cluster cases ----- *)
+
+let run_cluster_once ~workers (spec : Spec.t) =
+  let config = config_of_spec spec in
+  let c = Option.get spec.Spec.cluster in
+  let trace =
+    Sim_cluster.Vtrace.generate
+      ~max_vcpus:(Config.pcpus config)
+      ~seed:c.Spec.cl_trace_seed ~vms:c.Spec.cl_vms
+      ~dist:(Spec.cluster_dist spec) ~horizon_sec:spec.Spec.horizon_sec ()
+  in
+  let t =
+    Sim_cluster.Cluster.build config ~sched:(Spec.sched_kind spec)
+      ~policy:(Spec.cluster_policy spec) ~hosts:c.Spec.cl_hosts ~trace
+  in
+  let r = Sim_cluster.Cluster.run ~workers t ~horizon_sec:spec.Spec.horizon_sec in
+  (r, Sim_cluster.Cluster.conservation_errors t)
+
+(* A cluster case's contract is twofold: the conservation oracle (no
+   VM lost, duplicated or double-booked; capacity and departures
+   consistent) on the single-worker run, then placement determinism —
+   the same datacenter on two fabric workers must produce the
+   identical placement log and digest. *)
+let run_cluster (spec : Spec.t) : Oracle.failure list =
+  match run_cluster_once ~workers:1 spec with
+  | exception e ->
+    [ { Oracle.oracle = "no-crash"; message = Printexc.to_string e } ]
+  | r1, errs1 -> (
+    if errs1 <> [] then
+      [
+        {
+          Oracle.oracle = "cluster-conservation";
+          message = String.concat "; " errs1;
+        };
+      ]
+    else
+      match run_cluster_once ~workers:2 spec with
+      | exception e ->
+        [
+          {
+            Oracle.oracle = "placement-determinism";
+            message =
+              Printf.sprintf "rerun with 2 workers crashed: %s"
+                (Printexc.to_string e);
+          };
+        ]
+      | r2, _ ->
+        if
+          r1.Sim_cluster.Cluster.cr_digest = r2.Sim_cluster.Cluster.cr_digest
+          && r1.Sim_cluster.Cluster.cr_log = r2.Sim_cluster.Cluster.cr_log
+        then []
+        else
+          [
+            {
+              Oracle.oracle = "placement-determinism";
+              message =
+                Printf.sprintf
+                  "1-vs-2 worker divergence: digest %x/%x log %d/%d entries\n\
+                   w1: %s\nw2: %s"
+                  r1.Sim_cluster.Cluster.cr_digest
+                  r2.Sim_cluster.Cluster.cr_digest
+                  (List.length r1.Sim_cluster.Cluster.cr_log)
+                  (List.length r2.Sim_cluster.Cluster.cr_log)
+                  r1.Sim_cluster.Cluster.cr_fingerprint
+                  r2.Sim_cluster.Cluster.cr_fingerprint;
+            };
+          ])
+
 let run (spec : Spec.t) : Oracle.failure list =
   match Spec.validate spec with
   | Error e -> [ { Oracle.oracle = "spec"; message = e } ]
+  | Ok () when spec.Spec.cluster <> None -> run_cluster spec
   | Ok () when spec.Spec.decouple -> run_decoupled spec
   | Ok () -> (
     match run_once spec with

@@ -36,8 +36,17 @@ val run_once :
   fingerprint * Oracle.failure list
 (** One simulation, no determinism rerun, exceptions propagate. *)
 
+val run_cluster_once :
+  workers:int -> Spec.t -> Sim_cluster.Cluster.report * string list
+(** One datacenter simulation of a cluster spec at the given fabric
+    worker count, paired with its conservation-oracle verdict.
+    Exceptions propagate. *)
+
 val run : Spec.t -> Oracle.failure list
 (** The full judgement: validate, run, oracles, then on clean runs the
     determinism rerun (flipped queue backend) and the sim-jobs rerun
     (sharding ledger flipped: armed specs rerun at [--sim-jobs 1],
-    unarmed ones at 4). [[]] means the case passed everything. *)
+    unarmed ones at 4). Cluster specs are judged instead by the
+    cluster-conservation oracle and a 1-vs-2-worker
+    placement-determinism rerun. [[]] means the case passed
+    everything. *)

@@ -100,6 +100,7 @@ let base_spec rng =
     accounting = "precise";
     check_entitlement = false;
     vms = [];
+    cluster = None;
     provenance = None;
   }
 
@@ -259,6 +260,34 @@ let decoupled_shape rng spec =
     vms;
   }
 
+(* The cluster shape: a small simulated datacenter (the fabric's
+   cross-host protocol and the placement bookkeeping, not host scale,
+   are what's under test), judged by the cluster-conservation and
+   placement-determinism oracles. Small hosts so arrivals actually
+   contend for slots, every policy and lifetime distribution in
+   rotation. *)
+let cluster_shape rng spec =
+  {
+    spec with
+    Spec.sched = [| "credit"; "asman"; "con" |].(Rng.int rng 3);
+    faults = "none";
+    sim_jobs = 1;
+    decouple = false;
+    sockets = 1;
+    cores_per_socket = [| 2; 2; 4 |].(Rng.int rng 3);
+    horizon_sec = 0.2 +. (0.1 *. float_of_int (Rng.int rng 3));
+    vms = [];
+    cluster =
+      Some
+        {
+          Spec.cl_hosts = Rng.int_in rng ~lo:2 ~hi:4;
+          cl_trace_seed = Rng.next_int64 rng;
+          cl_policy = [| "first-fit"; "best-fit"; "lifetime" |].(Rng.int rng 3);
+          cl_dist = [| "uniform"; "bimodal"; "heavy" |].(Rng.int rng 3);
+          cl_vms = Rng.int_in rng ~lo:3 ~hi:8;
+        };
+  }
+
 let fault_profiles =
   [| "chaos-mild"; "chaos-heavy"; "jitter"; "stall"; "hotplug";
      "ipi-loss-10"; "ipi-delay-20"; "vcrd-loss-20" |]
@@ -291,12 +320,13 @@ let mixed_shape rng spec =
 let spec case_seed =
   let rng = Rng.create case_seed in
   let base = base_spec rng in
-  match Rng.int rng 10 with
+  match Rng.int rng 11 with
   | 0 | 1 -> fairness_shape rng base
   | 2 -> storm_shape rng base
   | 3 | 4 -> chaos_shape rng (mixed_shape rng base)
   | 5 -> attack_shape rng base
   | 6 -> decoupled_shape rng base
+  | 7 -> cluster_shape rng base
   | _ -> mixed_shape rng base
 
 (* Case seeds for a run: decorrelate neighbouring indices so

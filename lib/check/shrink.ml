@@ -1,10 +1,11 @@
 open Asman
 
-(* Greedy shrinking in a fixed priority order (remove VMs, then
-   shrink workloads, then VCPU counts, then drop faults, then halve
-   the horizon): try each candidate in order, keep the first that
-   still fails, restart from it. Candidate evaluation re-runs the
-   full case, so the budget bounds total simulations. *)
+(* Greedy shrinking in a fixed priority order (shrink the cluster —
+   hosts, then trace length — then remove VMs, then shrink workloads,
+   then VCPU counts, then drop faults, then halve the horizon): try
+   each candidate in order, keep the first that still fails, restart
+   from it. Candidate evaluation re-runs the full case, so the budget
+   bounds total simulations. *)
 
 let half n = max 1 (n / 2)
 
@@ -109,6 +110,35 @@ let replace_nth l n x = List.mapi (fun i v -> if i = n then x else v) l
 
 let candidates (spec : Spec.t) : Spec.t list =
   let vms = spec.Spec.vms in
+  (* 0. shrink the datacenter: fewer hosts first (a conservation bug
+     on two hosts beats one on four), then a shorter trace — halving
+     before decrementing. The per-entry trace streams make a shorter
+     trace an exact prefix, so survivors keep their arrival times. *)
+  let shrink_cluster =
+    match spec.Spec.cluster with
+    | None -> []
+    | Some c ->
+      (if c.Spec.cl_hosts > 1 then
+         [
+           {
+             spec with
+             Spec.cluster = Some { c with Spec.cl_hosts = c.Spec.cl_hosts - 1 };
+           };
+         ]
+       else [])
+      @ (if c.Spec.cl_vms > 1 then
+           [
+             {
+               spec with
+               Spec.cluster = Some { c with Spec.cl_vms = half c.Spec.cl_vms };
+             };
+             {
+               spec with
+               Spec.cluster = Some { c with Spec.cl_vms = c.Spec.cl_vms - 1 };
+             };
+           ]
+         else [])
+  in
   (* 1. drop whole VMs *)
   let drop_vm =
     if List.length vms > 1 then
@@ -178,8 +208,8 @@ let candidates (spec : Spec.t) : Spec.t list =
       [ { spec with Spec.horizon_sec = Float.max 0.05 (spec.Spec.horizon_sec /. 2.) } ]
     else []
   in
-  drop_vm @ shrink_wl @ shrink_vcpus @ drop_faults @ drop_sim_jobs
-  @ shrink_horizon
+  shrink_cluster @ drop_vm @ shrink_wl @ shrink_vcpus @ drop_faults
+  @ drop_sim_jobs @ shrink_horizon
 
 let minimize ?(budget = 200) ~(fails : Spec.t -> Oracle.failure list) spec
     ~initial_failures =

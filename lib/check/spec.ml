@@ -13,6 +13,14 @@ type provenance = {
   pv_seed : int64;  (** the case seed that generated the failing spec *)
 }
 
+type cluster = {
+  cl_hosts : int;
+  cl_trace_seed : int64;  (** seeds {!Sim_cluster.Vtrace.generate} *)
+  cl_policy : string;  (** placement policy name *)
+  cl_dist : string;  (** lifetime distribution name *)
+  cl_vms : int;  (** trace length *)
+}
+
 type t = {
   seed : int64;  (** the scenario engine's seed *)
   sched : string;
@@ -39,6 +47,13 @@ type t = {
           victims — the only shape where the entitlement oracle's
           attacker-vs-victim comparison is sound *)
   vms : vm list;
+  cluster : cluster option;
+      (** [Some _]: the case is a whole simulated datacenter — hosts
+          on the PDES fabric driven by a seeded arrival/departure
+          trace — judged by the cluster-conservation and
+          placement-determinism oracles instead of the coupled trace
+          oracles. [None] (the default when absent from older corpus
+          JSON) keeps the single-host path. *)
   provenance : provenance option;
       (** corpus bookkeeping, not an input: which check run and case
           seed produced this spec. [None] on freshly generated cases;
@@ -155,6 +170,24 @@ let to_json t =
       ("vms", Cjson.List (List.map vm_to_json t.vms));
     ]
     @
+    (* absent for single-host specs: pre-cluster corpus files and
+       their diffs stay untouched *)
+    (match t.cluster with
+    | None -> []
+    | Some c ->
+      [
+        ( "cluster",
+          Cjson.Obj
+            [
+              ("hosts", Cjson.Int c.cl_hosts);
+              (* int64, same exact-range concern as the spec seed *)
+              ("trace_seed", Cjson.String (Int64.to_string c.cl_trace_seed));
+              ("policy", Cjson.String c.cl_policy);
+              ("dist", Cjson.String c.cl_dist);
+              ("vms", Cjson.Int c.cl_vms);
+            ] );
+      ])
+    @
     (* provenance is bookkeeping: absent keys keep pre-provenance
        corpus files and their diffs untouched *)
     (match t.provenance with
@@ -203,6 +236,26 @@ let of_json j =
       | None -> false
       | Some v -> Cjson.to_bool v);
     vms = Cjson.get "vms" j ~of_:(fun v -> List.map vm_of_json (Cjson.to_list v));
+    (* absent in pre-cluster corpus files: single-host, as before *)
+    cluster =
+      (match Cjson.member "cluster" j with
+      | None | Some Cjson.Null -> None
+      | Some c ->
+        let s = Cjson.get "trace_seed" c ~of_:Cjson.to_string_v in
+        let cl_trace_seed =
+          match Int64.of_string_opt s with
+          | Some v -> v
+          | None ->
+            raise (Cjson.Parse_error (Printf.sprintf "bad trace_seed %S" s))
+        in
+        Some
+          {
+            cl_hosts = Cjson.get "hosts" c ~of_:Cjson.to_int;
+            cl_trace_seed;
+            cl_policy = Cjson.get "policy" c ~of_:Cjson.to_string_v;
+            cl_dist = Cjson.get "dist" c ~of_:Cjson.to_string_v;
+            cl_vms = Cjson.get "vms" c ~of_:Cjson.to_int;
+          });
     provenance =
       (match Cjson.member "found_seed" j with
       | None -> None
@@ -249,7 +302,7 @@ let validate t =
   if t.sockets <= 0 || t.cores_per_socket <= 0 then err "empty topology"
   else if t.horizon_sec <= 0. then err "non-positive horizon"
   else if t.scale <= 0. then err "non-positive scale"
-  else if t.vms = [] then err "no VMs"
+  else if t.vms = [] && t.cluster = None then err "no VMs"
   else if Config.sched_of_name t.sched = None then
     err "unknown scheduler %S" t.sched
   else if Sim_faults.Fault.of_name t.faults = None then
@@ -262,7 +315,25 @@ let validate t =
   else if
     List.exists (fun v -> v.v_weight <= 0 || v.v_vcpus <= 0) t.vms
   then err "non-positive VM weight or vcpus"
-  else if t.decouple then
+  else
+    match t.cluster with
+    | Some c ->
+      (* mirror Cluster.build / Vtrace.generate's preconditions so a
+         cluster case (or a shrink candidate derived from one) fails
+         validation instead of crashing the builder *)
+      if t.decouple then err "cluster excludes decouple"
+      else if t.faults <> "none" then err "cluster excludes fault injection"
+      else if t.vms <> [] then
+        err "cluster cases draw their VMs from the trace, not [vms]"
+      else if c.cl_hosts < 1 then err "cluster needs at least one host"
+      else if c.cl_vms < 1 then err "empty cluster trace"
+      else if Sim_cluster.Placement.policy_of_name c.cl_policy = None then
+        err "unknown placement policy %S" c.cl_policy
+      else if Sim_cluster.Vtrace.dist_of_name c.cl_dist = None then
+        err "unknown lifetime distribution %S" c.cl_dist
+      else Ok ()
+    | None ->
+      if t.decouple then
     (* mirror Decouple.build's preconditions so a decoupled case (or a
        shrink candidate derived from one) fails validation instead of
        crashing the builder *)
@@ -296,6 +367,22 @@ let accounting_mode t =
   match Sim_vmm.Vmm.accounting_of_name t.accounting with
   | Some a -> a
   | None -> invalid_arg (Printf.sprintf "Spec.accounting_mode: %S" t.accounting)
+
+let cluster_policy t =
+  match t.cluster with
+  | Some c -> (
+    match Sim_cluster.Placement.policy_of_name c.cl_policy with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "Spec.cluster_policy: %S" c.cl_policy))
+  | None -> invalid_arg "Spec.cluster_policy: not a cluster spec"
+
+let cluster_dist t =
+  match t.cluster with
+  | Some c -> (
+    match Sim_cluster.Vtrace.dist_of_name c.cl_dist with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Spec.cluster_dist: %S" c.cl_dist))
+  | None -> invalid_arg "Spec.cluster_dist: not a cluster spec"
 
 let is_attack_vm v =
   match v.v_workload with

@@ -24,6 +24,18 @@ type provenance = {
     {!Check.write_repros}, shown by [asman repro], round-tripped
     through the corpus JSON ([found_seed]/[found_record] keys). *)
 
+type cluster = {
+  cl_hosts : int;  (** datacenter size *)
+  cl_trace_seed : int64;
+      (** seeds {!Sim_cluster.Vtrace.generate}; independent of the
+          spec seed so shrinking one never perturbs the other *)
+  cl_policy : string;  (** name, as {!Sim_cluster.Placement.policy_of_name} *)
+  cl_dist : string;  (** name, as {!Sim_cluster.Vtrace.dist_of_name} *)
+  cl_vms : int;  (** trace length (arriving VMs) *)
+}
+(** The cluster axis: the case is a whole simulated datacenter driven
+    by a seeded arrival/departure trace over [horizon_sec]. *)
+
 type t = {
   seed : int64;  (** the scenario engine's seed *)
   sched : string;  (** scheduler name, as {!Asman.Config.sched_of_name} *)
@@ -58,7 +70,12 @@ type t = {
           VMs plus sustained CPU-bound victims; false when absent from
           older corpus JSON); the entitlement oracle runs only on such
           cases, where attacker-vs-victim attainment is meaningful *)
-  vms : vm list;
+  vms : vm list;  (** empty on cluster cases: the trace is the VM list *)
+  cluster : cluster option;
+      (** [Some _]: judge with the cluster-conservation and
+          placement-determinism oracles instead of the coupled trace
+          oracles; [None] (the default when absent from older corpus
+          JSON) keeps the single-host path *)
   provenance : provenance option;
       (** corpus bookkeeping, not a run input: [None] on freshly
           generated cases and pre-provenance corpus files *)
@@ -89,6 +106,8 @@ val queue_kind : t -> Sim_engine.Engine.queue_kind
 val fault_profile : t -> Sim_faults.Fault.profile
 val accounting_mode : t -> Sim_vmm.Vmm.accounting
 val vm_descs : t -> Asman.Scenario.vm_desc list
+val cluster_policy : t -> Sim_cluster.Placement.policy
+val cluster_dist : t -> Sim_cluster.Vtrace.dist
 
 val is_attack_vm : vm -> bool
 (** The VM's workload descriptor is one of the [W_attack_*] shapes —

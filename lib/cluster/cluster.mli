@@ -1,0 +1,123 @@
+(** Cluster-scale layer: a simulated datacenter of N full
+    Engine+Machine+Vmm hosts on the conservative-parallel fabric,
+    driven by a seeded VM arrival/departure trace ({!Vtrace}) through
+    a pluggable placement engine ({!Placement}).
+
+    Topology: hosts 0..N-1 are fabric members each running a complete
+    single-host stack (with an idle sentinel VM); member N is the
+    {e incubator}, a tiny extra host whose VMM holds every trace VM
+    unlaunched (hence quiescent) and whose engine runs the cluster
+    controller: arrival events, the admission queue, the placement
+    bookkeeping ({!Placement.host_view}s), departure timers and the
+    periodic repredict/rebalance tick.
+
+    All cross-host movement reuses the decoupled-VMM migration
+    machinery — [Kernel.park] + [Vmm.detach_domain] on the source,
+    mailbox transit, [Kernel.retarget] + [Vmm.attach_domain] on the
+    destination — so VCRD/credit state travels with the domain.
+    Placement: the incubator parks the unlaunched VM and ships it to
+    its host, which launches it on attach. Live migration: the
+    controller picks a victim, the source grants only when the guest
+    is quiescent and scheduler-migratable, and the stop-and-copy cost
+    rides as extra mailbox latency proportional to the VM's memory
+    footprint. Departure: the controller's lifetime timer asks the
+    guest to drain ({!Sim_guest.Kernel.request_halt}), polls
+    quiescence and detaches.
+
+    Determinism: controller state is mutated only by incubator-member
+    events and host state only by that host's events, with every
+    cross-member hop a [Fabric.post] at [>= lookahead]; the placement
+    log and digest are therefore identical at any worker count. *)
+
+type t
+
+val build :
+  ?overcommit:float ->
+  ?penalty_sec:float ->
+  ?rebalance:bool ->
+  ?rebalance_margin:int ->
+  Asman.Config.t ->
+  sched:Asman.Config.sched_kind ->
+  policy:Placement.policy ->
+  hosts:int ->
+  trace:Vtrace.t ->
+  t
+(** [overcommit] (default 2.0) scales each host's VCPU-slot capacity
+    relative to its PCPU count; [penalty_sec] (default 0.75) is the
+    lifetime-aware scorer's load-spreading weight;
+    [rebalance]/[rebalance_margin] (default on, 4 slots) control
+    pressure migrations. [config.topology] is the per-host topology.
+    Raises [Invalid_argument] on an empty trace, a fault profile, or
+    a trace VM with more VCPUs than a host has PCPUs. *)
+
+type vm_report = {
+  v_name : string;
+  v_phase : string;
+  v_vcpus : int;
+  v_run_at : int;  (** controller launch-ack time, -1 if never placed *)
+  v_life_cycles : int;
+  v_departed_at : int;  (** -1 until departed *)
+  v_migrations : int;
+  v_downtime_cycles : int;  (** total stop-and-copy freeze *)
+  v_repredictions : int;
+}
+
+type host_report = {
+  h_host : int;
+  h_peak_used : int;
+  h_physical : string list;
+  h_view : string list;
+}
+
+type report = {
+  cr_hosts : int;
+  cr_workers : int;
+  cr_policy : string;
+  cr_wall_sec : float;
+  cr_sim_sec : float;
+  cr_end_cycles : int;
+  cr_events : int;
+  cr_windows : int;
+  cr_cross_posts : int;
+  cr_density : float;
+      (** time-averaged admitted VMs per host (consolidation density) *)
+  cr_p99_stall_ms : float;
+      (** p99 over all guests' non-zero spin waits *)
+  cr_mean_stall_ms : float;
+  cr_stall_samples : int;
+  cr_stall_tail : (int * int) list;
+      (** [(k, count)] of spin waits >= 2{^k} cycles at the paper's
+          reporting thresholds k = 10, 15, 20, 25 *)
+  cr_placements : int;
+  cr_deferrals : int;
+  cr_evictions : int;  (** pressure migrations initiated *)
+  cr_migrations : int;  (** pressure migrations completed *)
+  cr_nacks : int;
+  cr_departures : int;
+  cr_repredictions : int;
+  cr_double_places : int;
+  cr_log : (int * string) list;
+  cr_digest : int;
+  cr_fingerprint : string;
+  cr_vms : vm_report list;
+  cr_host_reports : host_report list;
+}
+
+val run : ?workers:int -> t -> horizon_sec:float -> report
+(** Drive the fabric to the horizon (or until every trace VM has
+    departed). The report is identical at any [workers]. *)
+
+val placement_log : t -> (int * string) list
+(** The controller's event log (time, event), oldest first; the
+    placement-determinism oracle compares it across worker counts. *)
+
+val digest : t -> int
+(** Fabric digest folded with the placement log. *)
+
+val conservation_errors : t -> string list
+(** The cluster-conservation oracle, evaluated after {!run}: no VM
+    lost, duplicated, or on two hosts (physically or in the
+    controller's books); bookkeeping consistent with each VM's phase;
+    capacity never oversubscribed; departures never early and never
+    missing once the lifetime plus drain slack fits inside the run;
+    the placement log exactly-once per VM. Empty on a clean run. *)

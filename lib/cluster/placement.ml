@@ -1,0 +1,92 @@
+type policy = First_fit | Best_fit | Lifetime_aware
+
+let policy_name = function
+  | First_fit -> "first-fit"
+  | Best_fit -> "best-fit"
+  | Lifetime_aware -> "lifetime"
+
+let policy_of_name s =
+  match String.lowercase_ascii s with
+  | "first-fit" | "ff" -> Some First_fit
+  | "best-fit" | "bf" -> Some Best_fit
+  | "lifetime" | "lifetime-aware" | "la" -> Some Lifetime_aware
+  | _ -> None
+
+type resident = {
+  r_name : string;
+  r_vcpus : int;
+  mutable r_predicted_end_sec : float;
+}
+
+type host_view = {
+  h_id : int;
+  h_capacity : int;  (** VCPU slots: pcpus x overcommit ratio *)
+  mutable h_used : int;  (** slots of residents plus reservations *)
+  mutable h_peak_used : int;
+  mutable h_residents : resident list;
+}
+
+let make_view ~id ~capacity =
+  { h_id = id; h_capacity = capacity; h_used = 0; h_peak_used = 0;
+    h_residents = [] }
+
+let feasible h ~vcpus = h.h_used + vcpus <= h.h_capacity
+
+let admit h r =
+  h.h_used <- h.h_used + r.r_vcpus;
+  if h.h_used > h.h_peak_used then h.h_peak_used <- h.h_used;
+  h.h_residents <- r :: h.h_residents
+
+let reserve h ~vcpus =
+  h.h_used <- h.h_used + vcpus;
+  if h.h_used > h.h_peak_used then h.h_peak_used <- h.h_used
+
+let release h ~vcpus =
+  h.h_used <- h.h_used - vcpus;
+  if h.h_used < 0 then invalid_arg "Placement.release: negative occupancy"
+
+let remove h r =
+  h.h_residents <- List.filter (fun x -> x != r) h.h_residents;
+  h.h_used <- h.h_used - r.r_vcpus;
+  if h.h_used < 0 then invalid_arg "Placement.remove: negative occupancy"
+
+(* The moment the host is expected to drain empty, per current
+   predictions. An empty host drains "now". *)
+let drain_end h ~now_sec =
+  List.fold_left
+    (fun acc r -> Float.max acc r.r_predicted_end_sec)
+    now_sec h.h_residents
+
+let utilization h = float_of_int h.h_used /. float_of_int h.h_capacity
+
+(* Lifetime-aware score, lower is better (LAVA-style): placing the VM
+   on host [h] extends the host's drain window by
+   [max 0 (predicted_end - drain_end h)] seconds — aligned exits keep
+   whole hosts draining together, freeing contiguous capacity for
+   large late arrivals — plus a load-spreading penalty proportional
+   to current utilization, which keeps any single host from absorbing
+   all the LHP-stall pressure. *)
+let la_score h ~now_sec ~predicted_end_sec ~penalty_sec =
+  let extension = Float.max 0.0 (predicted_end_sec -. drain_end h ~now_sec) in
+  extension +. (penalty_sec *. utilization h)
+
+let choose policy views ~vcpus ~now_sec ~predicted_end_sec ~penalty_sec =
+  let best = ref None in
+  Array.iter
+    (fun h ->
+      if feasible h ~vcpus then
+        let better =
+          match (!best, policy) with
+          | None, _ -> true
+          | Some (b : host_view), First_fit -> h.h_id < b.h_id
+          | Some b, Best_fit ->
+            (* tightest remaining capacity, ties to the lowest id *)
+            h.h_used > b.h_used || (h.h_used = b.h_used && h.h_id < b.h_id)
+          | Some b, Lifetime_aware ->
+            let sh = la_score h ~now_sec ~predicted_end_sec ~penalty_sec in
+            let sb = la_score b ~now_sec ~predicted_end_sec ~penalty_sec in
+            sh < sb || (sh = sb && h.h_id < b.h_id)
+        in
+        if better then best := Some h)
+    views;
+  Option.map (fun h -> h.h_id) !best

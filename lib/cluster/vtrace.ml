@@ -1,0 +1,101 @@
+open Sim_engine
+
+type dist = Uniform | Bimodal | Heavy
+
+let dist_name = function
+  | Uniform -> "uniform"
+  | Bimodal -> "bimodal"
+  | Heavy -> "heavy"
+
+let dist_of_name s =
+  match String.lowercase_ascii s with
+  | "uniform" -> Some Uniform
+  | "bimodal" -> Some Bimodal
+  | "heavy" -> Some Heavy
+  | _ -> None
+
+type entry = {
+  e_name : string;
+  e_arrive_sec : float;
+  e_life_sec : float;
+  e_predicted_sec : float;
+  e_vcpus : int;
+  e_weight : int;
+  e_footprint_mb : int;
+  e_workload : Asman.Scenario.workload_desc;
+}
+
+type t = entry list
+
+(* Each entry draws from its own stream so that a trace of [vms - 1]
+   VMs is exactly a prefix of the [vms] trace (modulo the final sort
+   by arrival): the shrinker can drop trace entries without
+   perturbing the survivors. *)
+let entry_rng seed i =
+  Rng.create (Int64.add (Int64.mul seed 10_000_019L) (Int64.of_int (i + 1)))
+
+let lifetime rng dist ~horizon =
+  let u = Rng.uniform rng in
+  match dist with
+  | Uniform -> (0.25 +. (0.55 *. u)) *. horizon
+  | Bimodal ->
+    let v = Rng.uniform rng in
+    if u < 0.8 then (0.08 +. (0.10 *. v)) *. horizon
+    else (0.70 +. (0.50 *. v)) *. horizon
+  | Heavy ->
+    (* Pareto-ish tail, capped so every lifetime stays comparable to
+       the horizon. *)
+    let life = 0.08 *. horizon *. ((1.0 /. Float.max u 0.02) ** 0.7) in
+    Float.min life (1.2 *. horizon)
+
+(* Only sustained, sleep-free workloads: a departing VM must drain to
+   quiescence via {!Sim_guest.Kernel.request_halt}, which these reach
+   within a handful of instruction boundaries. *)
+let workload rng ~vcpus =
+  match Rng.int rng 3 with
+  | 0 | 1 ->
+    (* Hot locks (holder busy most of the cycle): lock-holder
+       preemption on a stacked host shows up as multi-ms spin waits,
+       which is what the consolidation figure's stall axis reads. *)
+    Asman.Scenario.W_lock_storm
+      {
+        threads = vcpus;
+        rounds = 200_000;
+        cs_us = Rng.int_in rng ~lo:150 ~hi:300;
+        think_us = Rng.int_in rng ~lo:100 ~hi:400;
+      }
+  | _ ->
+    Asman.Scenario.W_compute
+      { threads = vcpus; chunks = 5_000_000; chunk_us = 200 }
+
+let generate ?(max_vcpus = 4) ~seed ~vms ~dist ~horizon_sec () =
+  if vms < 1 then invalid_arg "Vtrace.generate: vms < 1";
+  if max_vcpus < 1 then invalid_arg "Vtrace.generate: max_vcpus < 1";
+  if horizon_sec <= 0.0 then invalid_arg "Vtrace.generate: horizon <= 0";
+  let entries =
+    List.init vms (fun i ->
+        let rng = entry_rng seed i in
+        let arrive = Rng.uniform rng *. 0.55 *. horizon_sec in
+        let life = lifetime rng dist ~horizon:horizon_sec in
+        (* Prediction noise in [0.7, 1.3): underestimates exercise the
+           lifetime-aware scorer's repredict-on-expiry adaptation. *)
+        let predicted = life *. (0.7 +. (0.6 *. Rng.uniform rng)) in
+        let vcpus = 1 + Rng.int rng (min 4 max_vcpus) in
+        let footprint = 64 lsl Rng.int rng 3 in
+        {
+          e_name = Printf.sprintf "vm%d" i;
+          e_arrive_sec = arrive;
+          e_life_sec = life;
+          e_predicted_sec = predicted;
+          e_vcpus = vcpus;
+          e_weight = 256;
+          e_footprint_mb = footprint;
+          e_workload = workload rng ~vcpus;
+        })
+  in
+  List.sort
+    (fun a b ->
+      match compare a.e_arrive_sec b.e_arrive_sec with
+      | 0 -> compare a.e_name b.e_name
+      | c -> c)
+    entries

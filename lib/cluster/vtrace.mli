@@ -1,0 +1,42 @@
+(** Seeded VM arrival/departure traces for the cluster layer.
+
+    A trace is a list of VM descriptions sorted by arrival time; each
+    entry carries an actual lifetime (when the cluster retires the VM)
+    and a noisy predicted lifetime (what the lifetime-aware placement
+    scorer sees, per LAVA's model of imperfect lifetime predictors).
+    Generation is deterministic in [(seed, vms, dist, horizon_sec)]
+    and per-entry streams are independent, so a shorter trace from the
+    same seed is a prefix of the longer one — the SimCheck shrinker
+    relies on this to drop trace entries. *)
+
+type dist = Uniform | Bimodal | Heavy
+
+val dist_name : dist -> string
+val dist_of_name : string -> dist option
+
+type entry = {
+  e_name : string;
+  e_arrive_sec : float;  (** arrival, seconds of sim time *)
+  e_life_sec : float;  (** actual runtime once placed *)
+  e_predicted_sec : float;  (** predicted runtime (noisy) *)
+  e_vcpus : int;
+  e_weight : int;
+  e_footprint_mb : int;  (** memory footprint; sets stop-and-copy cost *)
+  e_workload : Asman.Scenario.workload_desc;
+      (** sustained and sleep-free so departures drain promptly *)
+}
+
+type t = entry list
+
+val generate :
+  ?max_vcpus:int ->
+  seed:int64 ->
+  vms:int ->
+  dist:dist ->
+  horizon_sec:float ->
+  unit ->
+  t
+(** [max_vcpus] (default 4, always clamped to 4) caps per-VM VCPU
+    counts — pass the per-host PCPU count for small-host clusters.
+    Raises [Invalid_argument] on [vms < 1] or a non-positive
+    horizon. *)

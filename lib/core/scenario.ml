@@ -25,7 +25,8 @@ type t = {
   injector : Sim_faults.Injector.t option;
 }
 
-let build ?(domain_id_base = 0) ?(vcpu_id_base = 0) config ~sched ~vms =
+let build ?(domain_id_base = 0) ?(vcpu_id_base = 0) ?(launch = true) config
+    ~sched ~vms =
   if vms = [] then invalid_arg "Scenario.build: no VMs";
   List.iter
     (fun spec ->
@@ -179,12 +180,13 @@ let build ?(domain_id_base = 0) ?(vcpu_id_base = 0) config ~sched ~vms =
         metrics = Sim_vmm.Vmm.metrics vmm;
       };
   Sim_vmm.Vmm.start vmm;
-  List.iter
-    (fun inst ->
-      match inst.kernel with
-      | Some k -> Sim_guest.Kernel.launch k
-      | None -> ())
-    instances;
+  if launch then
+    List.iter
+      (fun inst ->
+        match inst.kernel with
+        | Some k -> Sim_guest.Kernel.launch k
+        | None -> ())
+      instances;
   { config; engine; machine; vmm; dom0; vms = instances; injector }
 
 let expected_online_rate t inst =

@@ -43,6 +43,7 @@ type t = {
 val build :
   ?domain_id_base:int ->
   ?vcpu_id_base:int ->
+  ?launch:bool ->
   Config.t ->
   sched:Config.sched_kind ->
   vms:vm_spec list ->
@@ -50,7 +51,10 @@ val build :
 (** Raises [Invalid_argument] on an empty or ill-formed VM list.
     [domain_id_base]/[vcpu_id_base] offset the VMM's id counters so
     that ids stay globally unique across the sub-hosts of a decoupled
-    ({!Decouple}) run.
+    ({!Decouple}) run. [launch] (default [true]) controls whether the
+    guest kernels are launched; the cluster layer builds its incubator
+    host with [~launch:false] so trace VMs stay quiescent until they
+    are placed, then calls {!Sim_guest.Kernel.launch} on arrival.
     VMs whose workload is {!Sim_workloads.Workload.Concurrent} are
     marked [concurrent_type] (the static CON classification an
     administrator would apply).

@@ -48,6 +48,13 @@ type t = {
   mutable round_hook : Thread.t -> round:int -> duration:int -> unit;
   mutable finished_hook : Thread.t -> unit;
   mutable launched : bool;
+  mutable halted : bool;
+      (** a drain was requested: threads retire at their next
+          instruction boundary instead of fetching more work *)
+  mutable frozen : bool;
+      (** a freeze was requested (stop-and-copy migration): threads
+          pause at their next instruction boundary and resume verbatim
+          when {!thaw} runs on the destination host *)
   mutable pending_untracked : int;
       (** in-flight kernel timers not tracked through a vcpu_ctx
           handle; must be 0 before the domain may migrate *)
@@ -190,7 +197,8 @@ and do_resume t vc (thread : Thread.t) =
           thread.Thread.status <- Thread.Runnable;
           wake_thread t thread
         | Thread.Runnable | Thread.Spinning _ | Thread.Spin_barrier _
-        | Thread.Blocked_barrier _ | Thread.Blocked_sem _ | Thread.Finished ->
+        | Thread.Blocked_barrier _ | Thread.Blocked_sem _ | Thread.Paused
+        | Thread.Finished ->
           ());
     rotate_or_halt t vc
   | Thread.R_acquire lock_id ->
@@ -262,6 +270,24 @@ and do_resume t vc (thread : Thread.t) =
     fetch t vc thread
 
 and fetch t vc (thread : Thread.t) =
+  if t.halted && thread.Thread.locks_held = 0 then begin
+    (* Drain requested: retire at this instruction boundary.  Lock
+       holders keep running until their critical sections unwind so
+       waiters are never orphaned mid-handoff. *)
+    thread.Thread.status <- Thread.Finished;
+    t.finished_hook thread;
+    rotate_or_halt t vc
+  end
+  else if t.frozen && thread.Thread.locks_held = 0 then begin
+    (* Freeze requested: pause at this instruction boundary.  Same
+       drain discipline as the halt above — lock holders unwind their
+       critical sections first — but a paused thread keeps its cursor
+       and resumes exactly here when {!thaw} runs after migration. *)
+    thread.Thread.status <- Thread.Paused;
+    thread.Thread.resume <- Thread.R_fetch;
+    rotate_or_halt t vc
+  end
+  else
   match Program.next thread.Thread.cursor ~rng:thread.Thread.rng with
   | None -> round_complete t vc thread
   | Some instr -> begin
@@ -341,7 +367,7 @@ and handoff_check t lock =
     (match waiter.Thread.status with
     | Thread.Spinning id -> id = Spinlock.id lock
     | Thread.Runnable | Thread.Spin_barrier _ | Thread.Blocked_barrier _
-    | Thread.Blocked_sem _ | Thread.Blocked_sleep
+    | Thread.Blocked_sem _ | Thread.Blocked_sleep | Thread.Paused
     | Thread.Finished ->
       false)
     && occupying t waiter
@@ -360,7 +386,7 @@ and grant t lock (waiter : Thread.t) =
     match waiter.Thread.status with
     | Thread.Spinning id -> id = Spinlock.id lock
     | Thread.Runnable | Thread.Spin_barrier _ | Thread.Blocked_barrier _
-    | Thread.Blocked_sem _ | Thread.Blocked_sleep
+    | Thread.Blocked_sem _ | Thread.Blocked_sleep | Thread.Paused
     | Thread.Finished ->
       false
   in
@@ -400,7 +426,7 @@ and release_barrier t barrier =
           t.params.flag_latency + t.params.instr_overhead;
         wake_thread t thread
       | Thread.Spin_barrier _ | Thread.Blocked_barrier _ | Thread.Runnable
-      | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Blocked_sleep
+      | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Blocked_sleep | Thread.Paused
       | Thread.Finished ->
         ())
     t.threads_rev
@@ -419,7 +445,7 @@ and barrier_proceed t barrier (thread : Thread.t) =
     thread.Thread.pending_compute <- 0;
     continue_thread t (vctx_of t thread) thread
   | Thread.Spin_barrier _ | Thread.Blocked_barrier _ | Thread.Runnable
-  | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Blocked_sleep
+  | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Blocked_sleep | Thread.Paused
   | Thread.Finished ->
     ()
 
@@ -437,7 +463,7 @@ and arm_ple t (thread : Thread.t) =
           | Thread.Spinning _ | Thread.Spin_barrier _ ->
             thread.Thread.spin_request = span
           | Thread.Runnable | Thread.Blocked_barrier _
-          | Thread.Blocked_sem _ | Thread.Blocked_sleep
+          | Thread.Blocked_sem _ | Thread.Blocked_sleep | Thread.Paused
           | Thread.Finished ->
             false
         in
@@ -461,7 +487,7 @@ and arm_spin_grace t (thread : Thread.t) barrier_id gen =
           rotate_or_halt t (vctx_of t thread)
         end
       | Thread.Spin_barrier _ | Thread.Blocked_barrier _ | Thread.Runnable
-      | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Blocked_sleep
+      | Thread.Spinning _ | Thread.Blocked_sem _ | Thread.Blocked_sleep | Thread.Paused
       | Thread.Finished ->
         ())
 
@@ -514,7 +540,7 @@ and resume_active t vc =
         arm_spin_grace t thread bid gen;
         arm_ple t thread
       end
-    | Thread.Blocked_barrier _ | Thread.Blocked_sem _ | Thread.Blocked_sleep
+    | Thread.Blocked_barrier _ | Thread.Blocked_sem _ | Thread.Blocked_sleep | Thread.Paused
     | Thread.Finished ->
       rotate_or_halt t vc
   end
@@ -629,6 +655,8 @@ let create ?params:params_opt vmm domain () =
       round_hook = (fun _ ~round:_ ~duration:_ -> ());
       finished_hook = (fun _ -> ());
       launched = false;
+      halted = false;
+      frozen = false;
       pending_untracked = 0;
     }
   in
@@ -685,6 +713,35 @@ let quiescent t =
    will schedule from here on reads [t.engine]/[t.vmm] through [t],
    so the swap is complete and the VCPU hooks installed at creation
    remain valid. *)
+(* Ask the guest to drain: every thread retires at its next
+   instruction boundary (lock holders first unwind their critical
+   sections, spinners fall back to futex sleeps via the usual grace
+   path), after which all VCPUs halt and the pending untracked timers
+   fire out — the domain converges to {!quiescent} without outside
+   help.  Idempotent; callers poll [quiescent] to learn when the
+   drain has landed. *)
+let request_halt t = t.halted <- true
+let halt_requested t = t.halted
+
+(* Reversible sibling of [request_halt] for stop-and-copy migration:
+   the guest drains to {!quiescent} with every thread [Paused] (or in
+   a wait that the drain leaves intact), ready to be parked, shipped
+   and resumed.  [thaw] runs on the destination after [retarget] +
+   [Vmm.attach_domain]; it wakes each paused thread, which refetches
+   from the cursor it froze at — no guest progress is lost. *)
+let request_freeze t = t.frozen <- true
+let freeze_requested t = t.frozen
+
+let thaw t =
+  t.frozen <- false;
+  List.iter
+    (fun (th : Thread.t) ->
+      if th.Thread.status = Thread.Paused then begin
+        th.Thread.status <- Thread.Runnable;
+        wake_thread t th
+      end)
+    (List.rev t.threads_rev)
+
 let park t =
   if not (quiescent t) then failwith "Kernel.park: kernel not quiescent";
   Monitor.park t.monitor

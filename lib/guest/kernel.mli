@@ -94,6 +94,33 @@ val quiescent : t -> bool
     zero pending events on its current engine, so the domain may
     leave this host. *)
 
+val request_halt : t -> unit
+(** Ask the guest to drain: every thread retires at its next
+    instruction boundary (lock holders unwind their critical sections
+    first so waiters are never orphaned), after which the domain
+    converges to {!quiescent} without outside help. Idempotent;
+    callers poll {!quiescent} to learn when the drain has landed.
+    Used by the cluster layer to complete trace departures. *)
+
+val halt_requested : t -> bool
+(** Whether {!request_halt} has been called. *)
+
+val request_freeze : t -> unit
+(** Reversible sibling of {!request_halt} for stop-and-copy migration
+    of a {e running} guest: every thread pauses at its next
+    instruction boundary (lock holders unwind first, pending sleeps
+    fire out) and the domain converges to {!quiescent} with all guest
+    state intact. Idempotent; callers poll {!quiescent}. *)
+
+val freeze_requested : t -> bool
+(** Whether {!request_freeze} has been called (and no {!thaw} yet). *)
+
+val thaw : t -> unit
+(** Resume a frozen guest: clear the freeze and wake every paused
+    thread, which refetches from the cursor it froze at. Run on the
+    destination host after {!retarget} + [Vmm.attach_domain] — no
+    guest progress is lost across the migration. *)
+
 val park : t -> unit
 (** Source-side half of a migration: verify {!quiescent} (fails
     otherwise) and cancel the monitor's pending window event on the

@@ -5,6 +5,7 @@ type status =
   | Blocked_barrier of int * int
   | Blocked_sem of int
   | Blocked_sleep
+  | Paused
   | Finished
 
 type resume_point =
@@ -62,13 +63,14 @@ let make ~id ~affinity ~restart ~rng program =
 let is_executable t =
   match t.status with
   | Runnable | Spinning _ | Spin_barrier _ -> true
-  | Blocked_barrier _ | Blocked_sem _ | Blocked_sleep | Finished -> false
+  | Blocked_barrier _ | Blocked_sem _ | Blocked_sleep | Paused | Finished ->
+    false
 
 let is_preemptible_by_guest t =
   match t.status with
   | Runnable -> t.locks_held = 0 && t.resume = R_fetch
   | Spinning _ | Spin_barrier _ | Blocked_barrier _ | Blocked_sem _
-  | Blocked_sleep | Finished ->
+  | Blocked_sleep | Paused | Finished ->
     false
 
 let pp fmt t =
@@ -80,6 +82,7 @@ let pp fmt t =
     | Blocked_barrier (b, g) -> Printf.sprintf "sleep(barrier %d gen %d)" b g
     | Blocked_sem s -> Printf.sprintf "blocked(sem %d)" s
     | Blocked_sleep -> "sleeping"
+    | Paused -> "paused"
     | Finished -> "finished"
   in
   Format.fprintf fmt "thread%d(vcpu %d %s rounds=%d)" t.id t.affinity status

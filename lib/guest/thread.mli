@@ -17,6 +17,10 @@ type status =
   | Blocked_sleep
       (** timer sleep ([Program.Sleep]): descheduled until a kernel
           timer wakes it at an exact simulated instant *)
+  | Paused
+      (** frozen at an instruction boundary by {!Kernel.request_freeze}
+          (stop-and-copy migration): descheduled, holding no locks,
+          resumed verbatim by {!Kernel.thaw} on the destination host *)
   | Finished
 
 (** Where execution continues once [pending_compute] reaches zero. *)

@@ -81,6 +81,16 @@ let check_of r =
       | _ -> None)
     (items (Record.section r "check"))
 
+(* (metric, value) per cluster-run consolidation metric (density,
+   p99 stall, migration counters). *)
+let cluster_of r =
+  List.filter_map
+    (fun m ->
+      match (entry_str "id" m, entry_num "value" m) with
+      | Some id, Some v -> Some (id, v)
+      | _ -> None)
+    (items (Record.section r "cluster"))
+
 (* ----- comparison ----- *)
 
 (* Guarded for zero baselines (check counters are routinely 0). *)
@@ -206,12 +216,23 @@ let records t old_r new_r =
         (id = "failures" || id = "timeouts") && new_v > old_v)
       check_of
   in
+  (* Cluster runs are seeded and deterministic like the fairness
+     figure: consolidation density or tail-stall drift in either
+     direction means placement or migration behaviour changed. *)
+  let r5 =
+    section ~label:"cluster consolidation" ~unit:"value" ~name:"cluster"
+      ~regressed:(fun ~id old_v new_v ->
+        (String.starts_with ~prefix:"density" id
+        || String.starts_with ~prefix:"p99" id)
+        && Float.abs (pct old_v new_v) > t.fairness_threshold)
+      cluster_of
+  in
   if old_r.Record.wall_sec > 0. && new_r.Record.wall_sec > 0. then
     Buffer.add_string buf
       (Printf.sprintf "total wall: %.3f s -> %.3f s (%+.1f%%)\n"
          old_r.Record.wall_sec new_r.Record.wall_sec
          (pct old_r.Record.wall_sec new_r.Record.wall_sec));
-  let regressions = r1 + r2 + r3 + r4 in
+  let regressions = r1 + r2 + r3 + r4 + r5 in
   Buffer.add_string buf
     (if regressions > 0 then
        Printf.sprintf "\n%d regression(s) beyond threshold\n" regressions

@@ -13,6 +13,10 @@
       [fairness_threshold]% in {e either} direction is a regression.
     - [check] — fuzzer health; any increase of [failures] or
       [timeouts] is a regression, other counters are reported only.
+    - [cluster] — deterministic cluster-run outputs; [density*] and
+      [p99*] entries drifting beyond [fairness_threshold]% in either
+      direction are regressions, migration counters are reported
+      only.
 
     Entries present on only one side are reported, never gated. A
     whole section missing from one side is likewise reported — unless
@@ -56,3 +60,6 @@ val fairness_of : Record.t -> (string * float) list
 
 val check_of : Record.t -> (string * float) list
 (** (SimCheck counter, value). *)
+
+val cluster_of : Record.t -> (string * float) list
+(** (cluster consolidation metric, value). *)

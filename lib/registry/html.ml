@@ -68,6 +68,12 @@ let families =
       f_log = false;
       f_extract = Compare.check_of;
     };
+    {
+      f_title = "Cluster consolidation";
+      f_unit = "value";
+      f_log = false;
+      f_extract = Compare.cluster_of;
+    };
   ]
 
 let width = 760.

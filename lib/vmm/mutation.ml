@@ -18,16 +18,21 @@ type t =
       (** precise-mode [Vmm.charge] burns only in the periodic-tick
           path, silently re-introducing Xen's sampled accounting: a
           guest that blocks just before each tick is never debited *)
+  | Double_place
+      (** the cluster placement engine admits an arriving VM to a
+          second feasible host's bookkeeping as well — the VM is
+          resident on two hosts in the controller's view *)
 
 let all =
   [ Skip_credit_burn; Drop_gang_sibling; Double_insert_reloc;
-    Sampled_accounting ]
+    Sampled_accounting; Double_place ]
 
 let to_name = function
   | Skip_credit_burn -> "skip-credit-burn"
   | Drop_gang_sibling -> "drop-gang-sibling"
   | Double_insert_reloc -> "double-insert-reloc"
   | Sampled_accounting -> "sampled-accounting"
+  | Double_place -> "double-place"
 
 let of_name s =
   match String.lowercase_ascii s with
@@ -35,6 +40,7 @@ let of_name s =
   | "drop-gang-sibling" -> Some Drop_gang_sibling
   | "double-insert-reloc" -> Some Double_insert_reloc
   | "sampled-accounting" -> Some Sampled_accounting
+  | "double-place" -> Some Double_place
   | _ -> None
 
 let active : t option ref = ref None

@@ -23,6 +23,11 @@ type t =
           periodic credit tick, never at span end — Xen's sampled
           accounting smuggled back in, so a tick-dodging guest escapes
           all debiting. Caught by the SimCheck entitlement oracle. *)
+  | Double_place
+      (** the cluster placement engine admits an arriving VM to a
+          second feasible host's bookkeeping as well, corrupting the
+          controller's capacity accounting. Caught by the SimCheck
+          cluster-conservation oracle. *)
 
 val all : t list
 val to_name : t -> string

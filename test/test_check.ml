@@ -287,6 +287,7 @@ let big_spec =
               Some
                 (Scenario.W_compute { threads = 4; chunks = 100; chunk_us = 500 });
           });
+    cluster = None;
     provenance = None;
   }
 
@@ -411,6 +412,7 @@ let mutation_spec =
           v_workload = Some (Scenario.W_nas "CG");
         };
       ];
+    cluster = None;
     provenance = None;
   }
 
@@ -464,6 +466,7 @@ let sampled_mutation_spec =
           v_workload = Some (Scenario.W_speccpu "bzip2");
         };
       ];
+    cluster = None;
     provenance = None;
   }
 
@@ -479,6 +482,108 @@ let test_mutation_sampled_accounting_caught () =
       Alcotest.(check bool)
         "entitlement oracle catches the planted bug" true
         (List.exists (fun f -> f.Oracle.oracle = "entitlement") failures))
+
+(* ----- the cluster axis ----- *)
+
+let cluster_spec =
+  {
+    Spec.seed = 11L;
+    sched = "credit";
+    scale = 0.05;
+    work_conserving = true;
+    faults = "none";
+    queue = "wheel";
+    sim_jobs = 1;
+    decouple = false;
+    sockets = 1;
+    cores_per_socket = 2;
+    horizon_sec = 0.3;
+    check_fairness = false;
+    accounting = "precise";
+    check_entitlement = false;
+    vms = [];
+    cluster =
+      Some
+        {
+          Spec.cl_hosts = 4;
+          cl_trace_seed = 7L;
+          cl_policy = "first-fit";
+          cl_dist = "bimodal";
+          cl_vms = 6;
+        };
+    provenance = None;
+  }
+
+let test_cluster_spec_json () =
+  Alcotest.(check bool) "cluster spec survives JSON round-trip" true
+    (Spec.of_string (Spec.to_string cluster_spec) = cluster_spec);
+  (* back-compat: single-host spec JSON (no "cluster" key, as every
+     pre-cluster corpus file) parses to a single-host spec *)
+  let single = Spec.to_string mutation_spec in
+  Alcotest.(check bool) "no cluster key emitted for single-host specs" true
+    (Sim_check.Cjson.member "cluster" (Sim_check.Cjson.of_string single)
+    = None);
+  Alcotest.(check bool) "absent cluster key parses to None" true
+    ((Spec.of_string single).Spec.cluster = None)
+
+let test_cluster_spec_validation () =
+  let with_cluster f =
+    match cluster_spec.Spec.cluster with
+    | Some c -> { cluster_spec with Spec.cluster = Some (f c) }
+    | None -> assert false
+  in
+  let rejected s =
+    match Spec.validate s with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "cluster spec validates" true
+    (Spec.validate cluster_spec = Ok ());
+  Alcotest.(check bool) "zero hosts rejected" true
+    (rejected (with_cluster (fun c -> { c with Spec.cl_hosts = 0 })));
+  Alcotest.(check bool) "empty trace rejected" true
+    (rejected (with_cluster (fun c -> { c with Spec.cl_vms = 0 })));
+  Alcotest.(check bool) "unknown policy rejected" true
+    (rejected (with_cluster (fun c -> { c with Spec.cl_policy = "psychic" })));
+  Alcotest.(check bool) "unknown distribution rejected" true
+    (rejected (with_cluster (fun c -> { c with Spec.cl_dist = "cauchy" })));
+  Alcotest.(check bool) "cluster excludes fault injection" true
+    (rejected { cluster_spec with Spec.faults = "chaos-mild" });
+  Alcotest.(check bool) "cluster excludes decouple" true
+    (rejected { cluster_spec with Spec.decouple = true; sim_jobs = 2 })
+
+(* The planted double-place mutation end to end: the pinned cluster
+   spec replays clean, the armed mutation books arriving VMs on two
+   hosts, the cluster-conservation oracle convicts it, and the
+   shrinker walks the datacenter down to a <= 2-host one-VM repro
+   (one host cannot double-place: there is no second feasible host). *)
+let test_mutation_double_place_caught () =
+  Fun.protect
+    ~finally:(fun () -> Sim_vmm.Mutation.set None)
+    (fun () ->
+      Alcotest.(check (list string))
+        "cluster spec passes unmutated" []
+        (List.map (fun f -> f.Oracle.oracle) (Case.run cluster_spec));
+      Sim_vmm.Mutation.set (Some Sim_vmm.Mutation.Double_place);
+      let failures = Case.run cluster_spec in
+      Alcotest.(check bool)
+        "cluster-conservation oracle catches the planted bug" true
+        (List.exists
+           (fun f -> f.Oracle.oracle = "cluster-conservation")
+           failures);
+      let shrunk, still =
+        Shrink.minimize ~budget:40 ~fails:Case.run cluster_spec
+          ~initial_failures:failures
+      in
+      Alcotest.(check bool) "shrunk repro still fails the same oracle" true
+        (List.exists
+           (fun f -> f.Oracle.oracle = "cluster-conservation")
+           still);
+      match shrunk.Spec.cluster with
+      | None -> Alcotest.fail "shrinker dropped the cluster axis"
+      | Some c ->
+        Alcotest.(check bool)
+          (Printf.sprintf "shrunk to <= 2 hosts (got %d)" c.Spec.cl_hosts)
+          true (c.Spec.cl_hosts <= 2);
+        Alcotest.(check int) "shrunk to a single-entry trace" 1 c.Spec.cl_vms)
 
 (* ----- timed-out cases are reported, not dropped ----- *)
 
@@ -547,6 +652,12 @@ let suite =
       test_mutation_skip_credit_burn_caught;
     Alcotest.test_case "planted sampled-accounting is caught" `Slow
       test_mutation_sampled_accounting_caught;
+    Alcotest.test_case "cluster spec JSON round-trips with back-compat"
+      `Quick test_cluster_spec_json;
+    Alcotest.test_case "cluster spec validation" `Quick
+      test_cluster_spec_validation;
+    Alcotest.test_case "planted double-place is caught and shrunk" `Slow
+      test_mutation_double_place_caught;
     Alcotest.test_case "timed-out case reported with its seed" `Quick
       test_timeout_reported_with_seed;
     Alcotest.test_case "committed corpus replays clean" `Slow

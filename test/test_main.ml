@@ -27,5 +27,6 @@ let () =
       ("check", Test_check.suite);
       ("shard", Test_shard.suite);
       ("decouple", Test_decouple.suite);
+      ("cluster", Test_cluster.suite);
       ("registry", Test_registry.suite);
     ]

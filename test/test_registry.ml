@@ -31,10 +31,12 @@ let fairness_row (fid, ratio) =
 let check_row (cid, v) =
   Cjson.Obj [ ("id", Cjson.String cid); ("value", Cjson.Float v) ]
 
+let cluster_row = check_row
+
 (* A bench-kind record with the given metric sections; a section
    passed as [] is omitted entirely (matters for strict-sections). *)
 let mk ~id ?(date = "2026-08-07T00:00:00") ?(wall = 10.) ?(runs = [])
-    ?(micro = []) ?(fairness = []) ?(check = []) () =
+    ?(micro = []) ?(fairness = []) ?(check = []) ?(cluster = []) () =
   let sec name row = function
     | [] -> []
     | entries -> [ (name, Cjson.List (List.map row entries)) ]
@@ -44,7 +46,8 @@ let mk ~id ?(date = "2026-08-07T00:00:00") ?(wall = 10.) ?(runs = [])
       (sec "runs" run_row runs
       @ sec "micro" micro_row micro
       @ sec "fairness" fairness_row fairness
-      @ sec "check" check_row check)
+      @ sec "check" check_row check
+      @ sec "cluster" cluster_row cluster)
   in
   Record.make ~id ~kind:"bench" ~date ~git:(Some ("cafe01", false)) ~seed:42L
     ~scale:1. ~queue:"wheel" ~workers:2 ~label:id
@@ -179,6 +182,97 @@ let test_compare_check_counts () =
   Alcotest.(check int) "fewer cases / zero failures does not gate" 0
     (compare_t old_r fixed).Compare.regressions
 
+let test_compare_cluster_drift () =
+  (* Cluster runs are seeded and deterministic: density/p99 entries
+     gate symmetrically like fairness ratios; migration counters are
+     informational only. *)
+  let old_r =
+    mk ~id:"old"
+      ~cluster:
+        [
+          ("density asman/lifetime L1.5", 3.2);
+          ("p99_stall_ms", 12.0);
+          ("migrations", 5.);
+        ]
+      ()
+  in
+  let extract r =
+    mk ~id:"x" ~cluster:r () |> fun rec_ -> Compare.cluster_of rec_
+  in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "cluster section round-trips through the extractor"
+    [
+      ("density asman/lifetime L1.5", 3.2);
+      ("p99_stall_ms", 12.0);
+      ("migrations", 5.);
+    ]
+    (extract
+       [
+         ("density asman/lifetime L1.5", 3.2);
+         ("p99_stall_ms", 12.0);
+         ("migrations", 5.);
+       ]);
+  let denser =
+    mk ~id:"new"
+      ~cluster:
+        [
+          ("density asman/lifetime L1.5", 3.5);
+          ("p99_stall_ms", 12.0);
+          ("migrations", 5.);
+        ]
+      ()
+  in
+  let sparser =
+    mk ~id:"new"
+      ~cluster:
+        [
+          ("density asman/lifetime L1.5", 2.9);
+          ("p99_stall_ms", 12.0);
+          ("migrations", 5.);
+        ]
+      ()
+  in
+  let slower_tail =
+    mk ~id:"new"
+      ~cluster:
+        [
+          ("density asman/lifetime L1.5", 3.2);
+          ("p99_stall_ms", 14.0);
+          ("migrations", 5.);
+        ]
+      ()
+  in
+  let more_migrations =
+    mk ~id:"new"
+      ~cluster:
+        [
+          ("density asman/lifetime L1.5", 3.2);
+          ("p99_stall_ms", 12.0);
+          ("migrations", 50.);
+        ]
+      ()
+  in
+  let close =
+    mk ~id:"new"
+      ~cluster:
+        [
+          ("density asman/lifetime L1.5", 3.25);
+          ("p99_stall_ms", 12.1);
+          ("migrations", 5.);
+        ]
+      ()
+  in
+  Alcotest.(check int) "+9% density regresses" 1
+    (compare_t old_r denser).Compare.regressions;
+  Alcotest.(check int) "-9% density regresses too (symmetric)" 1
+    (compare_t old_r sparser).Compare.regressions;
+  Alcotest.(check int) "+17% p99 stall regresses" 1
+    (compare_t old_r slower_tail).Compare.regressions;
+  Alcotest.(check int) "migration counters never gate" 0
+    (compare_t old_r more_migrations).Compare.regressions;
+  Alcotest.(check int) "sub-threshold drift is neutral" 0
+    (compare_t old_r close).Compare.regressions
+
 let test_compare_strict_sections () =
   let old_r =
     mk ~id:"old" ~runs:[ ("fig7", 1.0) ] ~fairness:[ ("V1 steal", 1.0) ] ()
@@ -291,12 +385,14 @@ let report_records () =
       ~micro:[ ("hold", "wheel", 1e6, 1.5e6) ]
       ~fairness:[ ("V1 steal", 1.0) ]
       ~check:[ ("cases", 100.); ("failures", 0.) ]
+      ~cluster:[ ("density asman/lifetime L1.5", 3.2); ("p99_stall_ms", 12.0) ]
       ();
     mk ~id:"run-2" ~date:"2026-08-06T00:00:00" ~wall:11.
       ~runs:[ ("fig7", 1.1); ("fig10", 5.2) ]
       ~micro:[ ("hold", "wheel", 1e6, 1.4e6) ]
       ~fairness:[ ("V1 steal", 1.01) ]
       ~check:[ ("cases", 100.); ("failures", 0.) ]
+      ~cluster:[ ("density asman/lifetime L1.5", 3.3); ("p99_stall_ms", 11.8) ]
       ();
   ]
 
@@ -321,6 +417,7 @@ let test_html_well_formed_and_self_contained () =
       "Micro throughput";
       "Fairness: attained / entitled";
       "SimCheck health";
+      "Cluster consolidation";
     ];
   Alcotest.(check bool) "inline SVG" true (contains html "<svg")
 
@@ -353,6 +450,8 @@ let suite =
       test_compare_fairness_symmetric;
     Alcotest.test_case "compare: check counts" `Quick
       test_compare_check_counts;
+    Alcotest.test_case "compare: cluster drift" `Quick
+      test_compare_cluster_drift;
     Alcotest.test_case "compare: strict sections" `Quick
       test_compare_strict_sections;
     Alcotest.test_case "compare: one-sided entries" `Quick
